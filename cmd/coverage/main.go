@@ -1,0 +1,90 @@
+// Command coverage measures all coverage metrics of a design under a chosen
+// stimulus and lists the uncovered points.
+//
+// Usage:
+//
+//	coverage -design fetch -cycles 1000 -seed 3
+//	coverage -design arbiter2 -goldmine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldmine/internal/core"
+	"goldmine/internal/coverage"
+	"goldmine/internal/designs"
+	"goldmine/internal/sim"
+	"goldmine/internal/stimgen"
+)
+
+func main() {
+	var (
+		design    = flag.String("design", "", "benchmark design name")
+		cycles    = flag.Int("cycles", 1000, "random cycles")
+		seed      = flag.Int64("seed", 1, "random seed")
+		goldmine  = flag.Bool("goldmine", false, "augment with GoldMine counterexample stimulus")
+		uncovered = flag.Bool("uncovered", false, "list uncovered points")
+	)
+	flag.Parse()
+	if err := run(*design, *cycles, *seed, *goldmine, *uncovered); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design string, cycles int, seed int64, withGoldmine, listUncovered bool) error {
+	if design == "" {
+		return fmt.Errorf("need -design (one of %v)", designs.Names())
+	}
+	b, err := designs.Get(design)
+	if err != nil {
+		return err
+	}
+	d, err := b.Design()
+	if err != nil {
+		return err
+	}
+	suite := []sim.Stimulus{stimgen.Random(d, cycles, seed, 2)}
+
+	if withGoldmine {
+		cfg := core.DefaultConfig()
+		cfg.Window = b.Window
+		cfg.MaxIterations = 24
+		eng, err := core.NewEngine(d, cfg)
+		if err != nil {
+			return err
+		}
+		seedStim := stimgen.Random(d, minInt(cycles, 128), seed, 2)
+		for _, name := range b.KeyOutputs {
+			sig := d.Signal(name)
+			for bit := 0; bit < sig.Width; bit++ {
+				res, err := eng.MineOutput(sig, bit, seedStim)
+				if err != nil {
+					return err
+				}
+				suite = append(suite, res.Ctx...)
+			}
+		}
+	}
+
+	col := coverage.New(d)
+	if err := col.RunSuite(suite); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n", design, col.Report())
+	if listUncovered {
+		for _, p := range col.UncoveredPoints() {
+			fmt.Println("  uncovered:", p)
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunRandomOnly(t *testing.T) {
+	if err := run("arbiter2", 100, 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithGoldmine(t *testing.T) {
+	if err := run("arbiter2", 50, 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 10, 1, false, false); err == nil {
+		t.Error("missing design should error")
+	}
+	if err := run("nope", 10, 1, false, false); err == nil {
+		t.Error("unknown design should error")
+	}
+}
+
+func TestMinInt(t *testing.T) {
+	if minInt(3, 5) != 3 || minInt(5, 3) != 3 {
+		t.Error("minInt broken")
+	}
+}

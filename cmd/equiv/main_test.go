@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEquivSelf(t *testing.T) {
+	if err := run("arbiter2", "arbiter2", 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivFiles(t *testing.T) {
+	a := write(t, "a.v", `module m(input p, q, output y); assign y = p ^ q; endmodule`)
+	b := write(t, "b.v", `module m(input p, q, output y); assign y = (p | q) & ~(p & q); endmodule`)
+	if err := run(a, b, 8); err != nil {
+		t.Fatal(err)
+	}
+	c := write(t, "c.v", `module m(input p, q, output y); assign y = p & q; endmodule`)
+	if err := run(a, c, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivErrors(t *testing.T) {
+	if err := run("", "arbiter2", 8); err == nil {
+		t.Error("missing design should error")
+	}
+	if err := run("arbiter2", "/nonexistent.v", 8); err == nil {
+		t.Error("missing file should error")
+	}
+	a := write(t, "a.v", `module m(input p, output y); assign y = p; endmodule`)
+	if err := run("arbiter2", a, 8); err == nil {
+		t.Error("interface mismatch should error")
+	}
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig12
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"goldmine/internal/experiments"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "experiment name or 'all'")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	var targets []experiments.Experiment
+	if *run == "all" {
+		targets = experiments.All()
+	} else {
+		e, err := experiments.Get(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		targets = []experiments.Experiment{*e}
+	}
+	for _, e := range targets {
+		start := time.Now()
+		tab, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("(%s completed in %.2fs)\n\n", e.Name, time.Since(start).Seconds())
+	}
+}

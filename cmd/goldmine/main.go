@@ -1,0 +1,251 @@
+// Command goldmine runs the counterexample-guided assertion and stimulus
+// generation flow on a benchmark design or a Verilog file.
+//
+// Usage:
+//
+//	goldmine -design arbiter2 [-output gnt0] [-bit 0] [-seed directed]
+//	goldmine -file my.v -output y -seed random:128 -format sva
+//
+// It prints the proven assertions (LTL, SVA or PSL), the counterexample
+// patterns discovered, per-iteration statistics and the final decision tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/core"
+	"goldmine/internal/designs"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/stimgen"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "", "benchmark design name (see -list)")
+		file     = flag.String("file", "", "Verilog source file (alternative to -design)")
+		output   = flag.String("output", "", "output signal to mine (default: all outputs)")
+		bit      = flag.Int("bit", -1, "output bit to mine (default: all bits)")
+		window   = flag.Int("window", -1, "mining window length (default: benchmark's)")
+		seed     = flag.String("seed", "directed", "seed stimulus: directed | random:<cycles> | none")
+		format   = flag.String("format", "ltl", "assertion format: ltl | sva | psl")
+		maxIter  = flag.Int("max-iter", 64, "maximum refinement iterations")
+		full     = flag.Bool("full-ctx", false, "add every counterexample window to the dataset")
+		tree     = flag.Bool("tree", false, "print the final decision tree")
+		reduce   = flag.Bool("reduce", false, "apply A-Val subsumption reduction and ranking to the printed assertions")
+		minimize = flag.Bool("minimize", false, "minimize counterexample patterns before printing")
+		list     = flag.Bool("list", false, "list benchmark designs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range designs.All() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+	if err := run(*design, *file, *output, *bit, *window, *seed, *format, *maxIter, *full, *tree, *reduce, *minimize); err != nil {
+		fmt.Fprintln(os.Stderr, "goldmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(design, file, output string, bit, window int, seedSpec, format string, maxIter int, fullCtx, printTree, reduce, minimize bool) error {
+	var d *rtl.Design
+	var bench *designs.Benchmark
+	var err error
+	switch {
+	case design != "":
+		bench, err = designs.Get(design)
+		if err != nil {
+			return err
+		}
+		d, err = bench.Design()
+		if err != nil {
+			return err
+		}
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		d, err = rtl.ElaborateSource(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -design or -file (use -list for benchmarks)")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxIterations = maxIter
+	cfg.AddFullCtxTrace = fullCtx
+	if window >= 0 {
+		cfg.Window = window
+	} else if bench != nil {
+		cfg.Window = bench.Window
+	}
+
+	stim, err := seedStimulus(d, bench, seedSpec)
+	if err != nil {
+		return err
+	}
+
+	eng, err := core.NewEngine(d, cfg)
+	if err != nil {
+		return err
+	}
+
+	var targets []struct {
+		sig *rtl.Signal
+		bit int
+	}
+	addTarget := func(sig *rtl.Signal) {
+		if bit >= 0 {
+			targets = append(targets, struct {
+				sig *rtl.Signal
+				bit int
+			}{sig, bit})
+			return
+		}
+		for b := 0; b < sig.Width; b++ {
+			targets = append(targets, struct {
+				sig *rtl.Signal
+				bit int
+			}{sig, b})
+		}
+	}
+	if output != "" {
+		sig := d.Signal(output)
+		if sig == nil {
+			return fmt.Errorf("no signal %q", output)
+		}
+		addTarget(sig)
+	} else {
+		for _, sig := range d.Outputs() {
+			addTarget(sig)
+		}
+	}
+
+	totalProved, totalCtx := 0, 0
+	for _, tgt := range targets {
+		res, err := eng.MineOutput(tgt.sig, tgt.bit, stim)
+		if err != nil {
+			return err
+		}
+		name := tgt.sig.Name
+		if tgt.sig.Width > 1 {
+			name = fmt.Sprintf("%s[%d]", tgt.sig.Name, tgt.bit)
+		}
+		fmt.Printf("--- %s.%s: converged=%v iterations=%d proved=%d ctx=%d coverage=%.2f%%\n",
+			d.Name, name, res.Converged, len(res.Iterations), len(res.Proved), len(res.Ctx),
+			100*res.InputSpaceCoverage())
+		if reduce {
+			kept := assertion.ReduceSuite(res.Assertions())
+			fmt.Printf("  A-Val reduction: %d -> %d assertions\n", len(res.Proved), len(kept))
+			for _, a := range kept {
+				fmt.Printf("  %s\n", renderA(a, format, d.Clock))
+			}
+		} else {
+			for _, rec := range res.Proved {
+				fmt.Printf("  [it%d %s] %s\n", rec.Iteration, rec.Method, render(rec.Assertion.String(), rec, format, d.Clock))
+			}
+		}
+		for i, ctx := range res.Ctx {
+			if minimize && i < len(res.Failed) {
+				if min, err := core.MinimizeCtx(d, res.Failed[i].Assertion, ctx); err == nil {
+					ctx = min
+				}
+			}
+			fmt.Printf("  ctx%d (%d cycles): %s\n", i+1, len(ctx), stimString(ctx))
+		}
+		if printTree {
+			fmt.Println(res.Tree.String())
+		}
+		totalProved += len(res.Proved)
+		totalCtx += len(res.Ctx)
+	}
+	fmt.Printf("total: %d proved assertions, %d counterexample patterns, %d formal checks (%.2fs formal time)\n",
+		totalProved, totalCtx, eng.Checker.Checks, eng.Checker.TotalTime.Seconds())
+	return nil
+}
+
+func renderA(a *assertion.Assertion, format, clock string) string {
+	switch format {
+	case "sva":
+		return a.SVA(clock)
+	case "psl":
+		return a.PSL(clock)
+	default:
+		return a.String()
+	}
+}
+
+func render(ltl string, rec core.AssertionRecord, format, clock string) string {
+	switch format {
+	case "sva":
+		return rec.Assertion.SVA(clock)
+	case "psl":
+		return rec.Assertion.PSL(clock)
+	default:
+		return ltl
+	}
+}
+
+func seedStimulus(d *rtl.Design, bench *designs.Benchmark, spec string) (sim.Stimulus, error) {
+	switch {
+	case spec == "none":
+		return nil, nil
+	case spec == "directed":
+		if bench != nil && bench.Directed != nil {
+			return bench.Directed(), nil
+		}
+		return nil, nil
+	case strings.HasPrefix(spec, "random:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "random:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad seed spec %q", spec)
+		}
+		return stimgen.Random(d, n, 1, 2), nil
+	default:
+		return nil, fmt.Errorf("bad seed spec %q (directed | random:<n> | none)", spec)
+	}
+}
+
+func stimString(stim sim.Stimulus) string {
+	var parts []string
+	for _, iv := range stim {
+		var kv []string
+		for _, k := range sortedKeys(iv) {
+			if iv[k] != 0 {
+				kv = append(kv, fmt.Sprintf("%s=%d", k, iv[k]))
+			}
+		}
+		if len(kv) == 0 {
+			parts = append(parts, "-")
+		} else {
+			parts = append(parts, strings.Join(kv, ","))
+		}
+	}
+	return strings.Join(parts, " | ")
+}
+
+func sortedKeys(iv sim.InputVec) []string {
+	var keys []string
+	for k := range iv {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}

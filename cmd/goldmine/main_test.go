@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goldmine/internal/sim"
+)
+
+func TestRunDesign(t *testing.T) {
+	if err := run("arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, false, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllOutputsSVA(t *testing.T) {
+	if err := run("cex_small", "", "", -1, -1, "none", "sva", 16, false, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inv.v")
+	src := `module inv(input a, output y); assign y = ~a; endmodule`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "y", 0, 0, "random:8", "psl", 8, true, false, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", -1, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+		t.Error("missing design should error")
+	}
+	if err := run("nope", "", "", -1, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+		t.Error("unknown design should error")
+	}
+	if err := run("arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+		t.Error("unknown output should error")
+	}
+	if err := run("arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, false, false, false, false); err == nil {
+		t.Error("bad seed spec should error")
+	}
+}
+
+func TestStimString(t *testing.T) {
+	s := stimString(sim.Stimulus{{"a": 1, "b": 0}, {}})
+	if s == "" {
+		t.Error("empty stim string")
+	}
+}

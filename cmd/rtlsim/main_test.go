@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRandomQuiet(t *testing.T) {
+	if err := run("arbiter2", "", 10, "random", 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDirectedWithTrace(t *testing.T) {
+	if err := run("arbiter2", "", 0, "directed", 1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	if err := run("cex_small", "", 0, "exhaustive", 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVCDOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wave.vcd")
+	if err := run("arbiter2", "", 8, "random", 3, true, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions") {
+		t.Error("VCD output malformed")
+	}
+}
+
+func TestRunFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.v")
+	os.WriteFile(path, []byte("module m(input a, output y); assign y = ~a; endmodule"), 0o644)
+	if err := run("", path, 4, "random", 1, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 10, "random", 1, true, ""); err == nil {
+		t.Error("missing design should error")
+	}
+	if err := run("fetch", "", 10, "directed2", 1, true, ""); err == nil {
+		t.Error("bad stim spec should error")
+	}
+	if err := run("wb_stage", "", 10, "exhaustive", 1, true, ""); err == nil {
+		t.Error("wide exhaustive should error (24 input bits)")
+	}
+	if err := run("b01", "", 10, "directed", 1, true, ""); err == nil {
+		t.Error("design without directed test should error")
+	}
+}

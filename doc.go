@@ -1,0 +1,16 @@
+// Package goldmine is a from-scratch Go reproduction of "Towards Coverage
+// Closure: Using GoldMine Assertions for Generating Design Validation
+// Stimulus" (Liu, Sheridan, Tuohy, Vasudevan — DATE 2011 / UIUC CRHC-10-03).
+//
+// The library mines decision-tree assertions from RTL simulation traces,
+// model-checks every candidate, and feeds counterexamples back into the trace
+// data, incrementally refining the tree until every leaf is a proven
+// invariant — at which point the accumulated counterexample inputs are the
+// generated validation stimulus and the output's functionality is completely
+// covered.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for measured results
+// against the paper's tables and figures. The public surface lives under
+// internal/ packages driven by the cmd/ tools and examples/.
+package goldmine

@@ -1,0 +1,3 @@
+module goldmine
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package assertion defines the propositional/temporal assertions produced by
+// the GoldMine miner: implications whose antecedent is a conjunction of
+// (signal, cycle-offset, value) propositions and whose consequent is a single
+// proposition about a design output. Assertions print in LTL, SVA and PSL
+// syntax, matching the notations used in the paper.
+package assertion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prop is one proposition: signal (or one bit of it) equals value at a cycle
+// offset relative to the start of the mining window (offset 0 = earliest
+// cycle). Bit < 0 refers to the whole signal; Bit >= 0 selects a single bit,
+// which is how the miner expresses propositions about multi-bit signals.
+type Prop struct {
+	Signal string
+	Bit    int
+	Offset int
+	Value  uint64
+	Width  int
+}
+
+// P builds a whole-signal proposition (Bit = -1).
+func P(signal string, offset int, value uint64, width int) Prop {
+	return Prop{Signal: signal, Bit: -1, Offset: offset, Value: value, Width: width}
+}
+
+// PBit builds a single-bit proposition.
+func PBit(signal string, bit, offset int, value uint64) Prop {
+	return Prop{Signal: signal, Bit: bit, Offset: offset, Value: value & 1, Width: 1}
+}
+
+// Name renders the referenced variable, e.g. "req0" or "state[1]".
+func (p Prop) Name() string {
+	if p.Bit >= 0 {
+		return fmt.Sprintf("%s[%d]", p.Signal, p.Bit)
+	}
+	return p.Signal
+}
+
+// String renders the proposition with X^offset temporal prefixes (LTL).
+func (p Prop) String() string {
+	body := p.body()
+	return strings.Repeat("X", p.Offset) + body
+}
+
+func (p Prop) body() string {
+	if p.Width <= 1 || p.Bit >= 0 {
+		if p.Value == 0 {
+			return "!" + p.Name()
+		}
+		return p.Name()
+	}
+	return fmt.Sprintf("%s==%d", p.Signal, p.Value)
+}
+
+// Assertion is an implication ant_1 ∧ ... ∧ ant_n => consequent.
+type Assertion struct {
+	// Output is the design output the assertion describes.
+	Output string
+	// Antecedent propositions sorted by (offset, signal).
+	Antecedent []Prop
+	// Consequent is the output proposition.
+	Consequent Prop
+	// Window is the mining window length w (antecedent offsets span 0..w).
+	Window int
+
+	// Confidence and Support are the statistical metrics from the miner:
+	// Confidence is the fraction of supporting rows that satisfy the
+	// consequent (candidate assertions require 1.0); Support is the number
+	// of trace rows matching the antecedent.
+	Confidence float64
+	Support    int
+}
+
+// Normalize sorts the antecedent deterministically.
+func (a *Assertion) Normalize() {
+	sort.Slice(a.Antecedent, func(i, j int) bool {
+		if a.Antecedent[i].Offset != a.Antecedent[j].Offset {
+			return a.Antecedent[i].Offset < a.Antecedent[j].Offset
+		}
+		return a.Antecedent[i].Name() < a.Antecedent[j].Name()
+	})
+}
+
+// Key is a canonical identity string used for deduplication.
+func (a *Assertion) Key() string {
+	b := &strings.Builder{}
+	for _, p := range a.Antecedent {
+		fmt.Fprintf(b, "%s@%d=%d&", p.Name(), p.Offset, p.Value)
+	}
+	fmt.Fprintf(b, ">%s@%d=%d", a.Consequent.Name(), a.Consequent.Offset, a.Consequent.Value)
+	return b.String()
+}
+
+// String renders the assertion in LTL notation, e.g.
+// "req0 && X(!req1) ==> XX(!gnt0)".
+func (a *Assertion) String() string {
+	if len(a.Antecedent) == 0 {
+		return "true ==> " + ltlProp(a.Consequent)
+	}
+	parts := make([]string, len(a.Antecedent))
+	for i, p := range a.Antecedent {
+		parts[i] = ltlProp(p)
+	}
+	return strings.Join(parts, " && ") + " ==> " + ltlProp(a.Consequent)
+}
+
+func ltlProp(p Prop) string {
+	if p.Offset == 0 {
+		return p.body()
+	}
+	return strings.Repeat("X", p.Offset) + "(" + p.body() + ")"
+}
+
+// SVA renders the assertion as a SystemVerilog concurrent assertion body.
+func (a *Assertion) SVA(clock string) string {
+	if clock == "" {
+		clock = "clk"
+	}
+	byOffset := a.propsByOffset()
+	var seq []string
+	last := 0
+	first := true
+	for _, grp := range byOffset {
+		gap := grp.offset - last
+		var conj []string
+		for _, p := range grp.props {
+			conj = append(conj, svaProp(p))
+		}
+		term := strings.Join(conj, " && ")
+		if first {
+			seq = append(seq, term)
+			first = false
+		} else {
+			seq = append(seq, fmt.Sprintf("##%d %s", gap, term))
+		}
+		last = grp.offset
+	}
+	ant := strings.Join(seq, " ")
+	if ant == "" {
+		ant = "1'b1"
+	}
+	gap := a.Consequent.Offset - last
+	cons := svaProp(a.Consequent)
+	var imp string
+	if gap == 0 {
+		imp = fmt.Sprintf("%s |-> %s", ant, cons)
+	} else {
+		imp = fmt.Sprintf("%s |-> ##%d %s", ant, gap, cons)
+	}
+	return fmt.Sprintf("assert property (@(posedge %s) %s);", clock, imp)
+}
+
+// PSL renders the assertion in PSL syntax.
+func (a *Assertion) PSL(clock string) string {
+	if clock == "" {
+		clock = "clk"
+	}
+	body := a.String()
+	body = strings.ReplaceAll(body, "==>", "->")
+	return fmt.Sprintf("assert always (%s) @(posedge %s);", body, clock)
+}
+
+func svaProp(p Prop) string {
+	if p.Width <= 1 || p.Bit >= 0 {
+		if p.Value == 0 {
+			return "!" + p.Name()
+		}
+		return p.Name()
+	}
+	return fmt.Sprintf("(%s == %d)", p.Signal, p.Value)
+}
+
+type offsetGroup struct {
+	offset int
+	props  []Prop
+}
+
+func (a *Assertion) propsByOffset() []offsetGroup {
+	m := map[int][]Prop{}
+	for _, p := range a.Antecedent {
+		m[p.Offset] = append(m[p.Offset], p)
+	}
+	var offs []int
+	for o := range m {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	var out []offsetGroup
+	for _, o := range offs {
+		ps := m[o]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Name() < ps[j].Name() })
+		out = append(out, offsetGroup{offset: o, props: ps})
+	}
+	return out
+}
+
+// Depth returns the number of antecedent propositions (the decision-tree
+// depth of the leaf that produced this assertion). The paper's input-space
+// coverage of a true assertion is 1/2^Depth.
+func (a *Assertion) Depth() int { return len(a.Antecedent) }
+
+// InputSpaceFraction is the fraction of the (windowed) input space the
+// assertion covers: 1/2^depth, per Section 7.1 of the paper.
+func (a *Assertion) InputSpaceFraction() float64 {
+	f := 1.0
+	for i := 0; i < a.Depth(); i++ {
+		f /= 2
+	}
+	return f
+}

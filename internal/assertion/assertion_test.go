@@ -1,0 +1,145 @@
+package assertion
+
+import (
+	"strings"
+	"testing"
+)
+
+func paperA5() *Assertion {
+	// A5 from the paper: req0 && X(req1) ==> XX(!gnt0)
+	return &Assertion{
+		Output: "gnt0",
+		Antecedent: []Prop{
+			P("req0", 0, 1, 1),
+			P("req1", 1, 1, 1),
+		},
+		Consequent: P("gnt0", 2, 0, 1),
+		Window:     1,
+	}
+}
+
+func TestLTLString(t *testing.T) {
+	a := paperA5()
+	s := a.String()
+	want := "req0 && X(req1) ==> XX(!gnt0)"
+	if s != want {
+		t.Errorf("LTL %q want %q", s, want)
+	}
+}
+
+func TestLTLNegatedAtoms(t *testing.T) {
+	a := &Assertion{
+		Output: "gnt0",
+		Antecedent: []Prop{
+			P("req0", 0, 0, 1),
+		},
+		Consequent: P("gnt0", 1, 1, 1),
+	}
+	if got := a.String(); got != "!req0 ==> X(gnt0)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMultiBitProp(t *testing.T) {
+	a := &Assertion{
+		Output: "y",
+		Antecedent: []Prop{
+			P("state", 0, 3, 2),
+		},
+		Consequent: P("y", 0, 1, 1),
+	}
+	if got := a.String(); got != "state==3 ==> y" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEmptyAntecedent(t *testing.T) {
+	a := &Assertion{
+		Output:     "z",
+		Consequent: P("z", 0, 0, 1),
+	}
+	if got := a.String(); got != "true ==> !z" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSVA(t *testing.T) {
+	a := paperA5()
+	s := a.SVA("clk")
+	for _, want := range []string{"assert property", "@(posedge clk)", "req0", "##1 req1", "|-> ##1 !gnt0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVA %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSVASameCycleImplication(t *testing.T) {
+	a := &Assertion{
+		Output: "y",
+		Antecedent: []Prop{
+			P("a", 0, 1, 1),
+			P("b", 0, 0, 1),
+		},
+		Consequent: P("y", 0, 1, 1),
+	}
+	s := a.SVA("")
+	if !strings.Contains(s, "a && !b |-> y") {
+		t.Errorf("SVA %q", s)
+	}
+}
+
+func TestPSL(t *testing.T) {
+	a := paperA5()
+	s := a.PSL("clk")
+	if !strings.Contains(s, "->") || strings.Contains(s, "==>") {
+		t.Errorf("PSL should use ->: %q", s)
+	}
+	if !strings.Contains(s, "assert always") {
+		t.Errorf("PSL %q", s)
+	}
+}
+
+func TestKeyAndNormalize(t *testing.T) {
+	a := paperA5()
+	b := &Assertion{
+		Output: "gnt0",
+		Antecedent: []Prop{
+			P("req1", 1, 1, 1),
+			P("req0", 0, 1, 1),
+		},
+		Consequent: P("gnt0", 2, 0, 1),
+		Window:     1,
+	}
+	a.Normalize()
+	b.Normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ after normalize: %q vs %q", a.Key(), b.Key())
+	}
+	c := paperA5()
+	c.Consequent.Value = 1
+	c.Normalize()
+	if c.Key() == a.Key() {
+		t.Error("different consequents must have different keys")
+	}
+}
+
+func TestDepthAndCoverage(t *testing.T) {
+	a := paperA5()
+	if a.Depth() != 2 {
+		t.Errorf("depth %d", a.Depth())
+	}
+	if f := a.InputSpaceFraction(); f != 0.25 {
+		t.Errorf("fraction %f want 0.25", f)
+	}
+	empty := &Assertion{Consequent: P("z", 0, 0, 1)}
+	if f := empty.InputSpaceFraction(); f != 1.0 {
+		t.Errorf("empty antecedent fraction %f want 1", f)
+	}
+}
+
+func TestPropString(t *testing.T) {
+	p := P("a", 2, 1, 1)
+	if p.String() != "XXa" {
+		t.Errorf("got %q", p.String())
+	}
+}

@@ -1,0 +1,542 @@
+// Package cnf encodes elaborated RTL designs into CNF for the SAT solver via
+// the Tseitin transformation. The central type is the Unroller, which
+// materializes a design over consecutive time frames: frame t's register bits
+// are the encoded next-state functions of frame t-1, inputs get fresh solver
+// variables every frame, and combinational signals are encoded on demand with
+// per-frame caching. Both bounded model checking and k-induction in the mc
+// package are built on top of it.
+package cnf
+
+import (
+	"fmt"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+	"goldmine/internal/sim"
+)
+
+// Vec is a little-endian vector of literals representing a word: Vec[0] is
+// bit 0 (LSB).
+type Vec []sat.Lit
+
+// Unroller encodes a design over time frames 0..T-1.
+type Unroller struct {
+	S *sat.Solver
+	D *rtl.Design
+
+	constTrue sat.Lit
+
+	// frames[t] holds the encodings of frame t.
+	frames []*frame
+}
+
+type frame struct {
+	inputs map[*rtl.Signal]Vec
+	regs   map[*rtl.Signal]Vec
+	comb   map[*rtl.Signal]Vec
+}
+
+// NewUnroller creates an unroller with zero frames.
+func NewUnroller(s *sat.Solver, d *rtl.Design) *Unroller {
+	u := &Unroller{S: s, D: d}
+	tv := s.NewVar()
+	u.constTrue = sat.Lit(tv)
+	s.AddClause(u.constTrue)
+	return u
+}
+
+// True returns the constant-true literal.
+func (u *Unroller) True() sat.Lit { return u.constTrue }
+
+// False returns the constant-false literal.
+func (u *Unroller) False() sat.Lit { return u.constTrue.Neg() }
+
+// Frames returns the number of materialized frames.
+func (u *Unroller) Frames() int { return len(u.frames) }
+
+// AddFrame materializes the next time frame and returns its index. Frame 0
+// registers get fresh unconstrained variables (constrain with InitZero for
+// reset-state reasoning); frame t>0 registers are wired to the encoded
+// next-state functions of frame t-1.
+func (u *Unroller) AddFrame() int {
+	t := len(u.frames)
+	f := &frame{
+		inputs: map[*rtl.Signal]Vec{},
+		regs:   map[*rtl.Signal]Vec{},
+		comb:   map[*rtl.Signal]Vec{},
+	}
+	u.frames = append(u.frames, f)
+	for _, in := range u.D.Inputs() {
+		f.inputs[in] = u.freshVec(in.Width)
+	}
+	if t == 0 {
+		for _, reg := range u.D.Registers() {
+			f.regs[reg] = u.freshVec(reg.Width)
+		}
+	} else {
+		for _, reg := range u.D.Registers() {
+			f.regs[reg] = u.encodeExpr(u.D.Next[reg], t-1)
+		}
+	}
+	return t
+}
+
+// InitZero constrains every register bit of frame 0 to zero (the reset state
+// shared with the simulator).
+func (u *Unroller) InitZero() {
+	if len(u.frames) == 0 {
+		u.AddFrame()
+	}
+	for _, v := range u.frames[0].regs {
+		for _, l := range v {
+			u.S.AddClause(l.Neg())
+		}
+	}
+}
+
+func (u *Unroller) freshVec(w int) Vec {
+	v := make(Vec, w)
+	for i := range v {
+		v[i] = sat.Lit(u.S.NewVar())
+	}
+	return v
+}
+
+// SignalVec returns the literal vector of sig at frame t, encoding its
+// combinational cone on demand.
+func (u *Unroller) SignalVec(t int, sig *rtl.Signal) (Vec, error) {
+	if t < 0 || t >= len(u.frames) {
+		return nil, fmt.Errorf("frame %d not materialized (have %d)", t, len(u.frames))
+	}
+	f := u.frames[t]
+	if v, ok := f.inputs[sig]; ok {
+		return v, nil
+	}
+	if v, ok := f.regs[sig]; ok {
+		return v, nil
+	}
+	if v, ok := f.comb[sig]; ok {
+		return v, nil
+	}
+	e, ok := u.D.Comb[sig]
+	if !ok {
+		return nil, fmt.Errorf("signal %s has no encoding at frame %d", sig.Name, t)
+	}
+	v := u.encodeExpr(e, t)
+	f.comb[sig] = v
+	return v, nil
+}
+
+// EncodeExpr encodes an arbitrary expression evaluated at frame t.
+func (u *Unroller) EncodeExpr(e rtl.Expr, t int) (Vec, error) {
+	if t < 0 || t >= len(u.frames) {
+		return nil, fmt.Errorf("frame %d not materialized (have %d)", t, len(u.frames))
+	}
+	return u.encodeExpr(e, t), nil
+}
+
+// InputModel extracts the input assignment of frame t from a satisfying
+// model.
+func (u *Unroller) InputModel(t int) sim.InputVec {
+	f := u.frames[t]
+	iv := sim.InputVec{}
+	for sig, vec := range f.inputs {
+		var val uint64
+		for i, l := range vec {
+			if u.S.ValueLit(l) {
+				val |= 1 << uint(i)
+			}
+		}
+		iv[sig.Name] = val
+	}
+	return iv
+}
+
+// SignalModel extracts the value of sig at frame t from a satisfying model.
+func (u *Unroller) SignalModel(t int, sig *rtl.Signal) (uint64, error) {
+	vec, err := u.SignalVec(t, sig)
+	if err != nil {
+		return 0, err
+	}
+	var val uint64
+	for i, l := range vec {
+		if u.S.ValueLit(l) {
+			val |= 1 << uint(i)
+		}
+	}
+	return val, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression encoding
+// ---------------------------------------------------------------------------
+
+func (u *Unroller) encodeExpr(e rtl.Expr, t int) Vec {
+	switch x := e.(type) {
+	case *rtl.Const:
+		v := make(Vec, x.W)
+		for i := range v {
+			if (x.Val>>uint(i))&1 == 1 {
+				v[i] = u.True()
+			} else {
+				v[i] = u.False()
+			}
+		}
+		return v
+
+	case *rtl.Ref:
+		v, err := u.SignalVec(t, x.Sig)
+		if err != nil {
+			panic("cnf: " + err.Error())
+		}
+		return v
+
+	case *rtl.Unary:
+		sub := u.encodeExpr(x.X, t)
+		switch x.Op {
+		case rtl.OpNot:
+			out := make(Vec, len(sub))
+			for i, l := range sub {
+				out[i] = l.Neg()
+			}
+			return out
+		case rtl.OpLogNot:
+			return Vec{u.orTree(sub).Neg()}
+		case rtl.OpNeg:
+			return u.addVec(u.notVec(sub), u.constVec(1, len(sub)), nil)
+		case rtl.OpRedAnd:
+			return Vec{u.andTree(sub)}
+		case rtl.OpRedOr:
+			return Vec{u.orTree(sub)}
+		case rtl.OpRedXor:
+			return Vec{u.xorTree(sub)}
+		}
+		panic(fmt.Sprintf("cnf: bad unary op %v", x.Op))
+
+	case *rtl.Binary:
+		a := u.encodeExpr(x.A, t)
+		b := u.encodeExpr(x.B, t)
+		// The elaborator emits width-matched operands; be defensive for
+		// hand-built expressions (mirrors rtl.Eval's masking semantics).
+		switch x.Op {
+		case rtl.OpAnd, rtl.OpOr, rtl.OpXor, rtl.OpXnor, rtl.OpAdd, rtl.OpSub, rtl.OpMul:
+			a = u.extendVec(a, x.W)
+			b = u.extendVec(b, x.W)
+		case rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe, rtl.OpGt, rtl.OpGe:
+			w := len(a)
+			if len(b) > w {
+				w = len(b)
+			}
+			a = u.extendVec(a, w)
+			b = u.extendVec(b, w)
+		}
+		switch x.Op {
+		case rtl.OpAnd, rtl.OpOr, rtl.OpXor, rtl.OpXnor:
+			out := make(Vec, x.W)
+			for i := range out {
+				switch x.Op {
+				case rtl.OpAnd:
+					out[i] = u.andGate(a[i], b[i])
+				case rtl.OpOr:
+					out[i] = u.orGate(a[i], b[i])
+				case rtl.OpXor:
+					out[i] = u.xorGate(a[i], b[i])
+				default:
+					out[i] = u.xorGate(a[i], b[i]).Neg()
+				}
+			}
+			return out
+		case rtl.OpLogAnd:
+			return Vec{u.andGate(u.orTree(a), u.orTree(b))}
+		case rtl.OpLogOr:
+			return Vec{u.orGate(u.orTree(a), u.orTree(b))}
+		case rtl.OpAdd:
+			return u.addVec(a, b, nil)
+		case rtl.OpSub:
+			one := u.True()
+			return u.addVec(a, u.notVec(b), &one)
+		case rtl.OpMul:
+			return u.mulVec(a, b, x.W)
+		case rtl.OpEq:
+			return Vec{u.eqVec(a, b)}
+		case rtl.OpNe:
+			return Vec{u.eqVec(a, b).Neg()}
+		case rtl.OpLt:
+			return Vec{u.ltVec(a, b)}
+		case rtl.OpLe:
+			return Vec{u.ltVec(b, a).Neg()}
+		case rtl.OpGt:
+			return Vec{u.ltVec(b, a)}
+		case rtl.OpGe:
+			return Vec{u.ltVec(a, b).Neg()}
+		case rtl.OpShl:
+			return u.shiftVec(a, b, true)
+		case rtl.OpShr:
+			return u.shiftVec(a, b, false)
+		}
+		panic(fmt.Sprintf("cnf: bad binary op %v", x.Op))
+
+	case *rtl.Mux:
+		c := u.encodeExpr(x.Cond, t)
+		cond := c[0]
+		tv := u.extendVec(u.encodeExpr(x.T, t), x.W)
+		fv := u.extendVec(u.encodeExpr(x.F, t), x.W)
+		out := make(Vec, x.W)
+		for i := range out {
+			out[i] = u.muxGate(cond, tv[i], fv[i])
+		}
+		return out
+
+	case *rtl.Select:
+		sub := u.encodeExpr(x.X, t)
+		return Vec{sub[x.Bit]}
+
+	case *rtl.Slice:
+		sub := u.encodeExpr(x.X, t)
+		return sub[x.LSB : x.MSB+1]
+
+	case *rtl.Concat:
+		out := make(Vec, 0, x.W)
+		// Parts are MSB-first; build little-endian.
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			out = append(out, u.encodeExpr(x.Parts[i], t)...)
+		}
+		return out
+
+	default:
+		panic(fmt.Sprintf("cnf: unknown expression %T", e))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gate primitives (Tseitin)
+// ---------------------------------------------------------------------------
+
+func (u *Unroller) fresh() sat.Lit { return sat.Lit(u.S.NewVar()) }
+
+func (u *Unroller) andGate(a, b sat.Lit) sat.Lit {
+	if a == u.False() || b == u.False() {
+		return u.False()
+	}
+	if a == u.True() {
+		return b
+	}
+	if b == u.True() {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	if a == b.Neg() {
+		return u.False()
+	}
+	o := u.fresh()
+	u.S.AddClause(a.Neg(), b.Neg(), o)
+	u.S.AddClause(a, o.Neg())
+	u.S.AddClause(b, o.Neg())
+	return o
+}
+
+func (u *Unroller) orGate(a, b sat.Lit) sat.Lit {
+	return u.andGate(a.Neg(), b.Neg()).Neg()
+}
+
+func (u *Unroller) xorGate(a, b sat.Lit) sat.Lit {
+	if a == u.False() {
+		return b
+	}
+	if b == u.False() {
+		return a
+	}
+	if a == u.True() {
+		return b.Neg()
+	}
+	if b == u.True() {
+		return a.Neg()
+	}
+	if a == b {
+		return u.False()
+	}
+	if a == b.Neg() {
+		return u.True()
+	}
+	o := u.fresh()
+	u.S.AddClause(a.Neg(), b.Neg(), o.Neg())
+	u.S.AddClause(a, b, o.Neg())
+	u.S.AddClause(a.Neg(), b, o)
+	u.S.AddClause(a, b.Neg(), o)
+	return o
+}
+
+func (u *Unroller) muxGate(c, t, f sat.Lit) sat.Lit {
+	if c == u.True() {
+		return t
+	}
+	if c == u.False() {
+		return f
+	}
+	if t == f {
+		return t
+	}
+	o := u.fresh()
+	u.S.AddClause(c.Neg(), t.Neg(), o)
+	u.S.AddClause(c.Neg(), t, o.Neg())
+	u.S.AddClause(c, f.Neg(), o)
+	u.S.AddClause(c, f, o.Neg())
+	return o
+}
+
+func (u *Unroller) andTree(v Vec) sat.Lit {
+	out := u.True()
+	for _, l := range v {
+		out = u.andGate(out, l)
+	}
+	return out
+}
+
+func (u *Unroller) orTree(v Vec) sat.Lit {
+	out := u.False()
+	for _, l := range v {
+		out = u.orGate(out, l)
+	}
+	return out
+}
+
+func (u *Unroller) xorTree(v Vec) sat.Lit {
+	out := u.False()
+	for _, l := range v {
+		out = u.xorGate(out, l)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Word-level primitives
+// ---------------------------------------------------------------------------
+
+func (u *Unroller) constVec(val uint64, w int) Vec {
+	v := make(Vec, w)
+	for i := range v {
+		if (val>>uint(i))&1 == 1 {
+			v[i] = u.True()
+		} else {
+			v[i] = u.False()
+		}
+	}
+	return v
+}
+
+func (u *Unroller) notVec(a Vec) Vec {
+	out := make(Vec, len(a))
+	for i, l := range a {
+		out[i] = l.Neg()
+	}
+	return out
+}
+
+func (u *Unroller) extendVec(a Vec, w int) Vec {
+	if len(a) == w {
+		return a
+	}
+	if len(a) > w {
+		return a[:w]
+	}
+	out := make(Vec, w)
+	copy(out, a)
+	for i := len(a); i < w; i++ {
+		out[i] = u.False()
+	}
+	return out
+}
+
+// addVec is a ripple-carry adder; carryIn may be nil (zero).
+func (u *Unroller) addVec(a, b Vec, carryIn *sat.Lit) Vec {
+	w := len(a)
+	if len(b) != w {
+		panic("cnf: adder width mismatch")
+	}
+	out := make(Vec, w)
+	c := u.False()
+	if carryIn != nil {
+		c = *carryIn
+	}
+	for i := 0; i < w; i++ {
+		axb := u.xorGate(a[i], b[i])
+		out[i] = u.xorGate(axb, c)
+		// carry = (a&b) | (c & (a^b))
+		c = u.orGate(u.andGate(a[i], b[i]), u.andGate(c, axb))
+	}
+	return out
+}
+
+// mulVec is a shift-add multiplier truncated to w bits.
+func (u *Unroller) mulVec(a, b Vec, w int) Vec {
+	acc := u.constVec(0, w)
+	for i := 0; i < len(b) && i < w; i++ {
+		// partial = (a << i) & b[i]
+		part := make(Vec, w)
+		for j := 0; j < w; j++ {
+			if j < i || j-i >= len(a) {
+				part[j] = u.False()
+			} else {
+				part[j] = u.andGate(a[j-i], b[i])
+			}
+		}
+		acc = u.addVec(acc, part, nil)
+	}
+	return acc
+}
+
+func (u *Unroller) eqVec(a, b Vec) sat.Lit {
+	out := u.True()
+	for i := range a {
+		out = u.andGate(out, u.xorGate(a[i], b[i]).Neg())
+	}
+	return out
+}
+
+// ltVec computes unsigned a < b.
+func (u *Unroller) ltVec(a, b Vec) sat.Lit {
+	lt := u.False()
+	for i := 0; i < len(a); i++ {
+		eq := u.xorGate(a[i], b[i]).Neg()
+		bitLt := u.andGate(a[i].Neg(), b[i])
+		lt = u.orGate(bitLt, u.andGate(eq, lt))
+	}
+	return lt
+}
+
+// shiftVec implements a barrel shifter for variable amounts (left when left
+// is true). Shift amounts >= width yield zero, matching rtl.Eval semantics
+// for in-range widths.
+func (u *Unroller) shiftVec(a, amt Vec, left bool) Vec {
+	w := len(a)
+	cur := a
+	// Mux stages for each bit of the shift amount that matters.
+	for s := 0; s < len(amt); s++ {
+		shift := 1 << uint(s)
+		if shift >= (1 << 30) {
+			break
+		}
+		next := make(Vec, w)
+		for i := 0; i < w; i++ {
+			var shifted sat.Lit
+			if left {
+				if i-shift >= 0 {
+					shifted = cur[i-shift]
+				} else {
+					shifted = u.False()
+				}
+			} else {
+				if i+shift < w {
+					shifted = cur[i+shift]
+				} else {
+					shifted = u.False()
+				}
+			}
+			next[i] = u.muxGate(amt[s], shifted, cur[i])
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,156 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+)
+
+// randExpr builds a random well-formed expression over the given signals.
+func randExpr(rng *rand.Rand, sigs []*rtl.Signal, depth int) rtl.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(3) == 0 {
+			w := 1 + rng.Intn(6)
+			return rtl.NewConst(rng.Uint64(), w)
+		}
+		return &rtl.Ref{Sig: sigs[rng.Intn(len(sigs))]}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		x := randExpr(rng, sigs, depth-1)
+		ops := []rtl.UnOp{rtl.OpNot, rtl.OpLogNot, rtl.OpNeg, rtl.OpRedAnd, rtl.OpRedOr, rtl.OpRedXor}
+		op := ops[rng.Intn(len(ops))]
+		w := x.Width()
+		if op != rtl.OpNot && op != rtl.OpNeg {
+			w = 1
+		}
+		if op == rtl.OpLogNot {
+			x = rtl.Boolify(x)
+		}
+		return &rtl.Unary{Op: op, X: x, W: w}
+	case 1:
+		c := rtl.Boolify(randExpr(rng, sigs, depth-1))
+		t := randExpr(rng, sigs, depth-1)
+		f := randExpr(rng, sigs, depth-1)
+		w := t.Width()
+		if f.Width() > w {
+			w = f.Width()
+		}
+		return &rtl.Mux{Cond: c, T: rtl.Extend(t, w), F: rtl.Extend(f, w), W: w}
+	case 2:
+		x := randExpr(rng, sigs, depth-1)
+		if x.Width() > 1 {
+			return &rtl.Select{X: x, Bit: rng.Intn(x.Width())}
+		}
+		return x
+	case 3:
+		x := randExpr(rng, sigs, depth-1)
+		if x.Width() > 1 {
+			lsb := rng.Intn(x.Width())
+			msb := lsb + rng.Intn(x.Width()-lsb)
+			return &rtl.Slice{X: x, MSB: msb, LSB: lsb}
+		}
+		return x
+	case 4:
+		a := randExpr(rng, sigs, depth-1)
+		b := randExpr(rng, sigs, depth-1)
+		if a.Width()+b.Width() <= 16 {
+			return rtl.NewConcat([]rtl.Expr{a, b})
+		}
+		return a
+	default:
+		a := randExpr(rng, sigs, depth-1)
+		b := randExpr(rng, sigs, depth-1)
+		ops := []rtl.BinOp{
+			rtl.OpAnd, rtl.OpOr, rtl.OpXor, rtl.OpXnor,
+			rtl.OpLogAnd, rtl.OpLogOr,
+			rtl.OpAdd, rtl.OpSub, rtl.OpMul,
+			rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe, rtl.OpGt, rtl.OpGe,
+			rtl.OpShl, rtl.OpShr,
+		}
+		op := ops[rng.Intn(len(ops))]
+		switch {
+		case op == rtl.OpLogAnd || op == rtl.OpLogOr:
+			return &rtl.Binary{Op: op, A: rtl.Boolify(a), B: rtl.Boolify(b), W: 1}
+		case op.IsBoolOp():
+			w := maxInt(a.Width(), b.Width())
+			return &rtl.Binary{Op: op, A: rtl.Extend(a, w), B: rtl.Extend(b, w), W: 1}
+		case op == rtl.OpShl || op == rtl.OpShr:
+			// Keep shift amounts narrow so both sides stay meaningful.
+			return &rtl.Binary{Op: op, A: a, B: rtl.Extend(b, 3), W: a.Width()}
+		default:
+			w := maxInt(a.Width(), b.Width())
+			return &rtl.Binary{Op: op, A: rtl.Extend(a, w), B: rtl.Extend(b, w), W: w}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestQuickEvalEncodeEquivalence is the central cross-implementation
+// property: for random expressions and random input values, interpreting the
+// expression (rtl.Eval) and encoding it to CNF with pinned inputs give the
+// same value, bit for bit.
+func TestQuickEvalEncodeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// A small synthetic combinational design context.
+		src := `module q(input [3:0] a, input [5:0] b, input c, output o); assign o = c; endmodule`
+		d, err := rtl.ElaborateSource(src)
+		if err != nil {
+			return false
+		}
+		sigs := []*rtl.Signal{d.MustSignal("a"), d.MustSignal("b"), d.MustSignal("c")}
+		e := randExpr(rng, sigs, 4)
+
+		// Random input assignment.
+		env := rtl.MapEnv{}
+		for _, s := range sigs {
+			env[s] = rng.Uint64() & rtl.Mask(s.Width)
+		}
+		want := rtl.Eval(e, env)
+
+		s := sat.New()
+		u := NewUnroller(s, d)
+		u.AddFrame()
+		vec, err := u.EncodeExpr(e, 0)
+		if err != nil {
+			return false
+		}
+		var assumps []sat.Lit
+		for _, sig := range sigs {
+			sv, err := u.SignalVec(0, sig)
+			if err != nil {
+				return false
+			}
+			for bit, lit := range sv {
+				if (env[sig]>>uint(bit))&1 == 1 {
+					assumps = append(assumps, lit)
+				} else {
+					assumps = append(assumps, lit.Neg())
+				}
+			}
+		}
+		if s.Solve(assumps...) != sat.Sat {
+			return false
+		}
+		var got uint64
+		for bit, lit := range vec {
+			if s.ValueLit(lit) {
+				got |= 1 << uint(bit)
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

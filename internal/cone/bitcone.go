@@ -1,0 +1,208 @@
+package cone
+
+import (
+	"sort"
+
+	"goldmine/internal/rtl"
+)
+
+// BitRef identifies a single bit of a signal.
+type BitRef struct {
+	Sig *rtl.Signal
+	Bit int
+}
+
+// BitSet is a set of signal bits.
+type BitSet map[BitRef]bool
+
+// add inserts a bit, clamping out-of-range bits (conservative callers may
+// over-approximate widths).
+func (s BitSet) add(sig *rtl.Signal, bit int) {
+	if bit < 0 || bit >= sig.Width {
+		return
+	}
+	s[BitRef{Sig: sig, Bit: bit}] = true
+}
+
+func (s BitSet) addAll(sig *rtl.Signal) {
+	for b := 0; b < sig.Width; b++ {
+		s.add(sig, b)
+	}
+}
+
+// BitSupport computes the bit-level support of bit `bit` of expression e:
+// the set of signal bits whose value can affect it. The analysis is exact for
+// bitwise operators, muxes, selects, slices, concatenations and
+// constant-amount shifts; it is conservative (all operand bits up to the
+// position for adders, everything for comparisons, reductions and variable
+// shifts) where precise tracking is not worthwhile.
+func BitSupport(e rtl.Expr, bit int, out BitSet) {
+	if out == nil || bit < 0 || bit >= e.Width() {
+		return
+	}
+	switch x := e.(type) {
+	case *rtl.Const:
+		// no dependencies
+
+	case *rtl.Ref:
+		out.add(x.Sig, bit)
+
+	case *rtl.Unary:
+		switch x.Op {
+		case rtl.OpNot:
+			BitSupport(x.X, bit, out)
+		case rtl.OpNeg:
+			// Two's complement: bit i depends on bits 0..i.
+			for b := 0; b <= bit && b < x.X.Width(); b++ {
+				BitSupport(x.X, b, out)
+			}
+		default: // logical not and reductions: all bits
+			allBits(x.X, out)
+		}
+
+	case *rtl.Binary:
+		switch x.Op {
+		case rtl.OpAnd, rtl.OpOr, rtl.OpXor, rtl.OpXnor:
+			BitSupport(x.A, bit, out)
+			BitSupport(x.B, bit, out)
+		case rtl.OpAdd, rtl.OpSub:
+			for b := 0; b <= bit; b++ {
+				BitSupport(x.A, b, out)
+				BitSupport(x.B, b, out)
+			}
+		case rtl.OpMul:
+			for b := 0; b <= bit; b++ {
+				BitSupport(x.A, b, out)
+				BitSupport(x.B, b, out)
+			}
+		case rtl.OpShl:
+			if c, ok := x.B.(*rtl.Const); ok {
+				src := bit - int(c.Val)
+				if src >= 0 {
+					BitSupport(x.A, src, out)
+				}
+				return
+			}
+			allBits(x.A, out)
+			allBits(x.B, out)
+		case rtl.OpShr:
+			if c, ok := x.B.(*rtl.Const); ok {
+				src := bit + int(c.Val)
+				if src < x.A.Width() {
+					BitSupport(x.A, src, out)
+				}
+				return
+			}
+			allBits(x.A, out)
+			allBits(x.B, out)
+		default: // logical and comparison operators: all bits of both
+			allBits(x.A, out)
+			allBits(x.B, out)
+		}
+
+	case *rtl.Mux:
+		BitSupport(x.Cond, 0, out)
+		BitSupport(x.T, bit, out)
+		BitSupport(x.F, bit, out)
+
+	case *rtl.Select:
+		BitSupport(x.X, x.Bit, out)
+
+	case *rtl.Slice:
+		BitSupport(x.X, x.LSB+bit, out)
+
+	case *rtl.Concat:
+		// Parts are MSB-first; walk from the least significant part.
+		off := 0
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			p := x.Parts[i]
+			if bit < off+p.Width() {
+				BitSupport(p, bit-off, out)
+				return
+			}
+			off += p.Width()
+		}
+	}
+}
+
+func allBits(e rtl.Expr, out BitSet) {
+	for b := 0; b < e.Width(); b++ {
+		BitSupport(e, b, out)
+	}
+}
+
+// OfBit computes the transitive bit-level cone of influence of one bit of a
+// signal: every signal bit that can affect it through combinational logic and
+// register next-state functions over any number of cycles. The result
+// includes the bit itself.
+func OfBit(d *rtl.Design, out *rtl.Signal, bit int) BitSet {
+	cone := BitSet{}
+	cone.add(out, bit)
+	work := []BitRef{{Sig: out, Bit: bit}}
+	for len(work) > 0 {
+		br := work[len(work)-1]
+		work = work[:len(work)-1]
+		deps := BitSet{}
+		if e, ok := d.Comb[br.Sig]; ok {
+			BitSupport(e, br.Bit, deps)
+		}
+		if e, ok := d.Next[br.Sig]; ok {
+			BitSupport(e, br.Bit, deps)
+		}
+		for dep := range deps {
+			if !cone[dep] {
+				cone[dep] = true
+				work = append(work, dep)
+			}
+		}
+	}
+	return cone
+}
+
+// InputBits returns the primary-input bits of the cone, sorted by (name,
+// bit).
+func InputBits(d *rtl.Design, cone BitSet) []BitRef {
+	var out []BitRef
+	for br := range cone {
+		if br.Sig.Kind == rtl.SigInput && br.Sig.Name != d.Clock {
+			out = append(out, br)
+		}
+	}
+	sortBitRefs(out)
+	return out
+}
+
+// StateBitRefs returns the register bits of the cone, sorted by (name, bit).
+func StateBitRefs(cone BitSet) []BitRef {
+	var out []BitRef
+	for br := range cone {
+		if br.Sig.IsState {
+			out = append(out, br)
+		}
+	}
+	sortBitRefs(out)
+	return out
+}
+
+func sortBitRefs(refs []BitRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Sig.Name != refs[j].Sig.Name {
+			return refs[i].Sig.Name < refs[j].Sig.Name
+		}
+		return refs[i].Bit < refs[j].Bit
+	})
+}
+
+// Signals returns the distinct signals referenced by the bit set, sorted.
+func (s BitSet) Signals() []*rtl.Signal {
+	seen := map[*rtl.Signal]bool{}
+	var out []*rtl.Signal
+	for br := range s {
+		if !seen[br.Sig] {
+			seen[br.Sig] = true
+			out = append(out, br.Sig)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,211 @@
+package cone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+func TestBitSupportSelectSliceConcat(t *testing.T) {
+	src := `
+module m(input [7:0] a, input [3:0] b, output y, output [3:0] z, output [11:0] c);
+  assign y = a[5];
+  assign z = a[6:3];
+  assign c = {a, b};
+endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.MustSignal("a")
+	b := d.MustSignal("b")
+
+	// y depends on a[5] only.
+	cn := OfBit(d, d.MustSignal("y"), 0)
+	if !cn[BitRef{Sig: a, Bit: 5}] {
+		t.Error("y cone missing a[5]")
+	}
+	for bit := 0; bit < 8; bit++ {
+		if bit != 5 && cn[BitRef{Sig: a, Bit: bit}] {
+			t.Errorf("y cone has spurious a[%d]", bit)
+		}
+	}
+	// z[1] = a[4].
+	cn = OfBit(d, d.MustSignal("z"), 1)
+	if !cn[BitRef{Sig: a, Bit: 4}] {
+		t.Error("z[1] cone missing a[4]")
+	}
+	// c bit 2 = b[2] (b is the low part of the concat).
+	cn = OfBit(d, d.MustSignal("c"), 2)
+	if !cn[BitRef{Sig: b, Bit: 2}] {
+		t.Error("c[2] cone missing b[2]")
+	}
+	if cn[BitRef{Sig: a, Bit: 0}] {
+		t.Error("c[2] cone should not contain a bits")
+	}
+	// c bit 4 = a[0].
+	cn = OfBit(d, d.MustSignal("c"), 4)
+	if !cn[BitRef{Sig: a, Bit: 0}] {
+		t.Error("c[4] cone missing a[0]")
+	}
+}
+
+func TestBitSupportAdder(t *testing.T) {
+	src := `module m(input [3:0] a, b, output [3:0] s); assign s = a + b; endmodule`
+	d, _ := rtl.ElaborateSource(src)
+	a := d.MustSignal("a")
+	// s[2] depends on a[0..2] but not a[3].
+	cn := OfBit(d, d.MustSignal("s"), 2)
+	for bit := 0; bit <= 2; bit++ {
+		if !cn[BitRef{Sig: a, Bit: bit}] {
+			t.Errorf("s[2] cone missing a[%d]", bit)
+		}
+	}
+	if cn[BitRef{Sig: a, Bit: 3}] {
+		t.Error("s[2] cone should not contain a[3]")
+	}
+}
+
+func TestBitSupportConstShift(t *testing.T) {
+	src := `module m(input [7:0] a, output [7:0] l, r);
+	  assign l = a << 2;
+	  assign r = a >> 3;
+	endmodule`
+	d, _ := rtl.ElaborateSource(src)
+	a := d.MustSignal("a")
+	cn := OfBit(d, d.MustSignal("l"), 5)
+	if !cn[BitRef{Sig: a, Bit: 3}] || cn[BitRef{Sig: a, Bit: 5}] {
+		t.Error("l[5] should map to a[3] exactly")
+	}
+	cn = OfBit(d, d.MustSignal("r"), 1)
+	if !cn[BitRef{Sig: a, Bit: 4}] || cn[BitRef{Sig: a, Bit: 1}] {
+		t.Error("r[1] should map to a[4] exactly")
+	}
+	// Shifted-out bits have empty input support.
+	cn = OfBit(d, d.MustSignal("l"), 0)
+	if len(InputBits(d, cn)) != 0 {
+		t.Errorf("l[0] should be constant zero: %v", InputBits(d, cn))
+	}
+}
+
+func TestBitConeThroughRegisters(t *testing.T) {
+	src := `
+module m(input clk, input [3:0] d, output q1);
+  reg [3:0] r;
+  always @(posedge clk) r <= d;
+  assign q1 = r[1];
+endmodule`
+	d, _ := rtl.ElaborateSource(src)
+	din := d.MustSignal("d")
+	cn := OfBit(d, d.MustSignal("q1"), 0)
+	if !cn[BitRef{Sig: din, Bit: 1}] {
+		t.Error("q1 cone missing d[1] through the register")
+	}
+	if cn[BitRef{Sig: din, Bit: 0}] || cn[BitRef{Sig: din, Bit: 2}] {
+		t.Error("q1 cone contains unrelated d bits")
+	}
+	refs := StateBitRefs(cn)
+	if len(refs) != 1 || refs[0].Bit != 1 {
+		t.Errorf("state refs: %v", refs)
+	}
+}
+
+// TestBitSupportSoundness is the key property: flipping an input bit OUTSIDE
+// the computed bit cone can never change the output bit. Verified by random
+// simulation on the decode benchmark-style design.
+func TestBitSupportSoundness(t *testing.T) {
+	src := `
+module m(input clk, input [11:0] instr, input valid, stall,
+         output hit, output reg vr);
+  wire [2:0] op;
+  assign op = instr[11:9];
+  assign hit = valid & (op == 3'd2) & instr[0];
+  always @(posedge clk) if (~stall) vr <= valid & (op != 3'd7);
+endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := d.MustSignal("instr")
+	hit := d.MustSignal("hit")
+	cn := OfBit(d, hit, 0)
+
+	// The analysis must exclude instr[1..8] for hit.
+	for bit := 1; bit <= 8; bit++ {
+		if cn[BitRef{Sig: instr, Bit: bit}] {
+			t.Errorf("hit cone contains irrelevant instr[%d]", bit)
+		}
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := sim.InputVec{
+			"instr": rng.Uint64() & 0xFFF,
+			"valid": rng.Uint64() & 1,
+			"stall": rng.Uint64() & 1,
+		}
+		tr0, err := sim.Simulate(d, sim.Stimulus{base})
+		if err != nil {
+			return false
+		}
+		v0, _ := tr0.Value(0, "hit")
+		// Flip each out-of-cone instr bit: hit must not change.
+		for bit := 0; bit < 12; bit++ {
+			if cn[BitRef{Sig: instr, Bit: bit}] {
+				continue
+			}
+			mod := base.Clone()
+			mod["instr"] ^= 1 << uint(bit)
+			tr1, err := sim.Simulate(d, sim.Stimulus{mod})
+			if err != nil {
+				return false
+			}
+			v1, _ := tr1.Value(0, "hit")
+			if v0 != v1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitSupportConservativeOps(t *testing.T) {
+	// Comparisons and variable shifts fall back to full support.
+	src := `module m(input [3:0] a, b, output lt, output [3:0] sh);
+	  assign lt = a < b;
+	  assign sh = a << b;
+	endmodule`
+	d, _ := rtl.ElaborateSource(src)
+	a := d.MustSignal("a")
+	cn := OfBit(d, d.MustSignal("lt"), 0)
+	for bit := 0; bit < 4; bit++ {
+		if !cn[BitRef{Sig: a, Bit: bit}] {
+			t.Errorf("lt cone missing a[%d]", bit)
+		}
+	}
+	cn = OfBit(d, d.MustSignal("sh"), 0)
+	if len(InputBits(d, cn)) != 8 {
+		t.Errorf("variable shift should depend on all bits: %d", len(InputBits(d, cn)))
+	}
+}
+
+func TestBitSetSignals(t *testing.T) {
+	src := `module m(input [3:0] a, input c, output y); assign y = a[1] & c; endmodule`
+	d, _ := rtl.ElaborateSource(src)
+	cn := OfBit(d, d.MustSignal("y"), 0)
+	sigs := cn.Signals()
+	if len(sigs) != 3 { // a, c, y
+		t.Errorf("signals: %v", sigs)
+	}
+	for i := 1; i < len(sigs); i++ {
+		if sigs[i-1].Name >= sigs[i].Name {
+			t.Error("Signals() not sorted")
+		}
+	}
+}

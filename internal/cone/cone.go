@@ -1,0 +1,74 @@
+// Package cone implements the static analyzer of the GoldMine flow: logic
+// cone of influence extraction. The data mining phase is restricted to the
+// variables in the cone of the target output, which shrinks the search space
+// from all design inputs to the relevant ones (Section 2.2 of the paper).
+package cone
+
+import (
+	"sort"
+
+	"goldmine/internal/rtl"
+)
+
+// Of computes the transitive cone of influence of a signal: every signal
+// whose value can affect it, across combinational logic and register
+// next-state functions, over any number of cycles. The result includes the
+// signal itself.
+func Of(d *rtl.Design, out *rtl.Signal) map[*rtl.Signal]bool {
+	cone := map[*rtl.Signal]bool{out: true}
+	work := []*rtl.Signal{out}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		var deps map[*rtl.Signal]bool
+		if e, ok := d.Comb[s]; ok {
+			deps = rtl.Support(e, deps)
+		}
+		if e, ok := d.Next[s]; ok {
+			deps = rtl.Support(e, deps)
+		}
+		for dep := range deps {
+			if !cone[dep] {
+				cone[dep] = true
+				work = append(work, dep)
+			}
+		}
+	}
+	return cone
+}
+
+// Inputs returns the primary data inputs inside the cone, sorted by name.
+func Inputs(d *rtl.Design, cone map[*rtl.Signal]bool) []*rtl.Signal {
+	var out []*rtl.Signal
+	for s := range cone {
+		if s.Kind == rtl.SigInput && s.Name != d.Clock {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StateVars returns the registers and register-backed outputs in the cone,
+// sorted by name. These are the extension variables admitted at the farthest
+// back temporal stage when the default feature set saturates (Section 3.1).
+func StateVars(d *rtl.Design, cone map[*rtl.Signal]bool) []*rtl.Signal {
+	var out []*rtl.Signal
+	for s := range cone {
+		if s.IsState {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Sorted returns the whole cone sorted by name (for deterministic output).
+func Sorted(cone map[*rtl.Signal]bool) []*rtl.Signal {
+	out := make([]*rtl.Signal, 0, len(cone))
+	for s := range cone {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

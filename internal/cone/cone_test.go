@@ -1,0 +1,71 @@
+package cone
+
+import (
+	"testing"
+
+	"goldmine/internal/rtl"
+)
+
+const src = `
+module m(input clk, rst, a, b, c, output reg y, output z, output w);
+  reg s;
+  always @(posedge clk)
+    if (rst) begin y <= 0; s <= 0; end
+    else begin y <= a & s; s <= b; end
+  assign z = c;
+  assign w = a | c;
+endmodule`
+
+func TestConeOfRegisteredOutput(t *testing.T) {
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.MustSignal("y")
+	cn := Of(d, y)
+	names := map[string]bool{}
+	for s := range cn {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"y", "s", "a", "b", "rst"} {
+		if !names[want] {
+			t.Errorf("cone of y missing %s: %v", want, names)
+		}
+	}
+	if names["c"] {
+		t.Error("c must not be in cone of y")
+	}
+	if names["clk"] {
+		t.Error("clk must not be in cone")
+	}
+}
+
+func TestConeOfCombOutput(t *testing.T) {
+	d, _ := rtl.ElaborateSource(src)
+	cn := Of(d, d.MustSignal("z"))
+	if len(cn) != 2 { // z, c
+		t.Errorf("cone of z: %d signals", len(cn))
+	}
+}
+
+func TestConeInputsAndState(t *testing.T) {
+	d, _ := rtl.ElaborateSource(src)
+	cn := Of(d, d.MustSignal("y"))
+	ins := Inputs(d, cn)
+	if len(ins) != 3 { // a, b, rst
+		t.Fatalf("cone inputs: %v", ins)
+	}
+	if ins[0].Name != "a" || ins[1].Name != "b" || ins[2].Name != "rst" {
+		t.Errorf("inputs not sorted: %v", ins)
+	}
+	st := StateVars(d, cn)
+	if len(st) != 2 { // s, y
+		t.Fatalf("cone state: %v", st)
+	}
+	sorted := Sorted(cn)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Name >= sorted[i].Name {
+			t.Error("Sorted not sorted")
+		}
+	}
+}

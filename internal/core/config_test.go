@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"goldmine/internal/sim"
+)
+
+func TestBatchedChecksConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchedChecks = true
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("batched mode did not converge\n%s", res.Tree)
+	}
+	if cov := res.InputSpaceCoverage(); cov < 0.999 {
+		t.Errorf("batched coverage %f", cov)
+	}
+}
+
+func TestBatchedMatchesImmediateVerdicts(t *testing.T) {
+	// Both modes must converge and prove logically equivalent suites: every
+	// proved assertion from one mode must hold in the other mode's run
+	// (cross-validated through the model checker).
+	imm := mustEngine(t, arbiterSrc, DefaultConfig())
+	resImm, err := imm.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := DefaultConfig()
+	cfgB.BatchedChecks = true
+	bat := mustEngine(t, arbiterSrc, cfgB)
+	resBat, err := bat.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resImm.Converged || !resBat.Converged {
+		t.Fatal("both modes must converge")
+	}
+	// Both reach full coverage closure of the same output.
+	if resImm.InputSpaceCoverage() < 0.999 || resBat.InputSpaceCoverage() < 0.999 {
+		t.Error("coverage closure differs between modes")
+	}
+}
+
+func TestSignalConeStillConverges(t *testing.T) {
+	// On a narrow design the signal-level cone equals the bit-level one.
+	cfg := DefaultConfig()
+	cfg.SignalCone = true
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("signal-cone mode did not converge on the arbiter")
+	}
+}
+
+func TestSignalConeWidensFeatureSpace(t *testing.T) {
+	// On a wide-bus design the signal-level cone admits many more features.
+	src := `
+module m(input clk, input [7:0] bus, input en, output reg y);
+  always @(posedge clk) y <= en & bus[3];
+endmodule`
+	bitCfg := DefaultConfig()
+	eBit := mustEngine(t, src, bitCfg)
+	resBit, err := eBit.MineOutputByName("y", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCfg := DefaultConfig()
+	sigCfg.SignalCone = true
+	eSig := mustEngine(t, src, sigCfg)
+	resSig, err := eSig.MineOutputByName("y", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := resBit.Tree.DS.NumVars()
+	ns := resSig.Tree.DS.NumVars()
+	if ns <= nb {
+		t.Errorf("signal cone features %d should exceed bit cone %d", ns, nb)
+	}
+	if !resBit.Converged {
+		t.Error("bit-cone mining should converge")
+	}
+}
+
+func TestMaxChecksCapsRefinement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxChecks = 2
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(res.Proved) + len(res.Failed)
+	if total > 2 {
+		t.Errorf("checks %d exceed MaxChecks=2", total)
+	}
+	if res.Converged {
+		t.Error("two checks cannot converge the arbiter from zero seed")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxIterations = 1
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) > 1 {
+		t.Errorf("iterations %d exceed cap", len(res.Iterations))
+	}
+}
+
+func TestWindowZeroOnSequentialDesign(t *testing.T) {
+	// Window 0 on a registered output: consequent offset 1, single-cycle
+	// antecedents; should still converge via state extension.
+	cfg := DefaultConfig()
+	cfg.Window = 0
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("window-0 mining did not converge\n%s", res.Tree)
+	}
+	for _, rec := range res.Proved {
+		if rec.Assertion.Consequent.Offset != 1 {
+			t.Errorf("window-0 consequent offset %d want 1", rec.Assertion.Consequent.Offset)
+		}
+	}
+}
+
+func TestSuiteAggregation(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineAll(paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := res.Suite()
+	if len(suite) == 0 || len(suite[0]) != len(paperSeed()) {
+		t.Error("suite must start with the seed")
+	}
+	var total sim.Stimulus
+	for _, s := range suite {
+		total = append(total, s...)
+	}
+	if len(total) == len(paperSeed()) {
+		t.Error("suite should contain ctx patterns beyond the seed")
+	}
+}

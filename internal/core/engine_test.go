@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+const arbiterSrc = `
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+  always @(posedge clk)
+    if (rst) begin gnt0 <= 0; gnt1 <= 0; end
+    else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule`
+
+func mustEngine(t *testing.T, src string, cfg Config) *Engine {
+	t.Helper()
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// paperSeed is the directed test of Figure 7.
+func paperSeed() sim.Stimulus {
+	return sim.Stimulus{
+		{"rst": 1},
+		{"req0": 1},
+		{"req0": 1, "req1": 1},
+		{"req1": 1},
+		{"req0": 1, "req1": 1},
+		{},
+	}
+}
+
+func TestArbiterConvergence(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("gnt0 mining did not converge: stuck=%d\n%s", res.StuckLeafs, res.Tree)
+	}
+	if len(res.Proved) == 0 {
+		t.Fatal("no proved assertions")
+	}
+	if len(res.Ctx) == 0 {
+		t.Fatal("expected counterexamples during refinement")
+	}
+	// Every proved assertion must involve the output as consequent.
+	for _, rec := range res.Proved {
+		if rec.Assertion.Consequent.Signal != "gnt0" {
+			t.Errorf("assertion on wrong signal: %s", rec.Assertion)
+		}
+	}
+}
+
+func TestArbiterZeroSeed(t *testing.T) {
+	// Section 7.2: start from no patterns; the first candidate is
+	// "gnt0 always 0", which is falsified, and refinement proceeds.
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("zero-seed mining did not converge\n%s", res.Tree)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	first := res.Iterations[0]
+	if first.Candidates != 1 {
+		t.Errorf("zero-seed first iteration candidates %d want 1", first.Candidates)
+	}
+	if len(res.Ctx) == 0 {
+		t.Fatal("zero seed must generate ctx patterns")
+	}
+}
+
+func TestMonotonicCoverage(t *testing.T) {
+	// The paper: coverage increases monotonically with iterations.
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, st := range res.Iterations {
+		if st.InputSpaceCoverage < prev {
+			t.Fatalf("coverage decreased: %f -> %f at iteration %d",
+				prev, st.InputSpaceCoverage, st.Iteration)
+		}
+		prev = st.InputSpaceCoverage
+	}
+}
+
+func TestInputSpaceCoverageClosesTo100(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	// At convergence the leaves partition the (windowed) input space, so the
+	// proved-assertion fractions must sum to 1 (coverage closure).
+	if cov := res.InputSpaceCoverage(); cov < 0.999 {
+		t.Errorf("converged input-space coverage %f want 1.0", cov)
+	}
+}
+
+func TestProvedAssertionsHoldOnRandomSimulation(t *testing.T) {
+	// Theorem-2 flavored property check: proven assertions can never be
+	// violated by any simulation run.
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.D
+	rng := rand.New(rand.NewSource(99))
+	var stim sim.Stimulus
+	stim = append(stim, sim.InputVec{"rst": 1})
+	for i := 0; i < 300; i++ {
+		stim = append(stim, sim.InputVec{
+			"rst":  uint64(rng.Intn(8) / 7), // occasional reset
+			"req0": uint64(rng.Intn(2)),
+			"req1": uint64(rng.Intn(2)),
+		})
+	}
+	tr, err := sim.Simulate(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Proved {
+		a := rec.Assertion
+		for p := 0; p+a.Consequent.Offset < tr.Cycles(); p++ {
+			match := true
+			for _, prop := range a.Antecedent {
+				v, _ := tr.Value(p+prop.Offset, prop.Signal)
+				if prop.Bit >= 0 {
+					v = (v >> uint(prop.Bit)) & 1
+				}
+				if v != prop.Value {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			cv, _ := tr.Value(p+a.Consequent.Offset, a.Consequent.Signal)
+			if a.Consequent.Bit >= 0 {
+				cv = (cv >> uint(a.Consequent.Bit)) & 1
+			}
+			if cv != a.Consequent.Value {
+				t.Fatalf("proved assertion violated at cycle %d: %s", p, a)
+			}
+		}
+	}
+}
+
+func TestCtxPatternsAreReplayable(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ctx := range res.Ctx {
+		if len(ctx) == 0 {
+			t.Errorf("ctx %d is empty", i)
+		}
+		if _, err := sim.Simulate(e.D, ctx); err != nil {
+			t.Errorf("ctx %d does not replay: %v", i, err)
+		}
+	}
+}
+
+func TestMineAllOutputs(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineAll(paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 { // gnt0, gnt1
+		t.Fatalf("outputs mined: %d", len(res.Outputs))
+	}
+	if !res.Converged() {
+		t.Error("arbiter should fully converge")
+	}
+	suite := res.Suite()
+	if len(suite) < 2 {
+		t.Errorf("suite size %d", len(suite))
+	}
+	if len(res.Assertions()) == 0 {
+		t.Error("no assertions")
+	}
+}
+
+func TestCombinationalMining(t *testing.T) {
+	src := `
+module cex(input a, b, c, output z);
+  assign z = (a & b) | (~a & c);
+endmodule`
+	e := mustEngine(t, src, DefaultConfig())
+	res, err := e.MineOutputByName("z", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("combinational mining did not converge\n%s", res.Tree)
+	}
+	// Consequent offset must be 0 for a combinational design.
+	for _, rec := range res.Proved {
+		if rec.Assertion.Consequent.Offset != 0 {
+			t.Errorf("comb assertion has temporal consequent: %s", rec.Assertion)
+		}
+	}
+	if cov := res.InputSpaceCoverage(); cov < 0.999 {
+		t.Errorf("coverage %f", cov)
+	}
+}
+
+func TestFullCtxTraceMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AddFullCtxTrace = true
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("full-trace mode did not converge\n%s", res.Tree)
+	}
+}
+
+func TestWindowExtensionHappens(t *testing.T) {
+	// The paper's third iteration requires gnt0(t-1): the dataset must end up
+	// extended for the arbiter with window 1.
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	// Some proved assertion should mention gnt0 in its antecedent (state
+	// variable admitted by window extension).
+	found := false
+	for _, rec := range res.Proved {
+		for _, p := range rec.Assertion.Antecedent {
+			if p.Signal == "gnt0" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Log("note: no proved assertion used gnt0 state (acceptable if tree resolved via inputs alone)")
+	}
+}
+
+func TestMineOutputErrors(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	if _, err := e.MineOutputByName("nosuch", 0, nil); err == nil {
+		t.Error("unknown output should error")
+	}
+	if _, err := e.MineOutputByName("req0", 0, nil); err == nil {
+		t.Error("input as output should error")
+	}
+}
+
+func TestIterationStatsRecorded(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	res, err := e.MineOutputByName("gnt0", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Iterations {
+		if st.Iteration != i+1 {
+			t.Errorf("iteration numbering: %d at %d", st.Iteration, i)
+		}
+		if st.TreeNodes < st.TreeLeaves {
+			t.Errorf("nodes %d < leaves %d", st.TreeNodes, st.TreeLeaves)
+		}
+	}
+}

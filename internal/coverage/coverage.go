@@ -1,0 +1,238 @@
+// Package coverage measures the standard RTL coverage metrics reported in the
+// paper's tables: line, branch, condition, expression, toggle and FSM
+// coverage. It consumes the instrumentation points recorded by the rtl
+// elaborator and observes simulation cycles through the simulator's observer
+// hook, so coverage is collected during the same evaluation the traces come
+// from.
+package coverage
+
+import (
+	"fmt"
+	"strings"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// Collector accumulates coverage over one or more simulation runs.
+type Collector struct {
+	d *rtl.Design
+
+	// Per instrumentation point: whether value 1 / value 0 was observed.
+	seenTrue  []bool
+	seenFalse []bool
+
+	// Toggle coverage: per signal, per bit, rising/falling transitions seen.
+	toggleSigs []*rtl.Signal
+	rise, fall [][]bool
+	prev       []uint64
+	hasPrev    bool
+
+	// FSM coverage: states observed per detected FSM register.
+	fsmSeen  []map[uint64]bool
+	fsmTrans []map[[2]uint64]bool
+
+	Cycles int
+}
+
+// New creates a collector for a design.
+func New(d *rtl.Design) *Collector {
+	ci := d.Cover
+	c := &Collector{
+		d:          d,
+		seenTrue:   make([]bool, len(ci.Points)),
+		seenFalse:  make([]bool, len(ci.Points)),
+		toggleSigs: ci.ToggleSignals,
+	}
+	c.rise = make([][]bool, len(c.toggleSigs))
+	c.fall = make([][]bool, len(c.toggleSigs))
+	for i, s := range c.toggleSigs {
+		c.rise[i] = make([]bool, s.Width)
+		c.fall[i] = make([]bool, s.Width)
+	}
+	c.prev = make([]uint64, len(c.toggleSigs))
+	c.fsmSeen = make([]map[uint64]bool, len(ci.FSMs))
+	c.fsmTrans = make([]map[[2]uint64]bool, len(ci.FSMs))
+	for i := range ci.FSMs {
+		c.fsmSeen[i] = map[uint64]bool{}
+		c.fsmTrans[i] = map[[2]uint64]bool{}
+	}
+	return c
+}
+
+// BeginRun marks a reset boundary: toggle and FSM transition tracking must
+// not pair cycles across independent runs.
+func (c *Collector) BeginRun() { c.hasPrev = false }
+
+// Observe consumes one settled simulation cycle.
+func (c *Collector) Observe(env rtl.Env) {
+	c.Cycles++
+	for i, p := range c.d.Cover.Points {
+		if rtl.Eval(p.Expr, env)&1 == 1 {
+			c.seenTrue[i] = true
+		} else {
+			c.seenFalse[i] = true
+		}
+	}
+	for i, s := range c.toggleSigs {
+		v := env.Get(s) & rtl.Mask(s.Width)
+		if c.hasPrev {
+			diff := v ^ c.prev[i]
+			for b := 0; b < s.Width; b++ {
+				if (diff>>uint(b))&1 == 1 {
+					if (v>>uint(b))&1 == 1 {
+						c.rise[i][b] = true
+					} else {
+						c.fall[i][b] = true
+					}
+				}
+			}
+		}
+		c.prev[i] = v
+	}
+	for i, f := range c.d.Cover.FSMs {
+		v := env.Get(f.Reg) & rtl.Mask(f.Reg.Width)
+		if c.hasPrev {
+			// Record the transition from the previous cycle's state.
+			c.fsmTrans[i][[2]uint64{c.lastFSM(i), v}] = true
+		}
+		c.fsmSeen[i][v] = true
+	}
+	c.hasPrev = true
+}
+
+// lastFSM returns the previous cycle's FSM state (prev holds toggle values;
+// FSM registers are among toggle signals so reuse that storage).
+func (c *Collector) lastFSM(i int) uint64 {
+	reg := c.d.Cover.FSMs[i].Reg
+	for j, s := range c.toggleSigs {
+		if s == reg {
+			return c.prev[j]
+		}
+	}
+	return 0
+}
+
+// RunSuite simulates every stimulus in the suite from reset, collecting
+// coverage across all of them.
+func (c *Collector) RunSuite(suite []sim.Stimulus) error {
+	s, err := sim.New(c.d)
+	if err != nil {
+		return err
+	}
+	s.Observe(c.Observe)
+	for _, stim := range suite {
+		c.BeginRun()
+		s.Reset()
+		for _, iv := range stim {
+			if err := s.Step(iv, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Metric is covered/total with a percentage view.
+type Metric struct {
+	Covered, Total int
+}
+
+// Pct returns the percentage (100 for an empty denominator).
+func (m Metric) Pct() float64 {
+	if m.Total == 0 {
+		return 100
+	}
+	return 100 * float64(m.Covered) / float64(m.Total)
+}
+
+// Defined reports whether the metric has anything to cover.
+func (m Metric) Defined() bool { return m.Total > 0 }
+
+func (m Metric) String() string {
+	if !m.Defined() {
+		return "X"
+	}
+	return fmt.Sprintf("%.2f%%", m.Pct())
+}
+
+// Report is the coverage summary across all metrics.
+type Report struct {
+	Line, Branch, Cond, Expr, Toggle, FSM Metric
+	Cycles                                int
+}
+
+// Report computes the current coverage summary.
+func (c *Collector) Report() Report {
+	var r Report
+	r.Cycles = c.Cycles
+	for i, p := range c.d.Cover.Points {
+		var m *Metric
+		var covered bool
+		switch p.Kind {
+		case rtl.PointLine:
+			m, covered = &r.Line, c.seenTrue[i]
+		case rtl.PointBranch:
+			m, covered = &r.Branch, c.seenTrue[i]
+		case rtl.PointCondition:
+			m, covered = &r.Cond, c.seenTrue[i] && c.seenFalse[i]
+		case rtl.PointMinterm:
+			m, covered = &r.Expr, c.seenTrue[i]
+		default:
+			m, covered = &r.Expr, c.seenTrue[i] && c.seenFalse[i]
+		}
+		m.Total++
+		if covered {
+			m.Covered++
+		}
+	}
+	for i, s := range c.toggleSigs {
+		for b := 0; b < s.Width; b++ {
+			r.Toggle.Total += 2
+			if c.rise[i][b] {
+				r.Toggle.Covered++
+			}
+			if c.fall[i][b] {
+				r.Toggle.Covered++
+			}
+		}
+	}
+	for i, f := range c.d.Cover.FSMs {
+		r.FSM.Total += len(f.States)
+		for _, st := range f.States {
+			if c.fsmSeen[i][st] {
+				r.FSM.Covered++
+			}
+		}
+	}
+	return r
+}
+
+// UncoveredPoints lists descriptions of points not yet covered, for
+// diagnostics and the coverage CLI.
+func (c *Collector) UncoveredPoints() []string {
+	var out []string
+	for i, p := range c.d.Cover.Points {
+		covered := c.seenTrue[i]
+		if p.Kind == rtl.PointCondition || p.Kind == rtl.PointExpression {
+			covered = c.seenTrue[i] && c.seenFalse[i]
+		}
+		if !covered {
+			out = append(out, p.String())
+		}
+	}
+	return out
+}
+
+// String renders the report as a one-line summary.
+func (r Report) String() string {
+	parts := []string{
+		"line=" + r.Line.String(),
+		"branch=" + r.Branch.String(),
+		"cond=" + r.Cond.String(),
+		"expr=" + r.Expr.String(),
+		"toggle=" + r.Toggle.String(),
+		"fsm=" + r.FSM.String(),
+	}
+	return strings.Join(parts, " ") + fmt.Sprintf(" (%d cycles)", r.Cycles)
+}

@@ -1,0 +1,227 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+const arbiterSrc = `
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+  always @(posedge clk)
+    if (rst) begin gnt0 <= 0; gnt1 <= 0; end
+    else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule`
+
+func mustDesign(t *testing.T, src string) *rtl.Design {
+	t.Helper()
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestZeroCoverageInitially(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	r := c.Report()
+	if r.Line.Covered != 0 || r.Toggle.Covered != 0 {
+		t.Errorf("fresh collector should be empty: %s", r)
+	}
+	if r.Cycles != 0 {
+		t.Errorf("cycles %d", r.Cycles)
+	}
+}
+
+func TestBranchCoverageNeedsBothArms(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	// Only reset cycles: the rst-taken branch is covered, not-taken is not.
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"rst": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Branch.Covered != 1 || r.Branch.Total != 2 {
+		t.Errorf("branch %d/%d want 1/2", r.Branch.Covered, r.Branch.Total)
+	}
+	// Now run without reset.
+	if err := c.RunSuite([]sim.Stimulus{{{"req0": 1}, {"req0": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	r = c.Report()
+	if r.Branch.Covered != 2 {
+		t.Errorf("branch %d/%d want 2/2", r.Branch.Covered, r.Branch.Total)
+	}
+}
+
+func TestToggleCoverage(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	// req0 0->1->0 and gnt0 follows: several toggles observed.
+	suite := []sim.Stimulus{{
+		{"rst": 1},
+		{"req0": 1},
+		{"req0": 1},
+		{},
+		{},
+	}}
+	if err := c.RunSuite(suite); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Toggle.Covered == 0 {
+		t.Fatal("no toggles observed")
+	}
+	// 5 toggle signals (rst, req0, req1, gnt0, gnt1), 2 directions each.
+	if r.Toggle.Total != 10 {
+		t.Errorf("toggle total %d want 10", r.Toggle.Total)
+	}
+}
+
+func TestToggleNotCountedAcrossRuns(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	// Run 1 ends with req0=1; run 2 starts with req0=0. Without BeginRun
+	// isolation this would count a spurious fall.
+	suite := []sim.Stimulus{
+		{{"req0": 1}},
+		{{"req0": 0}},
+	}
+	if err := c.RunSuite(suite); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Toggle.Covered != 0 {
+		t.Errorf("cross-run toggles counted: %d", r.Toggle.Covered)
+	}
+}
+
+func TestConditionCoverageBothValues(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	// Hold rst=1 forever: rst condition only seen true.
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"rst": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Cond.Covered != 0 {
+		t.Errorf("condition covered with single polarity: %d", r.Cond.Covered)
+	}
+	if err := c.RunSuite([]sim.Stimulus{{{}, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	r = c.Report()
+	if r.Cond.Covered == 0 {
+		t.Error("condition not covered after both polarities")
+	}
+}
+
+func TestFSMCoverage(t *testing.T) {
+	src := `
+module fsm(input clk, rst, go, output reg busy);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: if (go) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+  always @(*) busy = (state != 2'd0);
+endmodule`
+	d := mustDesign(t, src)
+	c := New(d)
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"go": 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.FSM.Total != 3 {
+		t.Fatalf("fsm states %d want 3", r.FSM.Total)
+	}
+	// Visited only state 0 so far (state 1 is entered at the edge after the
+	// last observed cycle).
+	if r.FSM.Covered != 1 {
+		t.Errorf("fsm covered %d want 1", r.FSM.Covered)
+	}
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"go": 1}, {}, {}, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	r = c.Report()
+	if r.FSM.Covered != 3 {
+		t.Errorf("fsm covered %d want 3 after full walk", r.FSM.Covered)
+	}
+}
+
+func TestFullRandomCoverageApproaches100(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	var stim sim.Stimulus
+	stim = append(stim, sim.InputVec{"rst": 1})
+	// Deterministic sweep through all 8 input combinations repeatedly.
+	for i := 0; i < 64; i++ {
+		stim = append(stim, sim.InputVec{
+			"rst":  uint64(i>>5) & 1 & uint64(i%13/12), // rare reset
+			"req0": uint64(i) & 1,
+			"req1": uint64(i>>1) & 1,
+		})
+	}
+	if err := c.RunSuite([]sim.Stimulus{stim}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Line.Pct() != 100 {
+		t.Errorf("line %.1f", r.Line.Pct())
+	}
+	if r.Branch.Pct() != 100 {
+		t.Errorf("branch %.1f", r.Branch.Pct())
+	}
+	if r.Cond.Pct() != 100 {
+		t.Errorf("cond %.1f: uncovered %v", r.Cond.Pct(), c.UncoveredPoints())
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	m := Metric{Covered: 1, Total: 2}
+	if m.String() != "50.00%" {
+		t.Errorf("got %s", m.String())
+	}
+	empty := Metric{}
+	if empty.String() != "X" || empty.Pct() != 100 || empty.Defined() {
+		t.Errorf("empty metric: %s %f", empty.String(), empty.Pct())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	s := c.Report().String()
+	for _, k := range []string{"line=", "branch=", "cond=", "toggle="} {
+		if !strings.Contains(s, k) {
+			t.Errorf("report %q missing %q", s, k)
+		}
+	}
+}
+
+func TestUncoveredPointsShrink(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	before := len(c.UncoveredPoints())
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"req0": 1}, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	after := len(c.UncoveredPoints())
+	if after >= before {
+		t.Errorf("uncovered points did not shrink: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,202 @@
+package designs
+
+import (
+	"testing"
+
+	"goldmine/internal/sim"
+	"goldmine/internal/stimgen"
+)
+
+func TestAllBenchmarksElaborate(t *testing.T) {
+	names := Names()
+	if len(names) != 18 {
+		t.Fatalf("benchmarks registered: %d (%v)", len(names), names)
+	}
+	for _, b := range All() {
+		d, err := b.Design()
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if len(d.Outputs()) == 0 {
+			t.Errorf("%s: no outputs", b.Name)
+		}
+		for _, ko := range b.KeyOutputs {
+			if d.Signal(ko) == nil {
+				t.Errorf("%s: key output %q missing", b.Name, ko)
+			}
+		}
+	}
+}
+
+func TestAllBenchmarksSimulate(t *testing.T) {
+	for _, b := range All() {
+		d, err := b.Design()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		stim := stimgen.Random(d, 200, 1, 2)
+		if _, err := sim.Simulate(d, stim); err != nil {
+			t.Errorf("%s: simulation failed: %v", b.Name, err)
+		}
+	}
+}
+
+func TestDirectedTestsReplay(t *testing.T) {
+	for _, b := range All() {
+		if b.Directed == nil {
+			continue
+		}
+		d, err := b.Design()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Simulate(d, b.Directed()); err != nil {
+			t.Errorf("%s directed test: %v", b.Name, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	b, err := Get("arbiter2")
+	if err != nil || b.Name != "arbiter2" {
+		t.Errorf("get arbiter2: %v", err)
+	}
+}
+
+func TestArbiter4RoundRobin(t *testing.T) {
+	b, _ := Get("arbiter4")
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	stim := sim.Stimulus{
+		{"rst": 1},
+		{"req0": 1, "req1": 1}, // ptr=0: port 0 wins
+		{"req0": 1, "req1": 1}, // ptr=1: port 1 wins
+	}
+	tr, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Value(2, "gnt0"); v != 1 {
+		t.Errorf("cycle2 gnt0=%d want 1 (requested at ptr=0)", v)
+	}
+	// After grant to 0, pointer moved to 1; both request -> port 1.
+	stim2 := sim.Stimulus{
+		{"rst": 1},
+		{"req0": 1, "req1": 1},
+		{"req0": 1, "req1": 1},
+		{},
+	}
+	tr2, _ := s.Run(stim2)
+	if v, _ := tr2.Value(3, "gnt1"); v != 1 {
+		t.Errorf("round robin: gnt1=%d want 1 after port0 served", v)
+	}
+}
+
+func TestB01SerialAdder(t *testing.T) {
+	b, _ := Get("b01")
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	// 1+1 = sum 0 carry 1; next cycle 0+0+carry = sum 1.
+	tr, err := s.Run(sim.Stimulus{
+		{"rst": 1},
+		{"line1": 1, "line2": 1},
+		{},
+		{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Value(2, "outp"); v != 0 {
+		t.Errorf("sum bit after 1+1: %d want 0", v)
+	}
+	if v, _ := tr.Value(3, "outp"); v != 1 {
+		t.Errorf("carry propagation: %d want 1", v)
+	}
+}
+
+func TestB02RecognizesBCD(t *testing.T) {
+	b, _ := Get("b02")
+	d, _ := b.Design()
+	s, _ := sim.New(d)
+	// Frame 0b0110 (6): valid BCD -> u goes 1 after 4th bit.
+	feed := func(bits []uint64) sim.Stimulus {
+		stim := sim.Stimulus{{"rst": 1}}
+		for _, bv := range bits {
+			stim = append(stim, sim.InputVec{"linea": bv})
+		}
+		stim = append(stim, sim.InputVec{})
+		return stim
+	}
+	tr, err := s.Run(feed([]uint64{0, 1, 1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Value(5, "u"); v != 1 {
+		t.Errorf("BCD 6 not recognized: u=%d", v)
+	}
+	// Frame 0b1110 (14): invalid -> u stays 0.
+	tr2, _ := s.Run(feed([]uint64{1, 1, 1, 0}))
+	if v, _ := tr2.Value(5, "u"); v != 0 {
+		t.Errorf("14 wrongly recognized: u=%d", v)
+	}
+	// Frame 0b1001 (9): valid.
+	tr3, _ := s.Run(feed([]uint64{1, 0, 0, 1}))
+	if v, _ := tr3.Value(5, "u"); v != 1 {
+		t.Errorf("BCD 9 not recognized: u=%d", v)
+	}
+}
+
+func TestB18MailboxHandshake(t *testing.T) {
+	b, _ := Get("b18")
+	d, _ := b.Design()
+	s, _ := sim.New(d)
+	stim := sim.Stimulus{
+		{"rst": 1},
+		{"go_a": 1, "op_a": 5},
+		{"op_a": 5}, // A executes: acc_a = 5
+		{"op_a": 5}, // A posts mailbox
+		{"go_b": 1}, // B starts waiting
+		{},          // B consumes mailbox: acc_b = 5
+		{"op_b": 3}, // B executes: acc_b = 5 ^ 3 = 6
+		{},
+	}
+	tr, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Cycles() - 1
+	if v, _ := tr.Value(last, "acc_a_o"); v != 5 {
+		t.Errorf("acc_a=%d want 5", v)
+	}
+	if v, _ := tr.Value(last, "acc_b_o"); v != 6 {
+		t.Errorf("acc_b=%d want 6", v)
+	}
+}
+
+func TestB17MutualExclusionSim(t *testing.T) {
+	b, _ := Get("b17")
+	d, _ := b.Design()
+	stim := stimgen.Random(d, 500, 7, 2)
+	tr, err := sim.Simulate(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < tr.Cycles(); c++ {
+		ga, _ := tr.Value(c, "gnt_a")
+		gb, _ := tr.Value(c, "gnt_b")
+		gc, _ := tr.Value(c, "gnt_c")
+		if ga+gb+gc > 1 {
+			t.Fatalf("cycle %d: multiple grants %d%d%d", c, ga, gb, gc)
+		}
+	}
+}

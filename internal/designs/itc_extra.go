@@ -1,0 +1,222 @@
+package designs
+
+// Additional ITC'99-style benchmarks beyond the six used in the paper's
+// Figure 16. These extend the library's regression surface: each is
+// re-implemented at original scale from the published functional description
+// of the suite (b03 resource arbiter with request memory, b04 min/max
+// accumulator, b06 interrupt handler, b10 voting machine, b11 stream
+// scrambler).
+
+// b03Src: arbiter over four request lines with a one-deep pending latch per
+// requester and rotating grant priority.
+const b03Src = `
+// b03: resource arbiter with pending-request latches.
+module b03(input clk, rst,
+           input req1, req2, req3, req4,
+           output [1:0] grant, output busy);
+  reg [3:0] pending;
+  reg [1:0] cur;
+  reg active;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pending <= 4'b0;
+      cur <= 2'd0;
+      active <= 0;
+    end else begin
+      pending <= (pending | {req4, req3, req2, req1}) & ~(active ? (4'b0001 << cur) : 4'b0);
+      if (~active) begin
+        if (pending[0]) begin cur <= 2'd0; active <= 1; end
+        else if (pending[1]) begin cur <= 2'd1; active <= 1; end
+        else if (pending[2]) begin cur <= 2'd2; active <= 1; end
+        else if (pending[3]) begin cur <= 2'd3; active <= 1; end
+      end else
+        active <= 0;
+    end
+  end
+
+  assign grant = cur;
+  assign busy = active;
+endmodule
+`
+
+// b04Src: running minimum / maximum of a signed-free 8-bit input stream with
+// an enable and a registered average-ish output (the original computes
+// RMAX/RMIN/RLAST).
+const b04Src = `
+// b04: min/max accumulator over an input stream.
+module b04(input clk, rst, input en, input [7:0] data,
+           output [7:0] rmax, rmin, rlast, output newmax);
+  reg [7:0] max_r, min_r, last_r;
+  reg nm;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      max_r <= 8'd0;
+      min_r <= 8'd255;
+      last_r <= 8'd0;
+      nm <= 0;
+    end else if (en) begin
+      last_r <= data;
+      if (data > max_r) begin max_r <= data; nm <= 1; end
+      else nm <= 0;
+      if (data < min_r) min_r <= data;
+    end else
+      nm <= 0;
+  end
+
+  assign rmax = max_r;
+  assign rmin = min_r;
+  assign rlast = last_r;
+  assign newmax = nm;
+endmodule
+`
+
+// b06Src: interrupt handler — acknowledges one of two interrupt lines with a
+// state machine that enforces a bus cycle between acknowledges.
+const b06Src = `
+// b06: interrupt handler FSM.
+module b06(input clk, rst, input eql, cont_eql,
+           output reg [1:0] cc_mux, output reg uscita, output reg enable_count);
+  reg [2:0] state;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 3'd0;
+      cc_mux <= 2'd1;
+      uscita <= 0;
+      enable_count <= 0;
+    end else begin
+      case (state)
+        3'd0: begin
+          cc_mux <= 2'd1; uscita <= 0; enable_count <= 0;
+          if (eql) state <= 3'd1;
+          else if (cont_eql) state <= 3'd3;
+        end
+        3'd1: begin
+          cc_mux <= 2'd3; enable_count <= 1;
+          state <= 3'd2;
+        end
+        3'd2: begin
+          uscita <= 1;
+          if (~eql) state <= 3'd0;
+        end
+        3'd3: begin
+          cc_mux <= 2'd2; uscita <= 1;
+          if (~cont_eql) state <= 3'd4;
+        end
+        3'd4: begin
+          enable_count <= 1; uscita <= 0;
+          state <= 3'd0;
+        end
+        default: state <= 3'd0;
+      endcase
+    end
+  end
+endmodule
+`
+
+// b10Src: voting machine — three voter inputs sampled over a session
+// delimited by start/stop, majority output with a tamper flag.
+const b10Src = `
+// b10: voting machine FSM.
+module b10(input clk, rst, input start, input v1, v2, v3,
+           output reg vote, output reg valid, output reg tamper);
+  reg [1:0] state;
+  reg [1:0] yes;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= 2'd0; yes <= 2'd0; vote <= 0; valid <= 0; tamper <= 0;
+    end else begin
+      case (state)
+        2'd0: begin
+          valid <= 0; tamper <= 0;
+          if (start) begin
+            yes <= {1'b0, v1} + {1'b0, v2};
+            state <= 2'd1;
+          end
+        end
+        2'd1: begin
+          yes <= yes + {1'b0, v3};
+          state <= 2'd2;
+        end
+        2'd2: begin
+          vote <= (yes >= 2'd2);
+          valid <= 1;
+          tamper <= (yes > 2'd3);
+          state <= 2'd0;
+        end
+        default: state <= 2'd0;
+      endcase
+    end
+  end
+endmodule
+`
+
+// b11Src: stream scrambler — shifts and xors an input character with a
+// rotating key register (the original scrambles a string with a variable
+// cipher).
+const b11Src = `
+// b11: stream scrambler with rotating key.
+module b11(input clk, rst, input load, input [5:0] char_in,
+           output [5:0] char_out, output ready);
+  reg [5:0] key;
+  reg [5:0] data;
+  reg rdy;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      key <= 6'b010101;
+      data <= 6'd0;
+      rdy <= 0;
+    end else if (load) begin
+      data <= char_in ^ key;
+      key <= {key[4:0], key[5] ^ key[2]};
+      rdy <= 1;
+    end else
+      rdy <= 0;
+  end
+
+  assign char_out = data;
+  assign ready = rdy;
+endmodule
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "b03",
+		Description: "ITC'99 b03: resource arbiter with pending-request latches (re-implemented)",
+		Source:      b03Src,
+		Window:      1,
+		KeyOutputs:  []string{"busy"},
+	})
+	register(&Benchmark{
+		Name:        "b04",
+		Description: "ITC'99 b04: min/max accumulator over an input stream (re-implemented)",
+		Source:      b04Src,
+		Window:      1,
+		KeyOutputs:  []string{"newmax"},
+	})
+	register(&Benchmark{
+		Name:        "b06",
+		Description: "ITC'99 b06: interrupt handler FSM (re-implemented)",
+		Source:      b06Src,
+		Window:      1,
+		KeyOutputs:  []string{"uscita", "enable_count"},
+	})
+	register(&Benchmark{
+		Name:        "b10",
+		Description: "ITC'99 b10: voting machine FSM (re-implemented)",
+		Source:      b10Src,
+		Window:      1,
+		KeyOutputs:  []string{"vote", "valid", "tamper"},
+	})
+	register(&Benchmark{
+		Name:        "b11",
+		Description: "ITC'99 b11: stream scrambler with rotating key (re-implemented)",
+		Source:      b11Src,
+		Window:      1,
+		KeyOutputs:  []string{"ready"},
+	})
+}

@@ -1,0 +1,96 @@
+package designs
+
+// pipelineSrc is a hierarchical design: the fetch stage feeding an
+// instruction ROM feeding the decode stage, composed with module instances
+// and flattened by the front end. It exercises instantiation, cross-module
+// cones and mining on a composed design.
+const pipelineSrc = `
+// Two-stage fetch/decode pipeline with an instruction ROM.
+module pipeline(input clk, rst,
+                input stall_in,
+                input branch_mispredict,
+                input [7:0] branch_pc,
+                input icache_rdvl_i,
+                output is_alu, is_load, illegal,
+                output dec_valid);
+  wire [7:0] pc;
+  wire fvalid;
+  wire [11:0] instr;
+
+  pfetch u_fetch (.clk(clk), .rst(rst), .stall_in(stall_in),
+                  .branch_mispredict(branch_mispredict),
+                  .branch_pc(branch_pc), .icache_rdvl_i(icache_rdvl_i),
+                  .fetch_pc(pc), .valid(fvalid));
+
+  imem u_imem (.addr(pc[2:0]), .data(instr));
+
+  pdecode u_dec (.clk(clk), .rst(rst), .valid_in(fvalid),
+                 .stall_in(stall_in), .instr(instr),
+                 .is_alu(is_alu), .is_load(is_load), .illegal(illegal),
+                 .valid_out(dec_valid));
+endmodule
+
+module pfetch(input clk, rst,
+              input stall_in, branch_mispredict,
+              input [7:0] branch_pc,
+              input icache_rdvl_i,
+              output [7:0] fetch_pc,
+              output valid);
+  reg [7:0] pc;
+  reg valid_r;
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 8'd0; valid_r <= 0;
+    end else if (branch_mispredict) begin
+      pc <= branch_pc; valid_r <= 0;
+    end else if (~stall_in) begin
+      if (icache_rdvl_i) begin
+        pc <= pc + 8'd1; valid_r <= 1;
+      end else
+        valid_r <= 0;
+    end
+  end
+  assign fetch_pc = pc;
+  assign valid = valid_r & ~branch_mispredict & ~stall_in;
+endmodule
+
+module imem(input [2:0] addr, output reg [11:0] data);
+  always @(*) begin
+    case (addr)
+      3'd0: data = 12'h0C5; // alu
+      3'd1: data = 12'h2D1; // alu
+      3'd2: data = 12'h452; // load
+      3'd3: data = 12'h693; // store
+      3'd4: data = 12'h8A1; // branch
+      3'd5: data = 12'h111; // alu
+      3'd6: data = 12'hA77; // illegal
+      default: data = 12'h000;
+    endcase
+  end
+endmodule
+
+module pdecode(input clk, rst,
+               input valid_in, stall_in,
+               input [11:0] instr,
+               output is_alu, is_load, illegal,
+               output reg valid_out);
+  wire [2:0] opcode;
+  assign opcode = instr[11:9];
+  assign is_alu  = valid_in & ((opcode == 3'd0) | (opcode == 3'd1));
+  assign is_load = valid_in & (opcode == 3'd2);
+  assign illegal = valid_in & (opcode > 3'd4);
+  always @(posedge clk)
+    if (rst) valid_out <= 0;
+    else if (~stall_in) valid_out <= valid_in & ~illegal;
+endmodule
+`
+
+func init() {
+	register(&Benchmark{
+		Name:        "pipeline",
+		Description: "hierarchical fetch->ROM->decode pipeline (module instances, flattened)",
+		Source:      pipelineSrc,
+		Window:      1,
+		KeyOutputs:  []string{"dec_valid", "is_alu", "illegal"},
+	})
+}

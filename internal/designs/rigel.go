@@ -1,0 +1,182 @@
+package designs
+
+import "goldmine/internal/sim"
+
+// Rigel-like pipeline stages. The Rigel 1000-core RTL [Kelm et al., ISCA'09]
+// is not public; these modules are simplified but structurally faithful
+// stand-ins that preserve the signal names used by the paper's experiments
+// (stall_in, branch_pc, branch_mispredict, icache_rdvl_i, fetchstage.valid)
+// and the behaviours the experiments depend on: stall/valid handshakes,
+// branch redirects, multi-bit datapaths and enough internal state that the
+// miner needs several counterexample iterations.
+
+// fetchSrc models an instruction fetch stage: a program counter that
+// advances when the icache delivers a valid line and the pipeline is not
+// stalled, a branch redirect that squashes the in-flight fetch, and a valid
+// output qualifying the fetched pc.
+const fetchSrc = `
+// Instruction fetch stage (Rigel-like).
+module fetch(input clk, rst,
+             input stall_in,
+             input branch_mispredict,
+             input [7:0] branch_pc,
+             input icache_rdvl_i,
+             output [7:0] fetch_pc,
+             output valid);
+  reg [7:0] pc;
+  reg valid_r;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 8'd0;
+      valid_r <= 0;
+    end else if (branch_mispredict) begin
+      pc <= branch_pc;
+      valid_r <= 0;
+    end else if (~stall_in) begin
+      if (icache_rdvl_i) begin
+        pc <= pc + 8'd1;
+        valid_r <= 1;
+      end else
+        valid_r <= 0;
+    end
+  end
+
+  assign fetch_pc = pc;
+  assign valid = valid_r & ~branch_mispredict & ~stall_in;
+endmodule
+`
+
+// decodeSrc models an instruction decode stage over a 12-bit RISC-style
+// encoding: a 3-bit opcode class plus register fields, with an illegal-opcode
+// detector and a stall-qualified valid register.
+const decodeSrc = `
+// Instruction decode stage (Rigel-like), 12-bit instruction word.
+module decode(input clk, rst,
+              input valid_in,
+              input stall_in,
+              input [11:0] instr,
+              output is_alu, is_load, is_store, is_branch, illegal, trap,
+              output [2:0] rd, rs,
+              output reg valid_out);
+  wire [2:0] opcode;
+  assign opcode = instr[11:9];
+
+  assign is_alu    = valid_in & ((opcode == 3'd0) | (opcode == 3'd1));
+  assign is_load   = valid_in & (opcode == 3'd2);
+  assign is_store  = valid_in & (opcode == 3'd3);
+  assign is_branch = valid_in & (opcode == 3'd4);
+  assign illegal   = valid_in & (opcode > 3'd4);
+  // trap fires on one exact encoding (a syscall), the kind of rare corner
+  // random and directed tests miss but counterexamples hit directly.
+  assign trap      = valid_in & (instr == 12'hABC);
+
+  assign rd = instr[8:6];
+  assign rs = instr[5:3];
+
+  always @(posedge clk)
+    if (rst) valid_out <= 0;
+    else if (~stall_in) valid_out <= valid_in & ~illegal;
+endmodule
+`
+
+// wbStageSrc models an instruction writeback stage: result source select
+// (load data vs ALU result), exception gating of the register-file write
+// enable, and a registered valid.
+const wbStageSrc = `
+// Instruction writeback stage (Rigel-like).
+module wb_stage(input clk, rst,
+                input valid_in,
+                input is_load,
+                input exception,
+                input [7:0] alu_result,
+                input [7:0] mem_data,
+                input [2:0] dest_reg,
+                output wb_we,
+                output [7:0] wb_data,
+                output [2:0] wb_reg,
+                output saturate,
+                output reg valid_r);
+  assign wb_data = is_load ? mem_data : alu_result;
+  assign wb_we   = valid_in & ~exception;
+  assign wb_reg  = dest_reg;
+  // Saturation detect: fires only when an ALU writeback carries the
+  // all-ones result - a 1-in-256 corner that short random tests miss.
+  assign saturate = valid_in & ~is_load & ~exception & (alu_result == 8'hFF);
+
+  always @(posedge clk)
+    if (rst) valid_r <= 0;
+    else valid_r <= valid_in & ~exception;
+endmodule
+`
+
+// fetchDirected is the kind of happy-path directed test a validation
+// engineer writes first: plain sequential fetching with the occasional
+// stall, never a branch redirect — leaving the mispredict logic uncovered.
+func fetchDirected() sim.Stimulus {
+	stim := sim.Stimulus{{"rst": 1}}
+	for i := 0; i < 12; i++ {
+		iv := sim.InputVec{"icache_rdvl_i": 1}
+		if i%5 == 4 {
+			iv["stall_in"] = 1
+		}
+		stim = append(stim, iv)
+	}
+	return stim
+}
+
+// decodeDirected feeds only well-formed ALU/load/store instructions: no
+// branches, no illegal opcodes, no trap encoding, no stalls.
+func decodeDirected() sim.Stimulus {
+	stim := sim.Stimulus{{"rst": 1}}
+	instrs := []uint64{
+		0x0C5, // opcode 0 (alu), rd=3, rs=0
+		0x2D1, // opcode 1 (alu)
+		0x452, // opcode 2 (load)
+		0x693, // opcode 3 (store)
+		0x111, // opcode 0
+	}
+	for _, ins := range instrs {
+		stim = append(stim, sim.InputVec{"valid_in": 1, "instr": ins})
+	}
+	stim = append(stim, sim.InputVec{})
+	return stim
+}
+
+// wbDirected writes back ALU and load results, never an exception.
+func wbDirected() sim.Stimulus {
+	return sim.Stimulus{
+		{"rst": 1},
+		{"valid_in": 1, "alu_result": 0x5A, "dest_reg": 1},
+		{"valid_in": 1, "is_load": 1, "mem_data": 0xA5, "dest_reg": 2},
+		{"valid_in": 1, "alu_result": 0xFF, "dest_reg": 7},
+		{},
+	}
+}
+
+func init() {
+	register(&Benchmark{
+		Name:        "fetch",
+		Description: "instruction fetch stage (Rigel-like): pc, stall, branch redirect, icache valid",
+		Source:      fetchSrc,
+		Window:      1,
+		KeyOutputs:  []string{"valid", "fetch_pc"},
+		Directed:    fetchDirected,
+	})
+	register(&Benchmark{
+		Name:        "decode",
+		Description: "instruction decode stage (Rigel-like): opcode classes over 12-bit encoding",
+		Source:      decodeSrc,
+		Window:      1,
+		KeyOutputs:  []string{"is_alu", "is_load", "is_store", "is_branch", "illegal", "trap", "valid_out"},
+		Directed:    decodeDirected,
+	})
+	register(&Benchmark{
+		Name:        "wb_stage",
+		Description: "instruction writeback stage (Rigel-like): result select and write-enable gating",
+		Source:      wbStageSrc,
+		Window:      0,
+		KeyOutputs:  []string{"wb_we", "valid_r", "wb_data", "wb_reg", "saturate"},
+		Directed:    wbDirected,
+	})
+}

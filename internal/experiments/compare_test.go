@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig14Shape(t *testing.T) {
+	tab, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("too few rows:\n%s", render(t, tab))
+	}
+	// Monotone non-decreasing per module column.
+	for col := 1; col <= 3; col++ {
+		prev := -1.0
+		for r := range tab.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[r][col], "%"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("column %d not monotone:\n%s", col, render(t, tab))
+			}
+			prev = v
+		}
+	}
+	// arbiter4 must start strictly below 100 (thin directed seed).
+	first, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[0][3], "%"), 64)
+	if first >= 100 {
+		t.Errorf("arbiter4 iteration-0 expression coverage %0.2f should be < 100", first)
+	}
+}
+
+func TestTable3GoldMineWins(t *testing.T) {
+	tab, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		dirCycles, _ := strconv.Atoi(row[1])
+		gmCycles, _ := strconv.Atoi(row[6])
+		if gmCycles >= dirCycles {
+			t.Errorf("%s: GoldMine cycles %d not fewer than directed %d", row[0], gmCycles, dirCycles)
+		}
+		// GoldMine >= directed on every metric column pair.
+		pairs := [][2]int{{2, 7}, {3, 8}, {4, 9}, {5, 10}}
+		for _, p := range pairs {
+			dir, _ := strconv.ParseFloat(row[p[0]], 64)
+			gm, _ := strconv.ParseFloat(row[p[1]], 64)
+			if gm < dir {
+				t.Errorf("%s: GoldMine %s %.2f below directed %.2f",
+					row[0], tab.Header[p[1]], gm, dir)
+			}
+		}
+	}
+	// The paper's headline: some directed metric is stuck well below 100.
+	stuck := false
+	for _, row := range tab.Rows {
+		if v, _ := strconv.ParseFloat(row[3], 64); v < 90 {
+			stuck = true
+		}
+	}
+	if !stuck {
+		t.Errorf("directed regression should stagnate below 90%% cond somewhere:\n%s", render(t, tab))
+	}
+}

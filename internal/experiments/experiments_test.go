@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	return buf.String()
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"example6", "fig12", "fig13", "fig14", "fig15", "fig16", "table1", "table2", "table3"}
+	var got []string
+	for _, e := range All() {
+		got = append(got, e.Name)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("experiments: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: %s want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := Get("fig12"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFig12MonotoneAndCloses(t *testing.T) {
+	tab, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("too few iterations:\n%s", render(t, tab))
+	}
+	prevIS, prevEx := -1.0, -1.0
+	for r := range tab.Rows {
+		is, ex := cell(t, tab, r, 1), cell(t, tab, r, 2)
+		if is < prevIS || ex < prevEx {
+			t.Fatalf("coverage not monotone at row %d:\n%s", r, render(t, tab))
+		}
+		prevIS, prevEx = is, ex
+	}
+	if prevIS < 99.9 {
+		t.Errorf("input-space coverage did not close: %.2f\n%s", prevIS, render(t, tab))
+	}
+}
+
+func TestFig13SimpleModulesConverge(t *testing.T) {
+	tab, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tab.Rows) - 1
+	for col := 1; col <= 3; col++ {
+		if v := cell(t, tab, last, col); v < 99.9 {
+			t.Errorf("%s final input-space %.2f, want 100:\n%s", tab.Header[col], v, render(t, tab))
+		}
+	}
+}
+
+func TestTable1ZeroSeed(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		if v := cell(t, tab, r, 1); v != 0 {
+			t.Errorf("row %d: iteration-0 coverage %.2f, want 0 (zero seed)", r, v)
+		}
+		lastCol := len(tab.Rows[r]) - 1
+		if v := cell(t, tab, r, lastCol); v < 99.9 {
+			t.Errorf("row %d (%s): final coverage %.2f, want 100:\n%s",
+				r, tab.Rows[r][0], v, render(t, tab))
+		}
+		// Monotone across the sampled iterations.
+		prev := -1.0
+		for c := 1; c <= lastCol; c++ {
+			v := cell(t, tab, r, c)
+			if v < prev {
+				t.Errorf("row %d not monotone:\n%s", r, render(t, tab))
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig15ConditionImproves(t *testing.T) {
+	tab, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// line/branch saturated in both rows; condition must not decrease.
+	for r := 0; r < 2; r++ {
+		if v := cell(t, tab, r, 1); v != 100 {
+			t.Errorf("row %d line %.2f:\n%s", r, v, render(t, tab))
+		}
+	}
+	if cell(t, tab, 1, 3) < cell(t, tab, 0, 3) {
+		t.Errorf("condition coverage decreased:\n%s", render(t, tab))
+	}
+}
+
+func TestExample6Converges(t *testing.T) {
+	tab, err := Example6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, tab)
+	if !strings.Contains(out, "converged=true") {
+		t.Errorf("Section 6 example did not converge:\n%s", out)
+	}
+	if !strings.Contains(out, "TRUE") || !strings.Contains(out, "false") {
+		t.Errorf("expected both false and TRUE assertions:\n%s", out)
+	}
+}
+
+func TestRenderFormatting(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+		Notes:  []string{"a note"},
+	}
+	out := render(t, tab)
+	for _, want := range []string{"== T: demo ==", "xxxxx", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"goldmine/internal/cnf"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+	"goldmine/internal/sim"
+)
+
+// EquivStatus is the verdict of an equivalence check.
+type EquivStatus int
+
+// Equivalence verdicts.
+const (
+	// EquivEqual: the designs are proven equivalent (exact for
+	// combinational designs and for sequential designs within the explicit
+	// engine's limits).
+	EquivEqual EquivStatus = iota
+	// EquivDifferent: a distinguishing input sequence was found.
+	EquivDifferent
+	// EquivBounded: no difference up to the bound; no proof either.
+	EquivBounded
+)
+
+func (s EquivStatus) String() string {
+	switch s {
+	case EquivEqual:
+		return "equivalent"
+	case EquivDifferent:
+		return "different"
+	default:
+		return "bounded-equivalent"
+	}
+}
+
+// EquivResult reports an equivalence check outcome.
+type EquivResult struct {
+	Status EquivStatus
+	// Ctx is a distinguishing input sequence from reset (when different).
+	Ctx sim.Stimulus
+	// Output names the first differing output (when different).
+	Output string
+	// Depth is the bound used (frames for BMC, states for explicit).
+	Depth int
+}
+
+// Equivalent checks whether two designs with identical input and output
+// interfaces implement the same function: a SAT miter for combinational
+// designs (exact), joint explicit-state exploration when the combined state
+// fits the explicit engine, and bounded miter unrolling otherwise.
+func Equivalent(a, b *rtl.Design, opts Options) (*EquivResult, error) {
+	if err := sameInterface(a, b); err != nil {
+		return nil, err
+	}
+	if len(a.Registers()) == 0 && len(b.Registers()) == 0 {
+		return miterCheck(a, b, 1, true)
+	}
+	if a.StateBits()+b.StateBits() <= opts.MaxStateBits &&
+		a.InputBits() <= opts.MaxInputBits {
+		return explicitEquiv(a, b)
+	}
+	depth := opts.MaxBMCDepth
+	if depth < 2 {
+		depth = 2
+	}
+	return miterCheck(a, b, depth, false)
+}
+
+// sameInterface verifies matching inputs and outputs (names and widths).
+func sameInterface(a, b *rtl.Design) error {
+	sig := func(d *rtl.Design, kind rtl.SigKind) map[string]int {
+		out := map[string]int{}
+		for _, s := range d.Signals {
+			if s.Kind == kind && s.Name != d.Clock {
+				out[s.Name] = s.Width
+			}
+		}
+		return out
+	}
+	for _, kind := range []rtl.SigKind{rtl.SigInput, rtl.SigOutput} {
+		ma, mb := sig(a, kind), sig(b, kind)
+		if len(ma) != len(mb) {
+			return fmt.Errorf("equiv: %v count differs (%d vs %d)", kind, len(ma), len(mb))
+		}
+		for n, w := range ma {
+			if mb[n] != w {
+				return fmt.Errorf("equiv: %v %q differs (%d vs %d bits)", kind, n, w, mb[n])
+			}
+		}
+	}
+	return nil
+}
+
+// miterCheck unrolls both designs over shared input variables and searches
+// for a frame where any output differs.
+func miterCheck(a, b *rtl.Design, depth int, exact bool) (*EquivResult, error) {
+	s := sat.New()
+	ua := cnf.NewUnroller(s, a)
+	ub := cnf.NewUnroller(s, b)
+	outs := outputNames(a)
+
+	for t := 0; t < depth; t++ {
+		ua.AddFrame()
+		ub.AddFrame()
+		if t == 0 {
+			ua.InitZero()
+			ub.InitZero()
+		}
+		// Tie the frame's inputs together.
+		for _, in := range a.Inputs() {
+			va, err := ua.SignalVec(t, in)
+			if err != nil {
+				return nil, err
+			}
+			vb, err := ub.SignalVec(t, b.Signal(in.Name))
+			if err != nil {
+				return nil, err
+			}
+			for i := range va {
+				s.AddClause(va[i].Neg(), vb[i])
+				s.AddClause(va[i], vb[i].Neg())
+			}
+		}
+		// Try to differentiate each output in this frame.
+		for _, name := range outs {
+			oa, err := ua.SignalVec(t, a.Signal(name))
+			if err != nil {
+				return nil, err
+			}
+			ob, err := ub.SignalVec(t, b.Signal(name))
+			if err != nil {
+				return nil, err
+			}
+			for bit := range oa {
+				// Assume oa[bit] != ob[bit]: SAT in two polarities.
+				for _, pol := range []bool{false, true} {
+					la, lb := oa[bit], ob[bit].Neg()
+					if pol {
+						la, lb = oa[bit].Neg(), ob[bit]
+					}
+					if s.Solve(la, lb) == sat.Sat {
+						ctx := make(sim.Stimulus, 0, t+1)
+						for f := 0; f <= t; f++ {
+							ctx = append(ctx, ua.InputModel(f))
+						}
+						return &EquivResult{
+							Status: EquivDifferent, Ctx: ctx,
+							Output: name, Depth: t + 1,
+						}, nil
+					}
+				}
+			}
+		}
+	}
+	if exact {
+		return &EquivResult{Status: EquivEqual, Depth: depth}, nil
+	}
+	return &EquivResult{Status: EquivBounded, Depth: depth}, nil
+}
+
+// explicitEquiv explores the product machine exhaustively.
+func explicitEquiv(a, b *rtl.Design) (*EquivResult, error) {
+	sa, err := newStepper(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := newStepper(b)
+	if err != nil {
+		return nil, err
+	}
+	outs := outputNames(a)
+	oa := make([]*rtl.Signal, len(outs))
+	ob := make([]*rtl.Signal, len(outs))
+	for i, n := range outs {
+		oa[i] = a.Signal(n)
+		ob[i] = b.Signal(n)
+	}
+
+	type pstate struct{ ka, kb stateKey }
+	initA := make([]uint64, len(a.Registers()))
+	initB := make([]uint64, len(b.Registers()))
+	start := pstate{key(initA), key(initB)}
+	states := map[pstate][2][]uint64{start: {initA, initB}}
+	pred := map[pstate]struct {
+		from pstate
+		in   []uint64
+		ok   bool
+	}{}
+	queue := []pstate{start}
+	sp := newInputSpace(a.Inputs())
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		vals := states[cur]
+		for n := uint64(0); n < sp.total; n++ {
+			iv := sp.vec(n)
+			envA, nextA := sa.settle(vals[0], iv)
+			// Outputs must agree on every transition.
+			bad := ""
+			var envB rtl.MapEnv
+			var nextB []uint64
+			envB, nextB = sb.settle(vals[1], iv)
+			for i := range outs {
+				va := envA[oa[i]] & rtl.Mask(oa[i].Width)
+				vb := envB[ob[i]] & rtl.Mask(ob[i].Width)
+				if va != vb {
+					bad = outs[i]
+					break
+				}
+			}
+			if bad != "" {
+				// Reconstruct the distinguishing sequence.
+				var rev [][]uint64
+				rev = append(rev, iv)
+				node := cur
+				for node != start {
+					e := pred[node]
+					if !e.ok {
+						break
+					}
+					rev = append(rev, e.in)
+					node = e.from
+				}
+				ctx := make(sim.Stimulus, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					ctx = append(ctx, inputVec(sa.ins, rev[i]))
+				}
+				return &EquivResult{Status: EquivDifferent, Ctx: ctx, Output: bad, Depth: len(states)}, nil
+			}
+			nk := pstate{key(nextA), key(nextB)}
+			if _, seen := states[nk]; !seen {
+				states[nk] = [2][]uint64{nextA, nextB}
+				pred[nk] = struct {
+					from pstate
+					in   []uint64
+					ok   bool
+				}{from: cur, in: iv, ok: true}
+				queue = append(queue, nk)
+			}
+		}
+	}
+	return &EquivResult{Status: EquivEqual, Depth: len(states)}, nil
+}
+
+func outputNames(d *rtl.Design) []string {
+	var out []string
+	for _, s := range d.Outputs() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,698 @@
+// Package mc is the formal verification engine of the GoldMine reproduction,
+// standing in for the SMV / Cadence IFV model checkers used in the paper. It
+// decides whether a mined assertion holds on all reachable behaviour of a
+// design and produces a concrete counterexample stimulus when it does not.
+//
+// Two engines are provided and selected automatically:
+//
+//   - An explicit-state engine that enumerates the reachable state space by
+//     breadth-first search and checks every window of behaviour from every
+//     reachable state. It is exact (same verdicts SMV would give) and is used
+//     whenever the design's state and input bit counts are small enough.
+//   - A SAT-based engine built on the cnf.Unroller: bounded model checking
+//     from the reset state for falsification, and k-induction for proof. If
+//     the BMC bound is exhausted and induction does not converge the verdict
+//     is StatusBounded ("no counterexample up to depth D"), which the
+//     refinement loop treats as true while recording the bound.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/cnf"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+	"goldmine/internal/sim"
+)
+
+// Status is the verdict for an assertion.
+type Status int
+
+// Verdicts.
+const (
+	StatusProved Status = iota
+	StatusFalsified
+	StatusBounded // no counterexample up to the BMC depth; induction inconclusive
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusProved:
+		return "proved"
+	case StatusFalsified:
+		return "falsified"
+	default:
+		return "bounded"
+	}
+}
+
+// Result is the outcome of checking one assertion.
+type Result struct {
+	Status Status
+	// Ctx is the counterexample input stimulus from reset (only when
+	// falsified). Simulating it violates the assertion in its final window.
+	Ctx sim.Stimulus
+	// Method names the engine that produced the verdict.
+	Method string
+	// Depth is the relevant bound: BFS diameter, BMC depth, or induction k.
+	Depth int
+	// Elapsed is the wall time of the check.
+	Elapsed time.Duration
+}
+
+// Options tune the checker.
+type Options struct {
+	// MaxStateBits is the explicit-state engine limit on total register bits.
+	MaxStateBits int
+	// MaxInputBits limits input bits per cycle for explicit transition
+	// enumeration.
+	MaxInputBits int
+	// MaxWindowBits limits inputBits*windowLength for explicit property
+	// windows.
+	MaxWindowBits int
+	// MaxExplicitBits bounds stateBits + free window bits: the explicit
+	// engine performs at most 2^MaxExplicitBits window simulations per
+	// assertion check.
+	MaxExplicitBits int
+	// MaxBMCDepth bounds SAT-based bounded model checking.
+	MaxBMCDepth int
+	// MaxInduction bounds the k of k-induction.
+	MaxInduction int
+}
+
+// DefaultOptions returns sensible limits for benchmark-scale designs.
+func DefaultOptions() Options {
+	return Options{
+		MaxStateBits:    16,
+		MaxInputBits:    12,
+		MaxWindowBits:   20,
+		MaxExplicitBits: 22,
+		MaxBMCDepth:     24,
+		MaxInduction:    12,
+	}
+}
+
+// Checker verifies assertions against one design, caching reachability
+// analysis across checks.
+type Checker struct {
+	d    *rtl.Design
+	opts Options
+
+	// Explicit-state cache.
+	reach *reachability
+
+	// Statistics.
+	Checks      int
+	CtxFound    int
+	TotalTime   time.Duration
+	ExplicitOK  bool
+	explicitErr error
+}
+
+// New creates a checker with default options.
+func New(d *rtl.Design) *Checker { return NewWithOptions(d, DefaultOptions()) }
+
+// NewWithOptions creates a checker.
+func NewWithOptions(d *rtl.Design, opts Options) *Checker {
+	c := &Checker{d: d, opts: opts}
+	c.ExplicitOK = d.StateBits() <= opts.MaxStateBits && d.InputBits() <= opts.MaxInputBits
+	return c
+}
+
+// Design returns the design under check.
+func (c *Checker) Design() *rtl.Design { return c.d }
+
+// Check decides the assertion, producing a counterexample when false.
+func (c *Checker) Check(a *assertion.Assertion) (*Result, error) {
+	start := time.Now()
+	c.Checks++
+	// The explicit engine pins input bits already fixed by the antecedent,
+	// so only the remaining free bits need enumeration. Its work is
+	// (reachable states) x 2^freeBits window simulations; gate on the
+	// worst-case state count so a check can never blow up.
+	freeBits := c.d.InputBits()*(a.Consequent.Offset+1) - c.pinnedInputBits(a)
+	explicitWork := c.d.StateBits() + freeBits
+	var res *Result
+	var err error
+	switch {
+	case len(c.d.Registers()) == 0:
+		res, err = c.checkCombinational(a)
+	case c.ExplicitOK && explicitWork <= c.opts.MaxExplicitBits:
+		res, err = c.checkExplicit(a)
+	default:
+		res, err = c.checkSAT(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	c.TotalTime += res.Elapsed
+	if res.Status == StatusFalsified {
+		c.CtxFound++
+	}
+	return res, nil
+}
+
+// propExpr builds the rtl expression "signal == value" (or "signal[bit] ==
+// value" for bit propositions).
+func propExpr(d *rtl.Design, p assertion.Prop) (rtl.Expr, error) {
+	sig := d.Signal(p.Signal)
+	if sig == nil {
+		return nil, fmt.Errorf("assertion references unknown signal %q", p.Signal)
+	}
+	var lhs rtl.Expr = &rtl.Ref{Sig: sig}
+	width := sig.Width
+	if p.Bit >= 0 {
+		if p.Bit >= sig.Width {
+			return nil, fmt.Errorf("assertion bit %s[%d] out of range (width %d)", p.Signal, p.Bit, sig.Width)
+		}
+		if sig.Width > 1 {
+			lhs = &rtl.Select{X: lhs, Bit: p.Bit}
+		}
+		width = 1
+	}
+	return &rtl.Binary{
+		Op: rtl.OpEq,
+		A:  lhs,
+		B:  rtl.NewConst(p.Value, width),
+		W:  1,
+	}, nil
+}
+
+// propVal extracts the proposition's observed value from a signal value.
+func propVal(p assertion.Prop, sig *rtl.Signal, v uint64) uint64 {
+	if p.Bit >= 0 {
+		return (v >> uint(p.Bit)) & 1
+	}
+	return v & rtl.Mask(sig.Width)
+}
+
+// ---------------------------------------------------------------------------
+// Combinational designs: one SAT check, complete.
+// ---------------------------------------------------------------------------
+
+func (c *Checker) checkCombinational(a *assertion.Assertion) (*Result, error) {
+	s := sat.New()
+	u := cnf.NewUnroller(s, c.d)
+	u.AddFrame()
+	assumps, err := windowAssumptions(u, c.d, a, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Solve(assumps...) {
+	case sat.Sat:
+		ctx := sim.Stimulus{u.InputModel(0)}
+		return &Result{Status: StatusFalsified, Ctx: ctx, Method: "sat-comb", Depth: 1}, nil
+	case sat.Unsat:
+		return &Result{Status: StatusProved, Method: "sat-comb", Depth: 1}, nil
+	default:
+		return &Result{Status: StatusBounded, Method: "sat-comb", Depth: 1}, nil
+	}
+}
+
+// windowAssumptions encodes ant(t0) ∧ ¬cons(t0) as assumption literals for a
+// window starting at frame t0 (all frames must be materialized).
+func windowAssumptions(u *cnf.Unroller, d *rtl.Design, a *assertion.Assertion, t0 int) ([]sat.Lit, error) {
+	var assumps []sat.Lit
+	for _, p := range a.Antecedent {
+		e, err := propExpr(d, p)
+		if err != nil {
+			return nil, err
+		}
+		vec, err := u.EncodeExpr(e, t0+p.Offset)
+		if err != nil {
+			return nil, err
+		}
+		assumps = append(assumps, vec[0])
+	}
+	ce, err := propExpr(d, a.Consequent)
+	if err != nil {
+		return nil, err
+	}
+	cvec, err := u.EncodeExpr(ce, t0+a.Consequent.Offset)
+	if err != nil {
+		return nil, err
+	}
+	assumps = append(assumps, cvec[0].Neg())
+	return assumps, nil
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-state engine
+// ---------------------------------------------------------------------------
+
+// stateKey packs register values into a comparable key.
+type stateKey string
+
+type reachability struct {
+	regs    []*rtl.Signal
+	inputs  []*rtl.Signal
+	states  map[stateKey][]uint64
+	pred    map[stateKey]predEdge // BFS tree for path reconstruction
+	order   []stateKey            // BFS order
+	initial stateKey
+}
+
+type predEdge struct {
+	from stateKey
+	in   []uint64
+	ok   bool
+}
+
+type stepper struct {
+	d     *rtl.Design
+	order []*rtl.Signal
+	env   rtl.MapEnv
+	regs  []*rtl.Signal
+	ins   []*rtl.Signal
+}
+
+func newStepper(d *rtl.Design) (*stepper, error) {
+	order, err := d.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &stepper{
+		d: d, order: order, env: rtl.MapEnv{},
+		regs: d.Registers(), ins: d.Inputs(),
+	}, nil
+}
+
+// settle loads state and inputs, evaluates combinational logic, and returns
+// the environment for the cycle plus the next state vector.
+func (st *stepper) settle(state, inputs []uint64) (rtl.MapEnv, []uint64) {
+	for i, r := range st.regs {
+		st.env[r] = state[i]
+	}
+	for i, in := range st.ins {
+		st.env[in] = inputs[i]
+	}
+	for _, s := range st.order {
+		st.env[s] = rtl.Eval(st.d.Comb[s], st.env)
+	}
+	next := make([]uint64, len(st.regs))
+	for i, r := range st.regs {
+		next[i] = rtl.Eval(st.d.Next[r], st.env)
+	}
+	return st.env, next
+}
+
+func key(state []uint64) stateKey {
+	b := make([]byte, 0, len(state)*8)
+	for _, v := range state {
+		for sh := 0; sh < 64; sh += 8 {
+			b = append(b, byte(v>>uint(sh)))
+		}
+	}
+	return stateKey(b)
+}
+
+// inputSpace enumerates all input combinations of the design.
+type inputSpace struct {
+	ins    []*rtl.Signal
+	widths []int
+	total  uint64
+}
+
+func newInputSpace(ins []*rtl.Signal) *inputSpace {
+	sp := &inputSpace{ins: ins}
+	bits := 0
+	for _, in := range ins {
+		sp.widths = append(sp.widths, in.Width)
+		bits += in.Width
+	}
+	sp.total = 1 << uint(bits)
+	return sp
+}
+
+// vec unpacks combination index n into per-input values.
+func (sp *inputSpace) vec(n uint64) []uint64 {
+	out := make([]uint64, len(sp.ins))
+	for i, w := range sp.widths {
+		out[i] = n & rtl.Mask(w)
+		n >>= uint(w)
+	}
+	return out
+}
+
+// computeReach performs BFS from the all-zero reset state.
+func (c *Checker) computeReach() (*reachability, error) {
+	if c.reach != nil {
+		return c.reach, nil
+	}
+	if c.explicitErr != nil {
+		return nil, c.explicitErr
+	}
+	st, err := newStepper(c.d)
+	if err != nil {
+		c.explicitErr = err
+		return nil, err
+	}
+	r := &reachability{
+		regs:   c.d.Registers(),
+		inputs: c.d.Inputs(),
+		states: map[stateKey][]uint64{},
+		pred:   map[stateKey]predEdge{},
+	}
+	init := make([]uint64, len(r.regs))
+	ik := key(init)
+	r.initial = ik
+	r.states[ik] = init
+	r.order = append(r.order, ik)
+	queue := []stateKey{ik}
+	sp := newInputSpace(r.inputs)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curState := r.states[cur]
+		for n := uint64(0); n < sp.total; n++ {
+			iv := sp.vec(n)
+			_, next := st.settle(curState, iv)
+			nk := key(next)
+			if _, seen := r.states[nk]; !seen {
+				r.states[nk] = next
+				r.pred[nk] = predEdge{from: cur, in: iv, ok: true}
+				r.order = append(r.order, nk)
+				queue = append(queue, nk)
+			}
+		}
+	}
+	c.reach = r
+	return r, nil
+}
+
+// pathTo reconstructs an input stimulus from reset that drives the design
+// into the given reachable state.
+func (r *reachability) pathTo(k stateKey) [][]uint64 {
+	var rev [][]uint64
+	cur := k
+	for cur != r.initial {
+		e := r.pred[cur]
+		if !e.ok {
+			break
+		}
+		rev = append(rev, e.in)
+		cur = e.from
+	}
+	// Reverse.
+	out := make([][]uint64, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// pinnedInputBits counts antecedent propositions that pin primary-input bits
+// inside the window (each removes bits from the enumeration space).
+func (c *Checker) pinnedInputBits(a *assertion.Assertion) int {
+	n := 0
+	for _, p := range a.Antecedent {
+		sig := c.d.Signal(p.Signal)
+		if sig == nil || sig.Kind != rtl.SigInput || sig.Name == c.d.Clock {
+			continue
+		}
+		if p.Offset > a.Consequent.Offset {
+			continue
+		}
+		if p.Bit >= 0 {
+			n++
+		} else {
+			n += sig.Width
+		}
+	}
+	return n
+}
+
+// rp is a pre-resolved proposition for in-simulation evaluation.
+type rp struct {
+	sig  *rtl.Signal
+	prop assertion.Prop
+	off  int
+	val  uint64
+}
+
+func resolveProp(d *rtl.Design, p assertion.Prop) (rp, error) {
+	sig := d.Signal(p.Signal)
+	if sig == nil {
+		return rp{}, fmt.Errorf("assertion references unknown signal %q", p.Signal)
+	}
+	want := p.Value
+	if p.Bit < 0 {
+		want &= rtl.Mask(sig.Width)
+	} else {
+		want &= 1
+	}
+	return rp{sig: sig, prop: p, off: p.Offset, val: want}, nil
+}
+
+func (c *Checker) checkExplicit(a *assertion.Assertion) (*Result, error) {
+	r, err := c.computeReach()
+	if err != nil {
+		return nil, err
+	}
+	st, err := newStepper(c.d)
+	if err != nil {
+		return nil, err
+	}
+	coff := a.Consequent.Offset
+	frames := coff + 1
+
+	// Split the antecedent: propositions on primary inputs pin bits of the
+	// enumerated window; everything else is checked during simulation.
+	inputIdx := map[*rtl.Signal]int{}
+	for i, in := range r.inputs {
+		inputIdx[in] = i
+	}
+	fixedVal := make([][]uint64, frames)
+	fixedMask := make([][]uint64, frames)
+	for f := 0; f < frames; f++ {
+		fixedVal[f] = make([]uint64, len(r.inputs))
+		fixedMask[f] = make([]uint64, len(r.inputs))
+	}
+	var simProps []rp
+	for _, p := range a.Antecedent {
+		pr, err := resolveProp(c.d, p)
+		if err != nil {
+			return nil, err
+		}
+		ii, isInput := inputIdx[pr.sig]
+		if !isInput || pr.off >= frames {
+			simProps = append(simProps, pr)
+			continue
+		}
+		if p.Bit >= 0 {
+			fixedMask[pr.off][ii] |= 1 << uint(p.Bit)
+			fixedVal[pr.off][ii] |= (pr.val & 1) << uint(p.Bit)
+		} else {
+			fixedMask[pr.off][ii] = rtl.Mask(pr.sig.Width)
+			fixedVal[pr.off][ii] = pr.val
+		}
+	}
+	cp, err := resolveProp(c.d, a.Consequent)
+	if err != nil {
+		return nil, err
+	}
+
+	// Free bit positions to enumerate.
+	type freeBit struct{ frame, input, bit int }
+	var free []freeBit
+	for f := 0; f < frames; f++ {
+		for i, in := range r.inputs {
+			for b := 0; b < in.Width; b++ {
+				if fixedMask[f][i]&(1<<uint(b)) == 0 {
+					free = append(free, freeBit{frame: f, input: i, bit: b})
+				}
+			}
+		}
+	}
+	if len(free) > 62 {
+		return nil, fmt.Errorf("explicit window too wide (%d free bits)", len(free))
+	}
+	seqTotal := uint64(1) << uint(len(free))
+
+	ivs := make([][]uint64, frames)
+	for f := range ivs {
+		ivs[f] = make([]uint64, len(r.inputs))
+	}
+	for _, sk := range r.order {
+		startState := r.states[sk]
+		for seq := uint64(0); seq < seqTotal; seq++ {
+			// Compose the window's inputs: pinned bits + enumerated bits.
+			for f := 0; f < frames; f++ {
+				copy(ivs[f], fixedVal[f])
+			}
+			for i, fb := range free {
+				if (seq>>uint(i))&1 == 1 {
+					ivs[fb.frame][fb.input] |= 1 << uint(fb.bit)
+				}
+			}
+			// Simulate the window, evaluating the remaining propositions.
+			state := startState
+			antOK := true
+			consVal := uint64(0)
+			for f := 0; f < frames; f++ {
+				env, next := st.settle(state, ivs[f])
+				for _, p := range simProps {
+					if p.off == f && propVal(p.prop, p.sig, env[p.sig]) != p.val {
+						antOK = false
+					}
+				}
+				if f == coff {
+					consVal = propVal(cp.prop, cp.sig, env[cp.sig])
+				}
+				if !antOK {
+					break
+				}
+				state = next
+			}
+			if antOK && consVal != cp.val {
+				// Violation: build the full ctx from reset.
+				prefix := r.pathTo(sk)
+				var ctx sim.Stimulus
+				for _, iv := range prefix {
+					ctx = append(ctx, inputVec(r.inputs, iv))
+				}
+				for _, iv := range ivs {
+					ctx = append(ctx, inputVec(r.inputs, iv))
+				}
+				return &Result{Status: StatusFalsified, Ctx: ctx, Method: "explicit", Depth: len(r.states)}, nil
+			}
+		}
+	}
+	return &Result{Status: StatusProved, Method: "explicit", Depth: len(r.states)}, nil
+}
+
+func inputVec(ins []*rtl.Signal, vals []uint64) sim.InputVec {
+	iv := sim.InputVec{}
+	for i, in := range ins {
+		iv[in.Name] = vals[i]
+	}
+	return iv
+}
+
+// ReachableStates returns the number of reachable states (explicit engine),
+// computing the reachability fixpoint if needed.
+func (c *Checker) ReachableStates() (int, error) {
+	r, err := c.computeReach()
+	if err != nil {
+		return 0, err
+	}
+	return len(r.states), nil
+}
+
+// ---------------------------------------------------------------------------
+// SAT engine: BMC + k-induction
+// ---------------------------------------------------------------------------
+
+func (c *Checker) checkSAT(a *assertion.Assertion) (*Result, error) {
+	coff := a.Consequent.Offset
+	minFrames := coff + 1
+
+	// Bounded model checking from reset, incremental in the unroll depth.
+	s := sat.New()
+	u := cnf.NewUnroller(s, c.d)
+	for i := 0; i < minFrames; i++ {
+		u.AddFrame()
+	}
+	u.InitZero()
+	maxDepth := c.opts.MaxBMCDepth
+	if maxDepth < minFrames {
+		maxDepth = minFrames
+	}
+	for depth := minFrames; depth <= maxDepth; depth++ {
+		for u.Frames() < depth {
+			u.AddFrame()
+		}
+		t0 := depth - minFrames // newest window start
+		assumps, err := windowAssumptions(u, c.d, a, t0)
+		if err != nil {
+			return nil, err
+		}
+		if s.Solve(assumps...) == sat.Sat {
+			ctx := make(sim.Stimulus, 0, depth)
+			for f := 0; f < depth; f++ {
+				ctx = append(ctx, u.InputModel(f))
+			}
+			return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
+		}
+	}
+
+	// k-induction: base case is the BMC above. Step: from an arbitrary state,
+	// if the property holds for k consecutive windows it holds for the next.
+	for k := 1; k <= c.opts.MaxInduction; k++ {
+		proved, err := c.inductionStep(a, k)
+		if err != nil {
+			return nil, err
+		}
+		if proved {
+			return &Result{Status: StatusProved, Method: fmt.Sprintf("k-induction(k=%d)", k), Depth: k}, nil
+		}
+	}
+	return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: maxDepth}, nil
+}
+
+// inductionStep checks the k-induction step case: assume the property for
+// windows starting at frames 0..k-1 (arbitrary initial state) and look for a
+// violation at window k. UNSAT means the step holds.
+func (c *Checker) inductionStep(a *assertion.Assertion, k int) (bool, error) {
+	coff := a.Consequent.Offset
+	s := sat.New()
+	u := cnf.NewUnroller(s, c.d)
+	frames := k + coff + 1
+	for i := 0; i < frames; i++ {
+		u.AddFrame()
+	}
+	// Assume property at windows 0..k-1: (ant -> cons) as clauses.
+	for t0 := 0; t0 < k; t0++ {
+		lits := make([]sat.Lit, 0, len(a.Antecedent)+1)
+		for _, p := range a.Antecedent {
+			e, err := propExpr(c.d, p)
+			if err != nil {
+				return false, err
+			}
+			vec, err := u.EncodeExpr(e, t0+p.Offset)
+			if err != nil {
+				return false, err
+			}
+			lits = append(lits, vec[0].Neg())
+		}
+		ce, err := propExpr(c.d, a.Consequent)
+		if err != nil {
+			return false, err
+		}
+		cvec, err := u.EncodeExpr(ce, t0+coff)
+		if err != nil {
+			return false, err
+		}
+		lits = append(lits, cvec[0])
+		s.AddClause(lits...)
+	}
+	assumps, err := windowAssumptions(u, c.d, a, k)
+	if err != nil {
+		return false, err
+	}
+	return s.Solve(assumps...) == sat.Unsat, nil
+}
+
+// Reachable returns a sorted list of reachable state keys rendered for
+// debugging (explicit engine only).
+func (c *Checker) Reachable() ([]string, error) {
+	r, err := c.computeReach()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, sk := range r.order {
+		vals := r.states[sk]
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%s=%d", r.regs[i].Name, v)
+		}
+		sort.Strings(parts)
+		out = append(out, fmt.Sprintf("%v", parts))
+	}
+	return out, nil
+}

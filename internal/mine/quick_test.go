@@ -1,0 +1,196 @@
+package mine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/trace"
+)
+
+// randomDataset builds a dataset over the 3-input XOR/AND design with n
+// random stimulus cycles.
+func randomDataset(t testing.TB, seed int64, n int) *trace.Dataset {
+	t.Helper()
+	src := `module m(input a, b, c, output z); assign z = (a ^ b) | (b & c); endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.NewDataset(d, d.MustSignal("z"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var stim sim.Stimulus
+	for i := 0; i < n; i++ {
+		stim = append(stim, sim.InputVec{
+			"a": rng.Uint64() & 1, "b": rng.Uint64() & 1, "c": rng.Uint64() & 1,
+		})
+	}
+	tr, err := sim.Simulate(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.AddTrace(tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestQuickLeavesPartitionRows: for any random dataset, the tree's leaves
+// partition the row set, and every row's features match its leaf's path.
+func TestQuickLeavesPartitionRows(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomDataset(t, seed, 1+int(uint64(seed)%24))
+		tr := Build(ds)
+		seen := map[int]int{}
+		for _, lf := range tr.Leaves() {
+			for _, r := range lf.Node.Rows {
+				seen[r]++
+				for _, st := range lf.Path {
+					if ds.Value(r, st.Var) != st.Value {
+						return false
+					}
+				}
+			}
+		}
+		if len(seen) != ds.Rows() {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCandidatesConsistent: every candidate assertion agrees with every
+// row in its leaf (100% confidence), and no path repeats a variable.
+func TestQuickCandidatesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomDataset(t, seed, 2+int(uint64(seed)%30))
+		tr := Build(ds)
+		for _, c := range tr.Candidates() {
+			pred := c.Leaf.Node.PredictedValue()
+			for _, r := range c.Leaf.Node.Rows {
+				if uint64(ds.Target(r)) != pred {
+					return false
+				}
+			}
+			used := map[int]bool{}
+			for _, st := range c.Leaf.Path {
+				if used[st.Var] {
+					return false
+				}
+				used[st.Var] = true
+			}
+			if c.Assertion.Confidence != 1.0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treeShape captures the split variable of every internal node by path.
+func treeShape(tr *Tree) map[string]int {
+	shape := map[string]int{}
+	var walk func(n *Node, path string)
+	walk = func(n *Node, path string) {
+		if n.IsLeaf() {
+			return
+		}
+		shape[path] = n.Var
+		walk(n.Zero, path+"0")
+		walk(n.One, path+"1")
+	}
+	walk(tr.Root, "")
+	return shape
+}
+
+// TestQuickIncrementalPreservesOrdering: Definition 6 — adding rows never
+// changes the split variable of an existing internal node; existing internal
+// structure only grows.
+func TestQuickIncrementalPreservesOrdering(t *testing.T) {
+	src := `module m(input a, b, c, output z); assign z = (a ^ b) | (b & c); endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, err := trace.NewDataset(d, d.MustSignal("z"), 0, 0)
+		if err != nil {
+			return false
+		}
+		mkStim := func(n int) sim.Stimulus {
+			var stim sim.Stimulus
+			for i := 0; i < n; i++ {
+				stim = append(stim, sim.InputVec{
+					"a": rng.Uint64() & 1, "b": rng.Uint64() & 1, "c": rng.Uint64() & 1,
+				})
+			}
+			return stim
+		}
+		t0, err := sim.Simulate(d, mkStim(3+rng.Intn(5)))
+		if err != nil {
+			return false
+		}
+		if _, err := ds.AddTrace(t0, 0); err != nil {
+			return false
+		}
+		tr := Build(ds)
+		// Incremental additions, checking structure preservation each time.
+		for step := 0; step < 4; step++ {
+			before := treeShape(tr)
+			t1, err := sim.Simulate(d, mkStim(1+rng.Intn(3)))
+			if err != nil {
+				return false
+			}
+			start := ds.Rows()
+			if _, err := ds.AddTrace(t1, step+1); err != nil {
+				return false
+			}
+			var newRows []int
+			for r := start; r < ds.Rows(); r++ {
+				newRows = append(newRows, r)
+			}
+			tr.AddRows(newRows)
+			after := treeShape(tr)
+			for path, v := range before {
+				if after[path] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTheorem1Bound: the split count always respects the Theorem 1 size
+// bound 2k+1 <= 2^(n+1)-1 over the cone variable count n.
+func TestQuickTheorem1Bound(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := randomDataset(t, seed, 1+int(uint64(seed)%40))
+		tr := Build(ds)
+		n := ds.NumVars()
+		return 2*tr.Splits+1 <= (1<<uint(n+1))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package monitor implements runtime assertion checking: mined assertions
+// attach to a simulator as observers and are evaluated on every window of
+// live simulation, the way traditional testbench monitors consume SVA. The
+// paper's conclusion positions the mined assertions exactly this way — as
+// regression monitors in a validation environment — and the Section 7.4
+// fault experiment uses them as the regression vehicle.
+package monitor
+
+import (
+	"fmt"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// Violation records one assertion failure during simulation.
+type Violation struct {
+	// Assertion index into the monitor's suite.
+	Index int
+	// Cycle is the window-start cycle of the violation.
+	Cycle int
+}
+
+// Stats aggregates per-assertion activity.
+type Stats struct {
+	// Activations counts windows where the antecedent matched.
+	Activations int
+	// Violations counts antecedent matches with a failing consequent.
+	Violations int
+}
+
+// Monitor evaluates a suite of assertions over a sliding window of
+// simulation cycles.
+type Monitor struct {
+	d     *rtl.Design
+	suite []*assertion.Assertion
+
+	// resolved propositions per assertion.
+	ants  [][]resolvedProp
+	cons  []resolvedProp
+	depth int // window depth = max consequent offset + 1
+
+	// ring buffer of the last `depth` cycle snapshots.
+	ring  [][]uint64
+	sigs  []*rtl.Signal
+	index map[*rtl.Signal]int
+	seen  int // cycles observed since reset
+
+	stats      []Stats
+	violations []Violation
+	// MaxViolations bounds the recorded violation list (0 = 1000).
+	MaxViolations int
+}
+
+type resolvedProp struct {
+	sig    *rtl.Signal
+	bit    int
+	offset int
+	value  uint64
+}
+
+// New builds a monitor for the assertion suite on a design.
+func New(d *rtl.Design, suite []*assertion.Assertion) (*Monitor, error) {
+	m := &Monitor{
+		d:     d,
+		suite: suite,
+		stats: make([]Stats, len(suite)),
+		index: map[*rtl.Signal]int{},
+	}
+	resolve := func(p assertion.Prop) (resolvedProp, error) {
+		sig := d.Signal(p.Signal)
+		if sig == nil {
+			return resolvedProp{}, fmt.Errorf("monitor: unknown signal %q", p.Signal)
+		}
+		if _, ok := m.index[sig]; !ok {
+			m.index[sig] = len(m.sigs)
+			m.sigs = append(m.sigs, sig)
+		}
+		rp := resolvedProp{sig: sig, bit: p.Bit, offset: p.Offset, value: p.Value}
+		if p.Bit < 0 {
+			rp.value &= rtl.Mask(sig.Width)
+		} else {
+			rp.value &= 1
+		}
+		return rp, nil
+	}
+	for _, a := range suite {
+		var ants []resolvedProp
+		for _, p := range a.Antecedent {
+			rp, err := resolve(p)
+			if err != nil {
+				return nil, err
+			}
+			ants = append(ants, rp)
+		}
+		cp, err := resolve(a.Consequent)
+		if err != nil {
+			return nil, err
+		}
+		m.ants = append(m.ants, ants)
+		m.cons = append(m.cons, cp)
+		if cp.offset+1 > m.depth {
+			m.depth = cp.offset + 1
+		}
+	}
+	if m.depth == 0 {
+		m.depth = 1
+	}
+	m.ring = make([][]uint64, m.depth)
+	for i := range m.ring {
+		m.ring[i] = make([]uint64, len(m.sigs))
+	}
+	return m, nil
+}
+
+// Attach registers the monitor on a simulator. Call BeginRun before each
+// reset so windows never straddle independent runs.
+func (m *Monitor) Attach(s *sim.Simulator) { s.Observe(m.Observe) }
+
+// BeginRun clears the sliding window at a reset boundary.
+func (m *Monitor) BeginRun() { m.seen = 0 }
+
+// Observe consumes one settled simulation cycle.
+func (m *Monitor) Observe(env rtl.Env) {
+	slot := m.seen % m.depth
+	for i, sig := range m.sigs {
+		m.ring[slot][i] = env.Get(sig) & rtl.Mask(sig.Width)
+	}
+	m.seen++
+	if m.seen < m.depth {
+		return // window not yet full
+	}
+	// The completed window starts depth-1 cycles ago.
+	start := m.seen - m.depth
+	for ai := range m.suite {
+		match := true
+		for _, p := range m.ants[ai] {
+			if m.windowValue(start, p) != p.value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		m.stats[ai].Activations++
+		if m.windowValue(start, m.cons[ai]) != m.cons[ai].value {
+			m.stats[ai].Violations++
+			maxV := m.MaxViolations
+			if maxV <= 0 {
+				maxV = 1000
+			}
+			if len(m.violations) < maxV {
+				m.violations = append(m.violations, Violation{Index: ai, Cycle: start})
+			}
+		}
+	}
+}
+
+// windowValue reads the proposition's value at window-start cycle + offset
+// from the ring buffer.
+func (m *Monitor) windowValue(start int, p resolvedProp) uint64 {
+	slot := (start + p.offset) % m.depth
+	v := m.ring[slot][m.index[p.sig]]
+	if p.bit >= 0 {
+		return (v >> uint(p.bit)) & 1
+	}
+	return v
+}
+
+// Violations returns the recorded failures.
+func (m *Monitor) Violations() []Violation { return m.violations }
+
+// AssertionStats returns per-assertion activation/violation counts.
+func (m *Monitor) AssertionStats() []Stats { return append([]Stats(nil), m.stats...) }
+
+// Clean reports whether no assertion fired a violation.
+func (m *Monitor) Clean() bool { return len(m.violations) == 0 }
+
+// VacuousCount counts assertions whose antecedent never activated — useful
+// to gauge how much of the suite a regression actually exercises.
+func (m *Monitor) VacuousCount() int {
+	n := 0
+	for _, st := range m.stats {
+		if st.Activations == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RunSuite resets and replays each stimulus with the monitor attached.
+func (m *Monitor) RunSuite(suite []sim.Stimulus) error {
+	s, err := sim.New(m.d)
+	if err != nil {
+		return err
+	}
+	s.Observe(m.Observe)
+	for _, stim := range suite {
+		m.BeginRun()
+		s.Reset()
+		for _, iv := range stim {
+			if err := s.Step(iv, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package mutate implements the systematic mutation-based fault injection of
+// Section 7.4: an internal design signal is forced stuck-at-0 or stuck-at-1
+// and the previously mined assertions are re-checked on the mutated design.
+// Assertions that fail on the mutant detect ("cover") the injected fault.
+package mutate
+
+import (
+	"fmt"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/mc"
+	"goldmine/internal/rtl"
+)
+
+// Fault is a stuck-at fault on a named signal. StuckAt1 false forces all bits
+// to 0, true forces all bits to 1.
+type Fault struct {
+	Signal   string
+	StuckAt1 bool
+}
+
+func (f Fault) String() string {
+	v := 0
+	if f.StuckAt1 {
+		v = 1
+	}
+	return fmt.Sprintf("%s stuck-at-%d", f.Signal, v)
+}
+
+// Apply returns a mutated copy of the design with the fault injected. The
+// original design is not modified (signal metadata is shared, expression maps
+// are rebuilt).
+func Apply(d *rtl.Design, f Fault) (*rtl.Design, error) {
+	sig := d.Signal(f.Signal)
+	if sig == nil {
+		return nil, fmt.Errorf("mutate: no signal %q in %s", f.Signal, d.Name)
+	}
+	var val uint64
+	if f.StuckAt1 {
+		val = rtl.Mask(sig.Width)
+	}
+	stuck := rtl.NewConst(val, sig.Width)
+
+	md := &rtl.Design{
+		Name:    d.Name + "~" + f.String(),
+		Signals: d.Signals,
+		Clock:   d.Clock,
+		Comb:    map[*rtl.Signal]rtl.Expr{},
+		Next:    map[*rtl.Signal]rtl.Expr{},
+		Cover:   d.Cover,
+	}
+	// Rebuild the signal index by re-adding? rtl.Design has a private map;
+	// construct via the public surface: copy expression maps and rely on
+	// Signal() working through Signals. See rtl.Rebind below.
+	for s, e := range d.Comb {
+		md.Comb[s] = e
+	}
+	for s, e := range d.Next {
+		md.Next[s] = e
+	}
+
+	switch {
+	case sig.Kind == rtl.SigInput:
+		// Inputs have no driver: replace every read of the signal.
+		for s, e := range md.Comb {
+			md.Comb[s] = replaceRef(e, sig, stuck)
+		}
+		for s, e := range md.Next {
+			md.Next[s] = replaceRef(e, sig, stuck)
+		}
+	case sig.IsState:
+		md.Next[sig] = stuck
+		// The current-cycle value read by consumers still comes from the
+		// register; forcing the next-state makes it stuck from cycle 1 on.
+		// To make the fault effective in cycle 0 too, also rewrite reads.
+		for s, e := range md.Comb {
+			md.Comb[s] = replaceRef(e, sig, stuck)
+		}
+		for s, e := range md.Next {
+			if s == sig {
+				continue
+			}
+			md.Next[s] = replaceRef(e, sig, stuck)
+		}
+	default:
+		md.Comb[sig] = stuck
+	}
+	if err := rtl.Rebind(md); err != nil {
+		return nil, err
+	}
+	return md, nil
+}
+
+// replaceRef substitutes constant c for every read of sig in e.
+func replaceRef(e rtl.Expr, sig *rtl.Signal, c rtl.Expr) rtl.Expr {
+	switch x := e.(type) {
+	case *rtl.Ref:
+		if x.Sig == sig {
+			return c
+		}
+		return x
+	case *rtl.Const, nil:
+		return e
+	case *rtl.Unary:
+		return &rtl.Unary{Op: x.Op, X: replaceRef(x.X, sig, c), W: x.W}
+	case *rtl.Binary:
+		return &rtl.Binary{Op: x.Op, A: replaceRef(x.A, sig, c), B: replaceRef(x.B, sig, c), W: x.W}
+	case *rtl.Mux:
+		return &rtl.Mux{
+			Cond: replaceRef(x.Cond, sig, c),
+			T:    replaceRef(x.T, sig, c),
+			F:    replaceRef(x.F, sig, c),
+			W:    x.W,
+		}
+	case *rtl.Select:
+		return &rtl.Select{X: replaceRef(x.X, sig, c), Bit: x.Bit}
+	case *rtl.Slice:
+		return &rtl.Slice{X: replaceRef(x.X, sig, c), MSB: x.MSB, LSB: x.LSB}
+	case *rtl.Concat:
+		parts := make([]rtl.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = replaceRef(p, sig, c)
+		}
+		return rtl.NewConcat(parts)
+	default:
+		return e
+	}
+}
+
+// Detection reports how many assertions detect a fault.
+type Detection struct {
+	Fault    Fault
+	Detected int // assertions that fail on the mutant
+	Total    int
+	// Detecting lists the indices of detecting assertions.
+	Detecting []int
+}
+
+// Campaign checks every assertion against every fault, reproducing Table 2.
+func Campaign(d *rtl.Design, asserts []*assertion.Assertion, faults []Fault, opts mc.Options) ([]Detection, error) {
+	var out []Detection
+	for _, f := range faults {
+		md, err := Apply(d, f)
+		if err != nil {
+			return nil, err
+		}
+		checker := mc.NewWithOptions(md, opts)
+		det := Detection{Fault: f, Total: len(asserts)}
+		for i, a := range asserts {
+			res, err := checker.Check(a)
+			if err != nil {
+				return nil, err
+			}
+			if res.Status == mc.StatusFalsified {
+				det.Detected++
+				det.Detecting = append(det.Detecting, i)
+			}
+		}
+		out = append(out, det)
+	}
+	return out, nil
+}

@@ -1,0 +1,364 @@
+// Package netlist implements bit-level synthesis of elaborated RTL designs
+// into an and-inverter graph (AIG) with complemented edges and structural
+// hashing — the standard representation of modern formal tools. The
+// synthesized netlist has one AND-node DAG for all combinational logic, a
+// latch per register bit (reset value zero, matching the rtl simulator and
+// the model checker), and named input/output bit vectors.
+//
+// The package also provides a cycle-accurate netlist simulator used by the
+// test suite to cross-check the RTL interpreter against an independently
+// derived implementation of the design semantics.
+package netlist
+
+import "fmt"
+
+// Lit is an AIG edge: node index << 1, low bit = complemented.
+type Lit uint32
+
+// Node index and polarity accessors.
+func (l Lit) Node() uint32     { return uint32(l >> 1) }
+func (l Lit) Complement() bool { return l&1 == 1 }
+
+// Not returns the complemented edge.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// The constant-false node is node 0; ConstFalse = 2*0+0.
+const (
+	ConstFalse Lit = 0
+	ConstTrue  Lit = 1
+)
+
+type nodeKind uint8
+
+const (
+	nConst nodeKind = iota // node 0 only
+	nInput
+	nLatch
+	nAnd
+)
+
+type node struct {
+	kind nodeKind
+	a, b Lit // AND fanins; for latches, a = next-state edge (set late)
+}
+
+// AIG is a structurally hashed and-inverter graph.
+type AIG struct {
+	nodes []node
+	hash  map[[2]Lit]Lit
+
+	// Inputs and Latches list node indices in creation order.
+	inputs  []uint32
+	latches []uint32
+
+	// InputBits and LatchBits map signal names to their bit edges (LSB
+	// first); OutputBits maps design outputs to driver edges.
+	InputBits  map[string][]Lit
+	LatchBits  map[string][]Lit
+	OutputBits map[string][]Lit
+}
+
+// New creates an empty AIG containing only the constant node.
+func New() *AIG {
+	g := &AIG{
+		hash:       map[[2]Lit]Lit{},
+		InputBits:  map[string][]Lit{},
+		LatchBits:  map[string][]Lit{},
+		OutputBits: map[string][]Lit{},
+	}
+	g.nodes = append(g.nodes, node{kind: nConst})
+	return g
+}
+
+// NumNodes returns the node count (including the constant).
+func (g *AIG) NumNodes() int { return len(g.nodes) }
+
+// NumAnds returns the AND-node count.
+func (g *AIG) NumAnds() int {
+	n := 0
+	for _, nd := range g.nodes {
+		if nd.kind == nAnd {
+			n++
+		}
+	}
+	return n
+}
+
+// NumInputs returns the primary-input bit count.
+func (g *AIG) NumInputs() int { return len(g.inputs) }
+
+// NumLatches returns the latch bit count.
+func (g *AIG) NumLatches() int { return len(g.latches) }
+
+// NewInput allocates a primary-input node.
+func (g *AIG) NewInput() Lit {
+	idx := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, node{kind: nInput})
+	g.inputs = append(g.inputs, idx)
+	return Lit(idx << 1)
+}
+
+// NewLatch allocates a latch node; its next-state edge is set later with
+// SetLatchNext. Latches reset to zero.
+func (g *AIG) NewLatch() Lit {
+	idx := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, node{kind: nLatch})
+	g.latches = append(g.latches, idx)
+	return Lit(idx << 1)
+}
+
+// SetLatchNext wires the next-state function of a latch edge returned by
+// NewLatch (the edge must be uncomplemented).
+func (g *AIG) SetLatchNext(latch Lit, next Lit) {
+	if latch.Complement() || g.nodes[latch.Node()].kind != nLatch {
+		panic("netlist: SetLatchNext on a non-latch edge")
+	}
+	g.nodes[latch.Node()].a = next
+}
+
+// LatchNext returns the next-state edge of a latch.
+func (g *AIG) LatchNext(latch Lit) Lit { return g.nodes[latch.Node()].a }
+
+// And returns the edge for a AND b, with constant propagation, trivial
+// simplification and structural hashing.
+func (g *AIG) And(a, b Lit) Lit {
+	// Normalization and trivial cases.
+	if a == ConstFalse || b == ConstFalse || a == b.Not() {
+		return ConstFalse
+	}
+	if a == ConstTrue {
+		return b
+	}
+	if b == ConstTrue || a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if l, ok := g.hash[key]; ok {
+		return l
+	}
+	idx := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, node{kind: nAnd, a: a, b: b})
+	l := Lit(idx << 1)
+	g.hash[key] = l
+	return l
+}
+
+// Or returns a OR b.
+func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a XOR b (two ANDs plus an OR).
+func (g *AIG) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Mux returns c ? t : f.
+func (g *AIG) Mux(c, t, f Lit) Lit {
+	return g.Or(g.And(c, t), g.And(c.Not(), f))
+}
+
+// Word is a little-endian vector of edges.
+type Word []Lit
+
+// ConstWord builds a constant word of width w.
+func (g *AIG) ConstWord(v uint64, w int) Word {
+	out := make(Word, w)
+	for i := range out {
+		if (v>>uint(i))&1 == 1 {
+			out[i] = ConstTrue
+		} else {
+			out[i] = ConstFalse
+		}
+	}
+	return out
+}
+
+// NotWord complements every bit.
+func (g *AIG) NotWord(a Word) Word {
+	out := make(Word, len(a))
+	for i, l := range a {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+// Extend zero-extends or truncates a to width w.
+func (g *AIG) Extend(a Word, w int) Word {
+	if len(a) == w {
+		return a
+	}
+	if len(a) > w {
+		return a[:w]
+	}
+	out := make(Word, w)
+	copy(out, a)
+	for i := len(a); i < w; i++ {
+		out[i] = ConstFalse
+	}
+	return out
+}
+
+// Add is a ripple-carry adder with optional carry-in.
+func (g *AIG) Add(a, b Word, carry Lit) Word {
+	if len(a) != len(b) {
+		panic("netlist: adder width mismatch")
+	}
+	out := make(Word, len(a))
+	c := carry
+	for i := range a {
+		axb := g.Xor(a[i], b[i])
+		out[i] = g.Xor(axb, c)
+		c = g.Or(g.And(a[i], b[i]), g.And(c, axb))
+	}
+	return out
+}
+
+// Sub computes a - b.
+func (g *AIG) Sub(a, b Word) Word { return g.Add(a, g.NotWord(b), ConstTrue) }
+
+// Neg computes two's-complement negation.
+func (g *AIG) Neg(a Word) Word {
+	return g.Add(g.NotWord(a), g.ConstWord(0, len(a)), ConstTrue)
+}
+
+// Mul is a shift-add multiplier truncated to w bits.
+func (g *AIG) Mul(a, b Word, w int) Word {
+	acc := g.ConstWord(0, w)
+	for i := 0; i < len(b) && i < w; i++ {
+		part := make(Word, w)
+		for j := 0; j < w; j++ {
+			if j < i || j-i >= len(a) {
+				part[j] = ConstFalse
+			} else {
+				part[j] = g.And(a[j-i], b[i])
+			}
+		}
+		acc = g.Add(acc, part, ConstFalse)
+	}
+	return acc
+}
+
+// Eq returns the single-bit equality of two words.
+func (g *AIG) Eq(a, b Word) Lit {
+	out := ConstTrue
+	for i := range a {
+		out = g.And(out, g.Xor(a[i], b[i]).Not())
+	}
+	return out
+}
+
+// Lt returns unsigned a < b.
+func (g *AIG) Lt(a, b Word) Lit {
+	lt := ConstFalse
+	for i := 0; i < len(a); i++ {
+		eq := g.Xor(a[i], b[i]).Not()
+		lt = g.Or(g.And(a[i].Not(), b[i]), g.And(eq, lt))
+	}
+	return lt
+}
+
+// RedAnd, RedOr, RedXor are reduction operators.
+func (g *AIG) RedAnd(a Word) Lit {
+	out := ConstTrue
+	for _, l := range a {
+		out = g.And(out, l)
+	}
+	return out
+}
+
+// RedOr reduces a word with OR.
+func (g *AIG) RedOr(a Word) Lit {
+	out := ConstFalse
+	for _, l := range a {
+		out = g.Or(out, l)
+	}
+	return out
+}
+
+// RedXor reduces a word with XOR.
+func (g *AIG) RedXor(a Word) Lit {
+	out := ConstFalse
+	for _, l := range a {
+		out = g.Xor(out, l)
+	}
+	return out
+}
+
+// MuxWord selects t when c is true, else f.
+func (g *AIG) MuxWord(c Lit, t, f Word) Word {
+	out := make(Word, len(t))
+	for i := range t {
+		out[i] = g.Mux(c, t[i], f[i])
+	}
+	return out
+}
+
+// Shift implements a barrel shifter (left when left is true); amounts beyond
+// the width produce zero.
+func (g *AIG) Shift(a Word, amt Word, left bool) Word {
+	w := len(a)
+	cur := a
+	for s := 0; s < len(amt) && s < 30; s++ {
+		shift := 1 << uint(s)
+		next := make(Word, w)
+		for i := 0; i < w; i++ {
+			var shifted Lit = ConstFalse
+			if left {
+				if i-shift >= 0 {
+					shifted = cur[i-shift]
+				}
+			} else {
+				if i+shift < w {
+					shifted = cur[i+shift]
+				}
+			}
+			next[i] = g.Mux(amt[s], shifted, cur[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Stats summarizes the AIG.
+type Stats struct {
+	Nodes, Ands, Inputs, Latches, Outputs int
+	MaxLevel                              int
+}
+
+// Stats computes node counts and the maximum logic level.
+func (g *AIG) Stats() Stats {
+	level := make([]int, len(g.nodes))
+	maxLevel := 0
+	for i, nd := range g.nodes {
+		if nd.kind == nAnd {
+			la, lb := level[nd.a.Node()], level[nd.b.Node()]
+			if lb > la {
+				la = lb
+			}
+			level[i] = la + 1
+			if level[i] > maxLevel {
+				maxLevel = level[i]
+			}
+		}
+	}
+	nOut := 0
+	for _, w := range g.OutputBits {
+		nOut += len(w)
+	}
+	return Stats{
+		Nodes:    len(g.nodes),
+		Ands:     g.NumAnds(),
+		Inputs:   len(g.inputs),
+		Latches:  len(g.latches),
+		Outputs:  nOut,
+		MaxLevel: maxLevel,
+	}
+}
+
+func (g *AIG) String() string {
+	s := g.Stats()
+	return fmt.Sprintf("aig{nodes=%d ands=%d inputs=%d latches=%d outputs=%d levels=%d}",
+		s.Nodes, s.Ands, s.Inputs, s.Latches, s.Outputs, s.MaxLevel)
+}

@@ -1,0 +1,90 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteAIGER writes the netlist in the ASCII AIGER 1.9 format ("aag"), the
+// interchange format of the hardware model-checking community. Inputs,
+// latches and outputs carry symbol-table entries with their RTL names and
+// bit indices; latches reset to zero (AIGER's default).
+//
+// The emitted variable numbering maps node i of the AIG to AIGER variable i,
+// so literal encodings coincide (2*i / 2*i+1).
+func (g *AIG) WriteAIGER(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	maxVar := len(g.nodes) - 1
+	var outNames []string
+	for name := range g.OutputBits {
+		outNames = append(outNames, name)
+	}
+	sort.Strings(outNames)
+	nOutputs := 0
+	for _, n := range outNames {
+		nOutputs += len(g.OutputBits[n])
+	}
+
+	fmt.Fprintf(bw, "aag %d %d %d %d %d\n",
+		maxVar, len(g.inputs), len(g.latches), nOutputs, g.NumAnds())
+
+	// Inputs, in creation order.
+	for _, idx := range g.inputs {
+		fmt.Fprintf(bw, "%d\n", 2*idx)
+	}
+	// Latches: current literal, next-state literal.
+	for _, idx := range g.latches {
+		fmt.Fprintf(bw, "%d %d\n", 2*idx, uint32(g.nodes[idx].a))
+	}
+	// Outputs.
+	for _, name := range outNames {
+		for _, l := range g.OutputBits[name] {
+			fmt.Fprintf(bw, "%d\n", uint32(l))
+		}
+	}
+	// AND gates.
+	for i, nd := range g.nodes {
+		if nd.kind != nAnd {
+			continue
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", 2*i, uint32(nd.a), uint32(nd.b))
+	}
+
+	// Symbol table. Build reverse maps from node index to name/bit.
+	writeSyms := func(prefix byte, ordered []uint32, names map[string][]Lit) {
+		rev := map[uint32]string{}
+		for name, bits := range names {
+			for b, l := range bits {
+				if len(bits) == 1 {
+					rev[l.Node()] = name
+				} else {
+					rev[l.Node()] = fmt.Sprintf("%s[%d]", name, b)
+				}
+			}
+		}
+		for pos, idx := range ordered {
+			if sym, ok := rev[idx]; ok {
+				fmt.Fprintf(bw, "%c%d %s\n", prefix, pos, sym)
+			}
+		}
+	}
+	writeSyms('i', g.inputs, g.InputBits)
+	writeSyms('l', g.latches, g.LatchBits)
+	pos := 0
+	for _, name := range outNames {
+		bits := g.OutputBits[name]
+		for b := range bits {
+			if len(bits) == 1 {
+				fmt.Fprintf(bw, "o%d %s\n", pos, name)
+			} else {
+				fmt.Fprintf(bw, "o%d %s[%d]\n", pos, name, b)
+			}
+			pos++
+		}
+	}
+	fmt.Fprintf(bw, "c\ngoldmine netlist synthesis\n")
+	return bw.Flush()
+}

@@ -1,0 +1,94 @@
+package rtl
+
+import "fmt"
+
+// PointKind classifies coverage instrumentation points.
+type PointKind int
+
+// Coverage point kinds. Line, branch and condition points carry a 1-bit
+// activation expression that the simulator evaluates every cycle; expression
+// points carry the monitored boolean expression itself; toggle points carry a
+// signal bit.
+const (
+	PointLine PointKind = iota
+	PointBranch
+	PointCondition
+	PointExpression
+	// PointMinterm is one operand-value combination of a boolean operator
+	// node (sum-of-products style expression coverage): covered once the
+	// combination is observed. Unreachable combinations keep expression
+	// coverage below 100%, as the paper notes for commercial metrics.
+	PointMinterm
+)
+
+func (k PointKind) String() string {
+	switch k {
+	case PointLine:
+		return "line"
+	case PointBranch:
+		return "branch"
+	case PointCondition:
+		return "condition"
+	case PointMinterm:
+		return "minterm"
+	default:
+		return "expression"
+	}
+}
+
+// Point is a coverage instrumentation point produced during elaboration.
+//
+//   - PointLine: Expr is the path condition under which the statement at
+//     Line executes; the point is covered once Expr evaluates to 1.
+//   - PointBranch: Expr is pathCond AND armCond for one arm of an if or case;
+//     covered once taken.
+//   - PointCondition: Expr is one atomic condition of a decision; covered
+//     once it has been observed both 0 and 1 while its decision is evaluated.
+//   - PointExpression: Expr is a boolean-valued RHS (sub)expression; covered
+//     once observed both 0 and 1.
+type Point struct {
+	Kind PointKind
+	ID   int
+	Line int
+	// Desc is a human-readable label (source text of the guarded construct).
+	Desc string
+	Expr Expr
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%s#%d line %d: %s", p.Kind, p.ID, p.Line, p.Desc)
+}
+
+// FSMInfo describes a state register detected as a finite-state machine:
+// a register that is both compared against constants and assigned constants.
+type FSMInfo struct {
+	Reg    *Signal
+	States []uint64 // named state encodings observed statically
+}
+
+// CoverageInfo aggregates all instrumentation recorded for a design.
+type CoverageInfo struct {
+	Points []Point
+	// ToggleSignals lists the signals subject to toggle coverage (all data
+	// signals: inputs, wires, regs, outputs).
+	ToggleSignals []*Signal
+	FSMs          []FSMInfo
+}
+
+// add appends a point, assigning its ID.
+func (ci *CoverageInfo) add(kind PointKind, line int, desc string, e Expr) {
+	ci.Points = append(ci.Points, Point{
+		Kind: kind, ID: len(ci.Points), Line: line, Desc: desc, Expr: e,
+	})
+}
+
+// ByKind returns the points of one kind.
+func (ci *CoverageInfo) ByKind(kind PointKind) []Point {
+	var out []Point
+	for _, p := range ci.Points {
+		if p.Kind == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,502 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+const arbiter2Src = `
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+
+  always @(posedge clk)
+    if (rst) begin
+      gnt0 <= 0;
+      gnt1 <= 0;
+    end else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule
+`
+
+func elaborate(t *testing.T, src string) *Design {
+	t.Helper()
+	d, err := ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestElaborateArbiter(t *testing.T) {
+	d := elaborate(t, arbiter2Src)
+	if d.Clock != "clk" {
+		t.Errorf("clock %q", d.Clock)
+	}
+	ins := d.Inputs()
+	if len(ins) != 3 { // rst, req0, req1
+		t.Fatalf("inputs %d: %v", len(ins), ins)
+	}
+	regs := d.Registers()
+	if len(regs) != 2 {
+		t.Fatalf("registers %d", len(regs))
+	}
+	gnt0 := d.MustSignal("gnt0")
+	if !gnt0.IsState || gnt0.Kind != SigOutput {
+		t.Errorf("gnt0: %+v", gnt0)
+	}
+	next := d.Next[gnt0]
+	if next == nil {
+		t.Fatal("no next-state for gnt0")
+	}
+	// Check reset semantics: rst=1 forces next gnt0 = 0 regardless of rest.
+	env := MapEnv{
+		d.MustSignal("rst"):  1,
+		d.MustSignal("req0"): 1,
+		d.MustSignal("req1"): 1,
+		gnt0:                 1,
+	}
+	if v := Eval(next, env); v != 0 {
+		t.Errorf("reset: next gnt0 = %d, want 0", v)
+	}
+	// rst=0, req0=1, gnt0=0 -> next gnt0 = 1.
+	env[d.MustSignal("rst")] = 0
+	env[gnt0] = 0
+	env[d.MustSignal("req1")] = 0
+	if v := Eval(next, env); v != 1 {
+		t.Errorf("grant: next gnt0 = %d, want 1", v)
+	}
+	// gnt0=1, req0=1, req1=1 -> round robin passes to port 1: next gnt0 = 0.
+	env[gnt0] = 1
+	env[d.MustSignal("req1")] = 1
+	if v := Eval(next, env); v != 0 {
+		t.Errorf("round robin: next gnt0 = %d, want 0", v)
+	}
+}
+
+func TestElaborateCombAlways(t *testing.T) {
+	src := `
+module m(input [1:0] sel, input a, b, c, d, output reg y);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule`
+	d := elaborate(t, src)
+	y := d.MustSignal("y")
+	if y.IsState {
+		t.Fatal("comb-assigned reg misclassified as state")
+	}
+	e := d.Comb[y]
+	if e == nil {
+		t.Fatal("no comb expression for y")
+	}
+	vals := map[string]uint64{"a": 0, "b": 1, "c": 0, "d": 1}
+	env := MapEnv{}
+	for n, v := range vals {
+		env[d.MustSignal(n)] = v
+	}
+	for sel, want := range map[uint64]uint64{0: 0, 1: 1, 2: 0, 3: 1} {
+		env[d.MustSignal("sel")] = sel
+		if got := Eval(e, env); got != want {
+			t.Errorf("sel=%d: y=%d want %d", sel, got, want)
+		}
+	}
+}
+
+func TestElaborateLatchDetection(t *testing.T) {
+	src := `
+module m(input s, a, output reg y);
+  always @(*) if (s) y = a;
+endmodule`
+	if _, err := ElaborateSource(src); err == nil || !strings.Contains(err.Error(), "latch") {
+		t.Fatalf("want latch error, got %v", err)
+	}
+}
+
+func TestElaborateDefaultBeforeIf(t *testing.T) {
+	src := `
+module m(input s, a, output reg y);
+  always @(*) begin
+    y = 0;
+    if (s) y = a;
+  end
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("s"): 1, d.MustSignal("a"): 1}
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 1 {
+		t.Errorf("y=%d want 1", v)
+	}
+	env[d.MustSignal("s")] = 0
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 0 {
+		t.Errorf("y=%d want 0", v)
+	}
+}
+
+func TestElaborateBlockingReadThrough(t *testing.T) {
+	src := `
+module m(input a, b, output reg y);
+  reg t;
+  always @(*) begin
+    t = a & b;
+    y = ~t;
+  end
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 1, d.MustSignal("b"): 1}
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 0 {
+		t.Errorf("y=%d want 0 (t=1)", v)
+	}
+}
+
+func TestElaborateNonblockingOldValue(t *testing.T) {
+	// Classic swap: with NBAs both registers read old values.
+	src := `
+module m(input clk, output reg p, q);
+  always @(posedge clk) begin
+    p <= q;
+    q <= p;
+  end
+endmodule`
+	d := elaborate(t, src)
+	p, q := d.MustSignal("p"), d.MustSignal("q")
+	env := MapEnv{p: 1, q: 0}
+	if Eval(d.Next[p], env) != 0 || Eval(d.Next[q], env) != 1 {
+		t.Error("NBA swap broken: next values should exchange")
+	}
+}
+
+func TestElaborateRegisterHold(t *testing.T) {
+	src := `
+module m(input clk, en, d, output reg q);
+  always @(posedge clk) if (en) q <= d;
+endmodule`
+	d := elaborate(t, src)
+	q := d.MustSignal("q")
+	env := MapEnv{d.MustSignal("en"): 0, d.MustSignal("d"): 1, q: 1}
+	if v := Eval(d.Next[q], env); v != 1 {
+		t.Errorf("hold: next q = %d, want 1 (unchanged)", v)
+	}
+	env[q] = 0
+	if v := Eval(d.Next[q], env); v != 0 {
+		t.Errorf("hold: next q = %d, want 0 (unchanged)", v)
+	}
+}
+
+func TestElaboratePartialAssigns(t *testing.T) {
+	src := `
+module m(input [3:0] a, output [3:0] y);
+  assign y[1:0] = a[3:2];
+  assign y[3:2] = a[1:0];
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 0b1101}
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 0b0111 {
+		t.Errorf("y=%04b want 0111", v)
+	}
+}
+
+func TestElaboratePartialAssignGapRejected(t *testing.T) {
+	src := `
+module m(input [3:0] a, output [3:0] y);
+  assign y[3:2] = a[1:0];
+endmodule`
+	if _, err := ElaborateSource(src); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("want undriven-bits error, got %v", err)
+	}
+}
+
+func TestElaborateBitSelectLHSInSeqBlock(t *testing.T) {
+	src := `
+module m(input clk, input d, input [1:0] i, output reg [3:0] q);
+  always @(posedge clk) q[i] <= d;
+endmodule`
+	d := elaborate(t, src)
+	q := d.MustSignal("q")
+	env := MapEnv{q: 0b1010, d.MustSignal("i"): 2, d.MustSignal("d"): 1}
+	if v := Eval(d.Next[q], env); v != 0b1110 {
+		t.Errorf("dynamic bit write: next q = %04b, want 1110", v)
+	}
+	env[d.MustSignal("d")] = 0
+	env[d.MustSignal("i")] = 1
+	if v := Eval(d.Next[q], env); v != 0b1000 {
+		t.Errorf("dynamic bit clear: next q = %04b, want 1000", v)
+	}
+}
+
+func TestElaborateMultipleDriversRejected(t *testing.T) {
+	src := `
+module m(input a, b, output y);
+  assign y = a;
+  assign y = b;
+endmodule`
+	if _, err := ElaborateSource(src); err == nil ||
+		!(strings.Contains(err.Error(), "multiple") || strings.Contains(err.Error(), "overlapping")) {
+		t.Fatalf("want multi-driver error, got %v", err)
+	}
+}
+
+func TestElaborateSeqAndCombDriverRejected(t *testing.T) {
+	src := `
+module m(input clk, a, output reg y);
+  always @(posedge clk) y <= a;
+  always @(*) y = ~a;
+endmodule`
+	if _, err := ElaborateSource(src); err == nil {
+		t.Fatal("want mixed-driver error")
+	}
+}
+
+func TestElaborateClockAsDataRejected(t *testing.T) {
+	src := `
+module m(input clk, a, output reg y);
+  always @(posedge clk) y <= a & clk;
+endmodule`
+	if _, err := ElaborateSource(src); err == nil || !strings.Contains(err.Error(), "clock") {
+		t.Fatal("want clock-as-data error")
+	}
+}
+
+func TestElaborateCombCycleRejected(t *testing.T) {
+	src := `
+module m(input a, output y);
+  wire t;
+  assign t = y & a;
+  assign y = t | a;
+endmodule`
+	_, err := ElaborateSource(src)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestElaborateUndrivenReadRejected(t *testing.T) {
+	src := `
+module m(input a, output y);
+  wire ghost;
+  assign y = a & ghost;
+endmodule`
+	if _, err := ElaborateSource(src); err == nil || !strings.Contains(err.Error(), "never driven") {
+		t.Fatalf("want undriven error, got %v", err)
+	}
+}
+
+func TestElaborateArithmeticWidths(t *testing.T) {
+	src := `
+module m(input [3:0] a, b, output [4:0] s, output lt, output [3:0] sh);
+  assign s = a + b;
+  assign lt = a < b;
+  assign sh = a << 1;
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 9, d.MustSignal("b"): 12}
+	// a+b computed at width 4 then zero-extended to 5: (9+12)&15 = 5.
+	if v := Eval(d.Comb[d.MustSignal("s")], env); v != 5 {
+		t.Errorf("s=%d want 5 (4-bit wrap then extend)", v)
+	}
+	if v := Eval(d.Comb[d.MustSignal("lt")], env); v != 1 {
+		t.Errorf("lt=%d want 1", v)
+	}
+	if v := Eval(d.Comb[d.MustSignal("sh")], env); v != 2 {
+		t.Errorf("sh=%d want 2 (9<<1 masked to 4 bits)", v)
+	}
+}
+
+func TestElaborateReductionOps(t *testing.T) {
+	src := `
+module m(input [3:0] a, output ra, ro, rx, nra);
+  assign ra = &a;
+  assign ro = |a;
+  assign rx = ^a;
+  assign nra = ~&a;
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 0b1111}
+	checks := map[string]uint64{"ra": 1, "ro": 1, "rx": 0, "nra": 0}
+	for name, want := range checks {
+		if v := Eval(d.Comb[d.MustSignal(name)], env); v != want {
+			t.Errorf("a=1111: %s=%d want %d", name, v, want)
+		}
+	}
+	env[d.MustSignal("a")] = 0b0110
+	checks = map[string]uint64{"ra": 0, "ro": 1, "rx": 0, "nra": 1}
+	for name, want := range checks {
+		if v := Eval(d.Comb[d.MustSignal(name)], env); v != want {
+			t.Errorf("a=0110: %s=%d want %d", name, v, want)
+		}
+	}
+}
+
+func TestElaborateDynamicIndexRead(t *testing.T) {
+	src := `
+module m(input [7:0] a, input [2:0] i, output y);
+  assign y = a[i];
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 0b10010110}
+	for i := uint64(0); i < 8; i++ {
+		env[d.MustSignal("i")] = i
+		want := (uint64(0b10010110) >> i) & 1
+		if v := Eval(d.Comb[d.MustSignal("y")], env); v != want {
+			t.Errorf("a[%d]=%d want %d", i, v, want)
+		}
+	}
+}
+
+func TestElaborateConcatRepl(t *testing.T) {
+	src := `
+module m(input [1:0] a, output [5:0] y);
+  assign y = {a, {2{a[0]}}, 2'b01};
+endmodule`
+	d := elaborate(t, src)
+	env := MapEnv{d.MustSignal("a"): 0b10}
+	// {10, 00, 01} = 100001
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 0b100001 {
+		t.Errorf("y=%06b want 100001", v)
+	}
+}
+
+func TestCoveragePointsRecorded(t *testing.T) {
+	d := elaborate(t, arbiter2Src)
+	ci := d.Cover
+	if len(ci.ByKind(PointLine)) == 0 {
+		t.Error("no line points")
+	}
+	br := ci.ByKind(PointBranch)
+	if len(br) != 2 { // if(rst) taken / not taken
+		t.Errorf("branch points %d, want 2", len(br))
+	}
+	if len(ci.ByKind(PointCondition)) == 0 {
+		t.Error("no condition points")
+	}
+	if len(ci.ByKind(PointExpression)) == 0 {
+		t.Error("no expression points")
+	}
+	if len(ci.ToggleSignals) != 6-1 { // all but clk
+		t.Errorf("toggle signals %d, want 5", len(ci.ToggleSignals))
+	}
+}
+
+func TestFSMDetection(t *testing.T) {
+	src := `
+module fsm(input clk, rst, go, output reg busy);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: if (go) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+  always @(*) busy = (state != 2'd0);
+endmodule`
+	d := elaborate(t, src)
+	if len(d.Cover.FSMs) != 1 {
+		t.Fatalf("FSMs detected: %d", len(d.Cover.FSMs))
+	}
+	fsm := d.Cover.FSMs[0]
+	if fsm.Reg.Name != "state" {
+		t.Errorf("FSM reg %s", fsm.Reg.Name)
+	}
+	if len(fsm.States) != 3 { // 0, 1, 2
+		t.Errorf("states %v", fsm.States)
+	}
+}
+
+func TestBranchPathConditions(t *testing.T) {
+	// Nested ifs: inner branch condition must include outer path.
+	src := `
+module m(input a, b, output reg y);
+  always @(*) begin
+    y = 0;
+    if (a) begin
+      if (b) y = 1;
+    end
+  end
+endmodule`
+	d := elaborate(t, src)
+	var inner *Point
+	for i, p := range d.Cover.Points {
+		if p.Kind == PointBranch && strings.Contains(p.Desc, "if (b) taken") {
+			inner = &d.Cover.Points[i]
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner branch point missing")
+	}
+	env := MapEnv{d.MustSignal("a"): 0, d.MustSignal("b"): 1}
+	if Eval(inner.Expr, env) != 0 {
+		t.Error("inner branch should be gated by outer path condition")
+	}
+	env[d.MustSignal("a")] = 1
+	if Eval(inner.Expr, env) != 1 {
+		t.Error("inner branch should fire when both conditions hold")
+	}
+}
+
+func TestSupportAndWalk(t *testing.T) {
+	d := elaborate(t, arbiter2Src)
+	gnt0 := d.MustSignal("gnt0")
+	sup := Support(d.Next[gnt0], nil)
+	names := map[string]bool{}
+	for s := range sup {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"rst", "req0", "req1", "gnt0"} {
+		if !names[want] {
+			t.Errorf("support missing %s: %v", want, names)
+		}
+	}
+	if names["clk"] {
+		t.Error("clock must not appear in support")
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	d := elaborate(t, arbiter2Src)
+	s := String(d.Next[d.MustSignal("gnt0")])
+	for _, sub := range []string{"rst", "req0", "?"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("expr string %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestValidateUndrivenOutput(t *testing.T) {
+	src := `module m(input a, output y, output z); assign y = a; endmodule`
+	if _, err := ElaborateSource(src); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("want undriven output error, got %v", err)
+	}
+}
+
+func TestCombOrderDeterministic(t *testing.T) {
+	src := `
+module m(input a, output y);
+  wire t1, t2, t3;
+  assign t1 = ~a;
+  assign t2 = t1 & a;
+  assign t3 = t2 | t1;
+  assign y = t3 ^ a;
+endmodule`
+	d := elaborate(t, src)
+	o1, err := d.CombOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, s := range o1 {
+		pos[s.Name] = i
+	}
+	if !(pos["t1"] < pos["t2"] && pos["t2"] < pos["t3"] && pos["t3"] < pos["y"]) {
+		t.Errorf("bad topological order: %v", pos)
+	}
+}

@@ -1,0 +1,112 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+const hierSrc = `
+module top(input clk, rst, input a, b, output y, output [1:0] cnt);
+  wire t;
+  inv u_inv (.a(a), .y(t));
+  counter u_cnt (.clk(clk), .rst(rst), .en(t & b), .q(cnt));
+  assign y = t ^ b;
+endmodule
+
+module inv(input a, output y);
+  assign y = ~a;
+endmodule
+
+module counter(input clk, rst, en, output reg [1:0] q);
+  always @(posedge clk)
+    if (rst) q <= 0;
+    else if (en) q <= q + 1;
+endmodule
+`
+
+func TestElaborateHierarchy(t *testing.T) {
+	d, err := ElaborateHierarchySource(hierSrc, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clock != "clk" {
+		t.Errorf("clock %q", d.Clock)
+	}
+	cnt := d.MustSignal("cnt")
+	if !cnt.IsState || cnt.Width != 2 {
+		t.Fatalf("cnt: %+v", cnt)
+	}
+	// Semantics through the hierarchy: en = ~a & b; counter increments.
+	env := MapEnv{
+		d.MustSignal("rst"): 0,
+		d.MustSignal("a"):   0,
+		d.MustSignal("b"):   1,
+		cnt:                 2,
+	}
+	// Settle comb signals first (t, en wire, y).
+	order, err := d.CombOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range order {
+		env[s] = Eval(d.Comb[s], env)
+	}
+	if v := Eval(d.Next[cnt], env); v != 3 {
+		t.Errorf("next cnt = %d want 3 (en = ~a & b = 1)", v)
+	}
+	env[d.MustSignal("a")] = 1
+	for _, s := range order {
+		env[s] = Eval(d.Comb[s], env)
+	}
+	if v := Eval(d.Next[cnt], env); v != 2 {
+		t.Errorf("next cnt = %d want 2 (hold, en=0)", v)
+	}
+	// y = ~a ^ b.
+	if v := Eval(d.Comb[d.MustSignal("y")], env); v != 1 {
+		t.Errorf("y = %d want 1 (~1 ^ 1 = 0 ^ 1)", v)
+	}
+}
+
+func TestElaborateSourceImplicitTop(t *testing.T) {
+	// First module is the top when several are present.
+	d, err := ElaborateSource(hierSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" {
+		t.Errorf("implicit top %q", d.Name)
+	}
+}
+
+func TestElaborateHierarchyBadTop(t *testing.T) {
+	if _, err := ElaborateHierarchySource(hierSrc, "nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "no module") {
+		t.Fatalf("want no-module error, got %v", err)
+	}
+}
+
+func TestHierarchySharedInstanceNames(t *testing.T) {
+	// Two instances of the same child must not collide.
+	src := `
+module top(input a, b, output x, y);
+  inv i0 (.a(a), .y(x));
+  inv i1 (.a(b), .y(y));
+endmodule
+module inv(input a, output y);
+  wire mid;
+  assign mid = ~a;
+  assign y = mid;
+endmodule`
+	d, err := ElaborateHierarchySource(src, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := MapEnv{d.MustSignal("a"): 1, d.MustSignal("b"): 0}
+	order, _ := d.CombOrder()
+	for _, s := range order {
+		env[s] = Eval(d.Comb[s], env)
+	}
+	if env[d.MustSignal("x")] != 0 || env[d.MustSignal("y")] != 1 {
+		t.Errorf("x=%d y=%d want 0,1", env[d.MustSignal("x")], env[d.MustSignal("y")])
+	}
+}

@@ -1,0 +1,719 @@
+// Package sat implements an incremental CDCL (conflict-driven clause
+// learning) SAT solver in the MiniSat lineage: two-literal watching, first-UIP
+// conflict analysis with clause learning and non-chronological backjumping,
+// EVSIDS variable activity, phase saving, Luby restarts and solving under
+// assumptions. It is the decision procedure behind the GoldMine formal
+// verification engine (bounded model checking and k-induction).
+//
+// Variables are positive integers. A literal is a signed variable: +v is the
+// positive literal, -v the negation, as in DIMACS.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a DIMACS-style literal: +v or -v for variable v >= 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// internal literal encoding: variable index v (1-based) maps to 2v (positive)
+// and 2v+1 (negative).
+type ilit uint32
+
+func toInternal(l Lit) ilit {
+	if l > 0 {
+		return ilit(2 * l)
+	}
+	return ilit(-2*l + 1)
+}
+
+func fromInternal(il ilit) Lit {
+	v := Lit(il >> 1)
+	if il&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+func (il ilit) neg() ilit { return il ^ 1 }
+func (il ilit) vix() int  { return int(il >> 1) }
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []ilit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker ilit
+}
+
+type varData struct {
+	assign   lbool
+	level    int
+	reason   *clause
+	activity float64
+	phase    bool // saved phase: last assigned polarity
+	seen     bool
+}
+
+// Status is the solver verdict.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Solver is an incremental CDCL SAT solver.
+type Solver struct {
+	vars    []varData // index 1..n
+	clauses []*clause
+	learnts []*clause
+	watches map[ilit][]watcher
+
+	trail    []ilit
+	trailLim []int
+	qhead    int
+
+	varInc   float64
+	claInc   float64
+	varDecay float64
+	claDecay float64
+
+	order *activityHeap
+
+	unsat bool // empty clause derived at level 0
+
+	// statistics
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+	Restarts     int64
+
+	// MaxConflicts bounds one Solve call; <= 0 means unlimited.
+	MaxConflicts int64
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{
+		watches:  map[ilit][]watcher{},
+		varInc:   1,
+		claInc:   1,
+		varDecay: 0.95,
+		claDecay: 0.999,
+	}
+	s.vars = make([]varData, 1) // index 0 unused
+	s.order = newActivityHeap(s)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	s.vars = append(s.vars, varData{})
+	v := len(s.vars) - 1
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.vars) - 1 }
+
+// ensure grows the variable table to cover v.
+func (s *Solver) ensure(v int) {
+	for len(s.vars) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) value(il ilit) lbool {
+	a := s.vars[il.vix()].assign
+	if a == lUndef {
+		return lUndef
+	}
+	if il&1 == 1 { // negative literal
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a clause (a disjunction of literals). Returns false if the
+// formula is already unsatisfiable at level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.backjump(0) // incremental use: drop the previous model's decisions
+	ils := make([]ilit, 0, len(lits))
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		s.ensure(l.Var())
+		ils = append(ils, toInternal(l))
+	}
+	// Simplify: dedupe, drop false literals, detect tautology/satisfied.
+	sort.Slice(ils, func(i, j int) bool { return ils[i] < ils[j] })
+	out := ils[:0]
+	var prev ilit
+	for i, il := range ils {
+		if i > 0 && il == prev {
+			continue
+		}
+		if i > 0 && il == prev.neg() {
+			return true // tautology
+		}
+		switch s.value(il) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			// drop
+		default:
+			out = append(out, il)
+		}
+		prev = il
+	}
+	ils = out
+	switch len(ils) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(ils[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: ils}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(il ilit, reason *clause) {
+	vd := &s.vars[il.vix()]
+	if il&1 == 1 {
+		vd.assign = lFalse
+	} else {
+		vd.assign = lTrue
+	}
+	vd.level = s.decisionLevel()
+	vd.reason = reason
+	vd.phase = il&1 == 0
+	s.trail = append(s.trail, il)
+}
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalize: watched literal being falsified is c.lits[0] or [1];
+			// put the other watch at position 0.
+			if c.lits[0] == p.neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// Now c.lits[1] == p.neg().
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, watcher{c: c, blocker: c.lits[0]})
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c: c, blocker: c.lits[0]})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.value(c.lits[0]) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]ilit, int) {
+	learnt := []ilit{0} // slot 0 for the asserting literal
+	counter := 0
+	var p ilit
+	idx := len(s.trail) - 1
+	c := conflict
+	var cleanup []int
+
+	for {
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits {
+			if p != 0 && q == p {
+				continue
+			}
+			vd := &s.vars[q.vix()]
+			if !vd.seen && vd.level > 0 {
+				vd.seen = true
+				cleanup = append(cleanup, q.vix())
+				s.bumpVar(q.vix())
+				if vd.level == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Pick the next seen literal from the trail.
+		for !s.vars[s.trail[idx].vix()].seen {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.vars[p.vix()].seen = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.vars[p.vix()].reason
+	}
+	learnt[0] = p.neg()
+
+	// Clause minimization: drop literals implied by the rest.
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	learnt = out
+
+	// Backjump level = max level among learnt[1:].
+	bj := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.vars[learnt[i].vix()].level; lv > bj {
+			bj = lv
+		}
+	}
+	// Move a literal of level bj into slot 1 (second watch).
+	for i := 2; i < len(learnt); i++ {
+		if s.vars[learnt[i].vix()].level > s.vars[learnt[1].vix()].level {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	for _, v := range cleanup {
+		s.vars[v].seen = false
+	}
+	return learnt, bj
+}
+
+// redundant reports whether literal q in a learnt clause is implied by its
+// reason chain (simple recursive local minimization).
+func (s *Solver) redundant(q ilit) bool {
+	r := s.vars[q.vix()].reason
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		if l == q.neg() {
+			continue
+		}
+		vd := &s.vars[l.vix()]
+		if vd.level == 0 {
+			continue
+		}
+		if !vd.seen {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.vars[v].activity += s.varInc
+	if s.vars[v].activity > 1e100 {
+		for i := 1; i < len(s.vars); i++ {
+			s.vars[i].activity *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) backjump(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		il := s.trail[i]
+		vd := &s.vars[il.vix()]
+		vd.assign = lUndef
+		vd.reason = nil
+		s.order.push(il.vix())
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranch chooses the next decision variable by activity, using the saved
+// phase for polarity.
+func (s *Solver) pickBranch() ilit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return 0
+		}
+		if s.vars[v].assign == lUndef {
+			if s.vars[v].phase {
+				return ilit(2 * v)
+			}
+			return ilit(2*v + 1)
+		}
+	}
+}
+
+// reduceDB removes half of the least active learnt clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	keep := len(s.learnts) / 2
+	removed := s.learnts[keep:]
+	s.learnts = s.learnts[:keep]
+	dead := map[*clause]bool{}
+	for _, c := range removed {
+		if s.locked(c) {
+			s.learnts = append(s.learnts, c)
+			continue
+		}
+		dead[c] = true
+	}
+	if len(dead) == 0 {
+		return
+	}
+	for key, ws := range s.watches {
+		kept := ws[:0]
+		for _, w := range ws {
+			if !dead[w.c] {
+				kept = append(kept, w)
+			}
+		}
+		s.watches[key] = kept
+	}
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return len(c.lits) > 0 && s.vars[c.lits[0].vix()].reason == c
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<uint(k))-1 {
+			return int64(1) << uint(k-1)
+		}
+		if i >= int64(1)<<uint(k-1) && i < (int64(1)<<uint(k))-1 {
+			return luby(i - (int64(1) << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumptions. A Sat result
+// leaves the model readable via Value; Unsat means unsatisfiable under the
+// assumptions; Unknown means MaxConflicts was exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.unsat {
+		return Unsat
+	}
+	s.backjump(0)
+	if c := s.propagate(); c != nil {
+		s.unsat = true
+		return Unsat
+	}
+
+	restartNum := int64(0)
+	conflictBudget := int64(0)
+	conflictsAtStart := s.Conflicts
+	maxLearnts := int64(len(s.clauses)/3 + 100)
+
+	for {
+		restartNum++
+		conflictBudget = 100 * luby(restartNum)
+		status := s.search(assumptions, conflictBudget, &maxLearnts)
+		if status != Unknown {
+			return status
+		}
+		s.Restarts++
+		if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
+			s.backjump(0)
+			return Unknown
+		}
+	}
+}
+
+// search runs CDCL until a verdict, a restart budget exhaustion (Unknown), or
+// assumption failure.
+func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *int64) Status {
+	conflicts := int64(0)
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			learnt, bj := s.analyze(conflict)
+			s.backjump(bj)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.Learned++
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= s.varDecay
+			s.claInc /= s.claDecay
+			continue
+		}
+
+		if conflicts >= budget {
+			s.backjump(0)
+			return Unknown
+		}
+		if int64(len(s.learnts)) > *maxLearnts+int64(len(s.trail)) {
+			s.reduceDB()
+			*maxLearnts += *maxLearnts / 10
+		}
+
+		// Apply assumptions as pseudo-decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := toInternal(assumptions[s.decisionLevel()])
+			s.ensure(a.vix())
+			switch s.value(a) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat // conflicting assumptions
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, nil)
+				continue
+			}
+		}
+
+		next := s.pickBranch()
+		if next == 0 {
+			return Sat // all variables assigned
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, nil)
+	}
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool {
+	if v <= 0 || v >= len(s.vars) {
+		return false
+	}
+	return s.vars[v].assign == lTrue
+}
+
+// ValueLit returns the model value of a literal after a Sat result.
+func (s *Solver) ValueLit(l Lit) bool {
+	v := s.Value(l.Var())
+	if l < 0 {
+		return !v
+	}
+	return v
+}
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// String summarizes solver statistics.
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver{vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d restarts=%d}",
+		s.NumVars(), len(s.clauses), len(s.learnts), s.Conflicts, s.Decisions, s.Propagations, s.Restarts)
+}
+
+// ---------------------------------------------------------------------------
+// Activity-ordered heap for decision variable selection
+// ---------------------------------------------------------------------------
+
+type activityHeap struct {
+	s       *Solver
+	heap    []int
+	indices map[int]int
+}
+
+func newActivityHeap(s *Solver) *activityHeap {
+	return &activityHeap{s: s, indices: map[int]int{}}
+}
+
+func (h *activityHeap) less(i, j int) bool {
+	return h.s.vars[h.heap[i]].activity > h.s.vars[h.heap[j]].activity
+}
+
+func (h *activityHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i
+	h.indices[h.heap[j]] = j
+}
+
+func (h *activityHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *activityHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *activityHeap) push(v int) {
+	if _, in := h.indices[v]; in {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *activityHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	delete(h.indices, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *activityHeap) update(v int) {
+	if i, in := h.indices[v]; in {
+		h.up(i)
+		h.down(h.indices[v])
+		_ = i
+	}
+}

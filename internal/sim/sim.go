@@ -1,0 +1,237 @@
+// Package sim provides a two-valued, cycle-accurate interpreter for
+// elaborated rtl.Designs. It is the "Data Generator" of the GoldMine flow:
+// it applies input stimulus cycle by cycle, evaluates the combinational
+// expressions in dependency order, latches next-state values on the implicit
+// clock edge, and records complete per-cycle traces of every signal. Per-cycle
+// observer hooks let the coverage engine watch the same evaluation.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"goldmine/internal/rtl"
+)
+
+// InputVec assigns values to (a subset of) the design's data inputs for one
+// cycle. Unassigned inputs default to zero.
+type InputVec map[string]uint64
+
+// Clone returns a deep copy of the vector.
+func (v InputVec) Clone() InputVec {
+	c := make(InputVec, len(v))
+	for k, x := range v {
+		c[k] = x
+	}
+	return c
+}
+
+// Stimulus is a sequence of per-cycle input vectors.
+type Stimulus []InputVec
+
+// Clone deep-copies the stimulus.
+func (st Stimulus) Clone() Stimulus {
+	c := make(Stimulus, len(st))
+	for i, v := range st {
+		c[i] = v.Clone()
+	}
+	return c
+}
+
+// Trace records the value of every design signal at every simulated cycle.
+// Values[i][j] is the value of Signals[j] during cycle i (after combinational
+// settling, before the clock edge).
+type Trace struct {
+	Signals []*rtl.Signal
+	Values  [][]uint64
+	index   map[string]int
+}
+
+// NewTrace creates an empty trace over the design's signals (excluding the
+// clock), ordered deterministically by name.
+func NewTrace(d *rtl.Design) *Trace {
+	var sigs []*rtl.Signal
+	for _, s := range d.Signals {
+		if s.Name == d.Clock {
+			continue
+		}
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Name < sigs[j].Name })
+	idx := make(map[string]int, len(sigs))
+	for i, s := range sigs {
+		idx[s.Name] = i
+	}
+	return &Trace{Signals: sigs, index: idx}
+}
+
+// Cycles returns the number of recorded cycles.
+func (t *Trace) Cycles() int { return len(t.Values) }
+
+// Column returns the column index of a signal name, or -1.
+func (t *Trace) Column(name string) int {
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Value returns the value of signal name at cycle c.
+func (t *Trace) Value(c int, name string) (uint64, error) {
+	i := t.Column(name)
+	if i < 0 {
+		return 0, fmt.Errorf("trace has no signal %q", name)
+	}
+	if c < 0 || c >= len(t.Values) {
+		return 0, fmt.Errorf("cycle %d out of range (0..%d)", c, len(t.Values)-1)
+	}
+	return t.Values[c][i], nil
+}
+
+// Append adds the rows of other to t. Both traces must be over the same
+// design (same signal ordering).
+func (t *Trace) Append(other *Trace) error {
+	if len(t.Signals) != len(other.Signals) {
+		return fmt.Errorf("trace signal count mismatch: %d vs %d", len(t.Signals), len(other.Signals))
+	}
+	for i := range t.Signals {
+		if t.Signals[i].Name != other.Signals[i].Name {
+			return fmt.Errorf("trace signal mismatch at %d: %s vs %s", i, t.Signals[i].Name, other.Signals[i].Name)
+		}
+	}
+	t.Values = append(t.Values, other.Values...)
+	return nil
+}
+
+// Simulator steps an elaborated design cycle by cycle.
+type Simulator struct {
+	d     *rtl.Design
+	vals  rtl.MapEnv
+	order []*rtl.Signal
+	// observers are invoked once per cycle after combinational settling.
+	observers []func(env rtl.Env)
+	cycle     int
+}
+
+// New creates a simulator in the reset state (all registers zero).
+func New(d *rtl.Design) (*Simulator, error) {
+	order, err := d.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{d: d, order: order, vals: rtl.MapEnv{}}
+	s.Reset()
+	return s, nil
+}
+
+// Design returns the simulated design.
+func (s *Simulator) Design() *rtl.Design { return s.d }
+
+// Reset zeroes all state and inputs. Matches the formal engine's initial
+// state (all registers zero).
+func (s *Simulator) Reset() {
+	s.vals = rtl.MapEnv{}
+	for _, sig := range s.d.Signals {
+		s.vals[sig] = 0
+	}
+	s.cycle = 0
+}
+
+// Observe registers a per-cycle hook, invoked after combinational settling
+// with the complete environment for the cycle.
+func (s *Simulator) Observe(fn func(env rtl.Env)) {
+	s.observers = append(s.observers, fn)
+}
+
+// Cycle returns the number of completed cycles since reset.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// Peek returns the current value of a signal.
+func (s *Simulator) Peek(name string) (uint64, error) {
+	sig := s.d.Signal(name)
+	if sig == nil {
+		return 0, fmt.Errorf("no signal %q", name)
+	}
+	return s.vals[sig] & rtl.Mask(sig.Width), nil
+}
+
+// Step applies one input vector, settles combinational logic, invokes
+// observers, records into trace (if non-nil), and advances the clock.
+func (s *Simulator) Step(in InputVec, trace *Trace) error {
+	// Zero all data inputs, then apply the vector (unassigned inputs are 0).
+	for _, sig := range s.d.Signals {
+		if sig.Kind == rtl.SigInput && sig.Name != s.d.Clock {
+			s.vals[sig] = 0
+		}
+	}
+	for name, v := range in {
+		sig := s.d.Signal(name)
+		if sig == nil {
+			return fmt.Errorf("stimulus drives unknown signal %q", name)
+		}
+		if sig.Kind != rtl.SigInput {
+			return fmt.Errorf("stimulus drives non-input signal %q", name)
+		}
+		if sig.Name == s.d.Clock {
+			return fmt.Errorf("stimulus drives clock %q", name)
+		}
+		s.vals[sig] = v & rtl.Mask(sig.Width)
+	}
+	// Settle combinational logic in dependency order.
+	for _, sig := range s.order {
+		s.vals[sig] = rtl.Eval(s.d.Comb[sig], s.vals)
+	}
+	// Observe and record the settled cycle.
+	for _, fn := range s.observers {
+		fn(s.vals)
+	}
+	if trace != nil {
+		row := make([]uint64, len(trace.Signals))
+		for i, sig := range trace.Signals {
+			row[i] = s.vals[sig]
+		}
+		trace.Values = append(trace.Values, row)
+	}
+	// Clock edge: latch next state.
+	next := make(map[*rtl.Signal]uint64, len(s.d.Next))
+	for reg, e := range s.d.Next {
+		next[reg] = rtl.Eval(e, s.vals)
+	}
+	for reg, v := range next {
+		s.vals[reg] = v
+	}
+	s.cycle++
+	return nil
+}
+
+// Run resets the simulator and applies the stimulus, returning the trace.
+func (s *Simulator) Run(stim Stimulus) (*Trace, error) {
+	s.Reset()
+	trace := NewTrace(s.d)
+	for _, in := range stim {
+		if err := s.Step(in, trace); err != nil {
+			return nil, err
+		}
+	}
+	return trace, nil
+}
+
+// RunAppend applies the stimulus from reset, appending rows to trace.
+func (s *Simulator) RunAppend(stim Stimulus, trace *Trace) error {
+	s.Reset()
+	for _, in := range stim {
+		if err := s.Step(in, trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Simulate is a convenience helper: build a simulator and run the stimulus.
+func Simulate(d *rtl.Design, stim Stimulus) (*Trace, error) {
+	s, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(stim)
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+
+	"goldmine/internal/rtl"
+)
+
+const arbiter2Src = `
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+
+  always @(posedge clk)
+    if (rst) begin
+      gnt0 <= 0;
+      gnt1 <= 0;
+    end else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule
+`
+
+func mustDesign(t *testing.T, src string) *rtl.Design {
+	t.Helper()
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestArbiterSequence(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := Stimulus{
+		{"rst": 1},
+		{"req0": 1},            // cycle 1: request port 0
+		{"req0": 1, "req1": 1}, // cycle 2: both request; gnt0 was granted
+		{"req1": 1},            // cycle 3
+	}
+	trace, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Cycles() != 4 {
+		t.Fatalf("cycles %d", trace.Cycles())
+	}
+	// Cycle 0 under reset: gnt0 = 0.
+	if v, _ := trace.Value(0, "gnt0"); v != 0 {
+		t.Errorf("cycle0 gnt0=%d", v)
+	}
+	// Cycle 2: req0 was asserted in cycle 1 with gnt0=0 -> grant port 0 now.
+	if v, _ := trace.Value(2, "gnt0"); v != 1 {
+		t.Errorf("cycle2 gnt0=%d want 1", v)
+	}
+	// Cycle 3: in cycle 2 both requested while gnt0 held -> round robin to 1.
+	if v, _ := trace.Value(3, "gnt0"); v != 0 {
+		t.Errorf("cycle3 gnt0=%d want 0", v)
+	}
+	if v, _ := trace.Value(3, "gnt1"); v != 1 {
+		t.Errorf("cycle3 gnt1=%d want 1", v)
+	}
+}
+
+func TestCombDesign(t *testing.T) {
+	src := `
+module add(input [3:0] a, b, output [3:0] s, output c);
+  wire [4:0] full;
+  assign full = {1'b0, a} + {1'b0, b};
+  assign s = full[3:0];
+  assign c = full[4];
+endmodule`
+	d := mustDesign(t, src)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := s.Run(Stimulus{{"a": 9, "b": 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := trace.Value(0, "s"); v != 5 {
+		t.Errorf("s=%d want 5", v)
+	}
+	if v, _ := trace.Value(0, "c"); v != 1 {
+		t.Errorf("c=%d want 1", v)
+	}
+}
+
+func TestCounterRollover(t *testing.T) {
+	src := `
+module ctr(input clk, rst, en, output reg [1:0] q);
+  always @(posedge clk)
+    if (rst) q <= 0;
+    else if (en) q <= q + 1;
+endmodule`
+	d := mustDesign(t, src)
+	s, _ := New(d)
+	stim := Stimulus{{"rst": 1}}
+	for i := 0; i < 5; i++ {
+		stim = append(stim, InputVec{"en": 1})
+	}
+	trace, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 1, 2, 3, 0} // settles before edge; rollover at 4
+	for c, w := range want {
+		if v, _ := trace.Value(c, "q"); v != w {
+			t.Errorf("cycle %d: q=%d want %d", c, v, w)
+		}
+	}
+}
+
+func TestObservers(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	calls := 0
+	s.Observe(func(env rtl.Env) { calls++ })
+	if _, err := s.Run(make(Stimulus, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("observer calls %d want 7", calls)
+	}
+}
+
+func TestStimulusErrors(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	if err := s.Step(InputVec{"nosuch": 1}, nil); err == nil {
+		t.Error("unknown signal should error")
+	}
+	if err := s.Step(InputVec{"gnt0": 1}, nil); err == nil {
+		t.Error("driving output should error")
+	}
+	if err := s.Step(InputVec{"clk": 1}, nil); err == nil {
+		t.Error("driving clock should error")
+	}
+}
+
+func TestTraceAppendMismatch(t *testing.T) {
+	d1 := mustDesign(t, arbiter2Src)
+	d2 := mustDesign(t, `module m(input a, output y); assign y = ~a; endmodule`)
+	t1 := NewTrace(d1)
+	t2 := NewTrace(d2)
+	if err := t1.Append(t2); err == nil {
+		t.Error("mismatched append should error")
+	}
+}
+
+func TestTraceAppend(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	t1, _ := s.Run(Stimulus{{"rst": 1}, {"req0": 1}})
+	t2, _ := s.Run(Stimulus{{"rst": 1}})
+	if err := t1.Append(t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Cycles() != 3 {
+		t.Errorf("cycles %d want 3", t1.Cycles())
+	}
+}
+
+func TestPeekAndReset(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	if err := s.Step(InputVec{"req0": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(InputVec{"req0": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Peek("gnt0")
+	if err != nil || v != 1 {
+		t.Errorf("peek gnt0 = %d, %v", v, err)
+	}
+	s.Reset()
+	if v, _ := s.Peek("gnt0"); v != 0 {
+		t.Errorf("after reset gnt0 = %d", v)
+	}
+	if s.Cycle() != 0 {
+		t.Errorf("cycle after reset %d", s.Cycle())
+	}
+	if _, err := s.Peek("bogus"); err == nil {
+		t.Error("peek of unknown signal should error")
+	}
+}
+
+func TestInputVecClone(t *testing.T) {
+	v := InputVec{"a": 1}
+	c := v.Clone()
+	c["a"] = 2
+	if v["a"] != 1 {
+		t.Error("clone aliases original")
+	}
+	st := Stimulus{{"a": 1}}
+	sc := st.Clone()
+	sc[0]["a"] = 5
+	if st[0]["a"] != 1 {
+		t.Error("stimulus clone aliases original")
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	tr := NewTrace(d)
+	if _, err := tr.Value(0, "gnt0"); err == nil {
+		t.Error("out-of-range cycle should error")
+	}
+	if _, err := tr.Value(0, "nosuch"); err == nil {
+		t.Error("unknown signal should error")
+	}
+	if tr.Column("clk") != -1 {
+		t.Error("clock should not be a trace column")
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"goldmine/internal/rtl"
+)
+
+// WriteVCD dumps a recorded trace as an IEEE 1364 Value Change Dump, the
+// interchange format every waveform viewer understands. Each trace cycle
+// occupies two timescale units so the synthetic clock (emitted as "clk" when
+// the design is clocked) shows a full period per cycle.
+func WriteVCD(w io.Writer, d *rtl.Design, tr *Trace, module string) error {
+	if module == "" {
+		module = d.Name
+	}
+	fmt.Fprintf(w, "$date\n  goldmine trace dump\n$end\n")
+	fmt.Fprintf(w, "$version\n  goldmine rtlsim\n$end\n")
+	fmt.Fprintf(w, "$timescale 1ns $end\n")
+	fmt.Fprintf(w, "$scope module %s $end\n", module)
+
+	ids := make([]string, len(tr.Signals))
+	for i, sig := range tr.Signals {
+		ids[i] = vcdID(i)
+		if sig.Width == 1 {
+			fmt.Fprintf(w, "$var wire 1 %s %s $end\n", ids[i], sig.Name)
+		} else {
+			fmt.Fprintf(w, "$var wire %d %s %s [%d:0] $end\n", sig.Width, ids[i], sig.Name, sig.Width-1)
+		}
+	}
+	clkID := ""
+	if d.Clock != "" {
+		clkID = vcdID(len(tr.Signals))
+		fmt.Fprintf(w, "$var wire 1 %s %s $end\n", clkID, d.Clock)
+	}
+	fmt.Fprintf(w, "$upscope $end\n$enddefinitions $end\n")
+
+	prev := make([]uint64, len(tr.Signals))
+	for c := 0; c < tr.Cycles(); c++ {
+		fmt.Fprintf(w, "#%d\n", 2*c)
+		if clkID != "" {
+			fmt.Fprintf(w, "1%s\n", clkID)
+		}
+		for i, sig := range tr.Signals {
+			v := tr.Values[c][i]
+			if c > 0 && v == prev[i] {
+				continue
+			}
+			prev[i] = v
+			if sig.Width == 1 {
+				fmt.Fprintf(w, "%d%s\n", v&1, ids[i])
+			} else {
+				fmt.Fprintf(w, "b%s %s\n", strconv.FormatUint(v, 2), ids[i])
+			}
+		}
+		if clkID != "" {
+			fmt.Fprintf(w, "#%d\n0%s\n", 2*c+1, clkID)
+		}
+	}
+	fmt.Fprintf(w, "#%d\n", 2*tr.Cycles())
+	return nil
+}
+
+// vcdID assigns compact printable identifier codes (! through ~, then two
+// characters, ...).
+func vcdID(n int) string {
+	const lo, hi = 33, 126
+	base := hi - lo + 1
+	id := []byte{}
+	for {
+		id = append(id, byte(lo+n%base))
+		n = n/base - 1
+		if n < 0 {
+			break
+		}
+	}
+	return string(id)
+}

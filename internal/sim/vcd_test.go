@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVCD(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	trace, err := s.Run(Stimulus{{"rst": 1}, {"req0": 1}, {"req0": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteVCD(&buf, d, trace, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module arbiter2 $end",
+		"$var wire 1",
+		"gnt0",
+		"clk",
+		"$enddefinitions $end",
+		"#0",
+		"#4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// gnt0 rises at cycle 2: a "1" change for its id should appear after #4.
+	if !strings.Contains(out, "#4") {
+		t.Error("missing cycle 2 timestamp")
+	}
+}
+
+func TestWriteVCDVectors(t *testing.T) {
+	src := `module m(input clk, input [3:0] d, output reg [3:0] q);
+	  always @(posedge clk) q <= d;
+	endmodule`
+	d := mustDesign(t, src)
+	s, _ := New(d)
+	trace, _ := s.Run(Stimulus{{"d": 5}, {"d": 10}})
+	var buf strings.Builder
+	if err := WriteVCD(&buf, d, trace, "top"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "$var wire 4") {
+		t.Error("vector declaration missing")
+	}
+	if !strings.Contains(out, "b101 ") {
+		t.Errorf("binary vector value missing:\n%s", out)
+	}
+	// d=5 at cycle 0 and q=5 at cycle 1: two changes; the unchanged d=10 at
+	// cycle 1 is emitted once.
+	if got := strings.Count(out, "b101 "); got != 2 {
+		t.Errorf("b101 emitted %d times, want 2 (d@0 and q@1)", got)
+	}
+	if got := strings.Count(out, "b1010 "); got != 1 {
+		t.Errorf("b1010 emitted %d times, want 1", got)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if id == "" || seen[id] {
+			t.Fatalf("id collision or empty at %d: %q", i, id)
+		}
+		seen[id] = true
+		for _, c := range id {
+			if c < 33 || c > 126 {
+				t.Fatalf("non-printable id char %q", id)
+			}
+		}
+	}
+}

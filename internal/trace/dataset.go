@@ -1,0 +1,300 @@
+// Package trace converts simulation traces into the windowed boolean datasets
+// mined by the decision-tree learner (A-Miner). Each dataset row is one
+// window of consecutive trace cycles; the feature columns are single bits of
+// cone-of-influence signals at cycle offsets within the window, and the
+// target is one bit of the output signal at the consequent offset.
+//
+// The default feature set contains the primary inputs in the target's logic
+// cone at offsets 0..window. When the miner exhausts those (Section 6 of the
+// paper, third iteration), Extend activates the state variables at the
+// farthest-back temporal stage (offset 0) as additional split candidates —
+// the rows already carry their values, so no resimulation is needed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/cone"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// VarRef identifies one feature column: a bit of a signal at a window offset.
+type VarRef struct {
+	Signal string
+	Bit    int // bit index; 0 for 1-bit signals
+	Offset int
+	// Width is the declared width of the signal (1 keeps bit selects out of
+	// printed assertions).
+	Width int
+}
+
+// Name renders the variable, e.g. "req0@1" or "state[2]@0".
+func (v VarRef) Name() string {
+	base := v.Signal
+	if v.Width > 1 {
+		base = fmt.Sprintf("%s[%d]", v.Signal, v.Bit)
+	}
+	return fmt.Sprintf("%s@%d", base, v.Offset)
+}
+
+// Prop converts the variable plus an observed value into an assertion
+// proposition.
+func (v VarRef) Prop(value uint64) assertion.Prop {
+	if v.Width > 1 {
+		return assertion.PBit(v.Signal, v.Bit, v.Offset, value)
+	}
+	return assertion.P(v.Signal, v.Offset, value&1, 1)
+}
+
+// Dataset is the mining table for one output bit.
+type Dataset struct {
+	design *rtl.Design
+
+	// Out is the target output signal; OutBit its bit; Window the mining
+	// window length w; ConsOffset the cycle offset of the target (w+1 for
+	// registered outputs, w for combinational ones).
+	Out        *rtl.Signal
+	OutBit     int
+	Window     int
+	ConsOffset int
+
+	// sigs are the cone signals snapshotted per row, sorted by name.
+	sigs   []*rtl.Signal
+	sigIdx map[string]int
+
+	// Vars are the active feature columns. Base input features come first;
+	// Extend appends state features.
+	Vars     []VarRef
+	varCols  []col // parallel to Vars: precomputed (sigIdx, bit, offset)
+	extVars  []VarRef
+	extCols  []col
+	extended bool
+
+	// rows hold the raw snapshot: rows[r][off*len(sigs)+sigIdx].
+	rows    [][]uint64
+	origins []int // iteration id that contributed each row (0 = seed)
+}
+
+type col struct {
+	sig    int
+	bit    int
+	offset int
+}
+
+// NewDataset creates an empty dataset for one bit of an output, using the
+// bit-level cone of influence to pick feature columns.
+func NewDataset(d *rtl.Design, out *rtl.Signal, outBit, window int) (*Dataset, error) {
+	return NewDatasetCfg(d, out, outBit, window, true)
+}
+
+// NewDatasetCfg creates a dataset with an explicit cone granularity choice:
+// useBitCone=false falls back to the paper's signal-level cone (every bit of
+// every cone signal becomes a feature), which is the ablation baseline.
+func NewDatasetCfg(d *rtl.Design, out *rtl.Signal, outBit, window int, useBitCone bool) (*Dataset, error) {
+	if out == nil {
+		return nil, fmt.Errorf("nil output signal")
+	}
+	if outBit < 0 || outBit >= out.Width {
+		return nil, fmt.Errorf("output bit %d out of range for %s[%d]", outBit, out.Name, out.Width)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("negative window %d", window)
+	}
+	consOff := window
+	if out.IsState {
+		consOff = window + 1
+	}
+	// Cone of influence: only signal bits that can actually affect the
+	// target bit become features. The bit-level analysis (default) keeps
+	// wide buses from flooding the miner with irrelevant split candidates;
+	// the signal-level fallback is the ablation baseline.
+	var cn cone.BitSet
+	if useBitCone {
+		cn = cone.OfBit(d, out, outBit)
+	} else {
+		cn = cone.BitSet{}
+		for sig := range cone.Of(d, out) {
+			for b := 0; b < sig.Width; b++ {
+				cn[cone.BitRef{Sig: sig, Bit: b}] = true
+			}
+		}
+	}
+	ds := &Dataset{
+		design:     d,
+		Out:        out,
+		OutBit:     outBit,
+		Window:     window,
+		ConsOffset: consOff,
+		sigIdx:     map[string]int{},
+	}
+	// Snapshot every cone signal (plus the output itself) per row.
+	sigs := cn.Signals()
+	hasOut := false
+	for _, s := range sigs {
+		if s == out {
+			hasOut = true
+		}
+	}
+	if !hasOut {
+		sigs = append(sigs, out)
+	}
+	ds.sigs = sigs
+	for i, s := range ds.sigs {
+		ds.sigIdx[s.Name] = i
+	}
+	// Base features: cone input bits at offsets 0..window.
+	for off := 0; off <= window; off++ {
+		for _, br := range cone.InputBits(d, cn) {
+			ds.Vars = append(ds.Vars, VarRef{Signal: br.Sig.Name, Bit: br.Bit, Offset: off, Width: br.Sig.Width})
+		}
+	}
+	// Extension features: cone state bits at offset 0.
+	for _, br := range cone.StateBitRefs(cn) {
+		ds.extVars = append(ds.extVars, VarRef{Signal: br.Sig.Name, Bit: br.Bit, Offset: 0, Width: br.Sig.Width})
+	}
+	ds.varCols = ds.resolve(ds.Vars)
+	ds.extCols = ds.resolve(ds.extVars)
+	return ds, nil
+}
+
+func (ds *Dataset) resolve(vars []VarRef) []col {
+	cols := make([]col, len(vars))
+	for i, v := range vars {
+		si, ok := ds.sigIdx[v.Signal]
+		if !ok {
+			panic(fmt.Sprintf("trace: feature %s not in cone snapshot", v.Signal))
+		}
+		cols[i] = col{sig: si, bit: v.Bit, offset: v.Offset}
+	}
+	return cols
+}
+
+// Extended reports whether the state features have been activated.
+func (ds *Dataset) Extended() bool { return ds.extended }
+
+// Extend activates the farthest-back state variables as feature columns.
+// Existing rows already carry their values. It reports whether any new
+// columns were added.
+func (ds *Dataset) Extend() bool {
+	if ds.extended || len(ds.extVars) == 0 {
+		ds.extended = true
+		return false
+	}
+	ds.Vars = append(ds.Vars, ds.extVars...)
+	ds.varCols = append(ds.varCols, ds.extCols...)
+	ds.extended = true
+	return true
+}
+
+// Rows returns the number of rows.
+func (ds *Dataset) Rows() int { return len(ds.rows) }
+
+// NumVars returns the number of active feature columns.
+func (ds *Dataset) NumVars() int { return len(ds.Vars) }
+
+// Var returns feature column i.
+func (ds *Dataset) Var(i int) VarRef { return ds.Vars[i] }
+
+// Value returns the bit value of feature column v in row r.
+func (ds *Dataset) Value(r, v int) byte {
+	c := ds.varCols[v]
+	word := ds.rows[r][c.offset*len(ds.sigs)+c.sig]
+	return byte((word >> uint(c.bit)) & 1)
+}
+
+// Target returns the target bit of row r.
+func (ds *Dataset) Target(r int) byte {
+	si := ds.sigIdx[ds.Out.Name]
+	word := ds.rows[r][ds.ConsOffset*len(ds.sigs)+si]
+	return byte((word >> uint(ds.OutBit)) & 1)
+}
+
+// Origin returns the iteration id that contributed row r (0 = seed trace).
+func (ds *Dataset) Origin(r int) int { return ds.origins[r] }
+
+// TargetProp builds the consequent proposition for an observed target value.
+func (ds *Dataset) TargetProp(value uint64) assertion.Prop {
+	if ds.Out.Width > 1 {
+		return assertion.PBit(ds.Out.Name, ds.OutBit, ds.ConsOffset, value)
+	}
+	return assertion.P(ds.Out.Name, ds.ConsOffset, value&1, 1)
+}
+
+// AddTrace appends one row per complete window position of the trace,
+// tagging rows with the origin iteration. Returns the number of rows added.
+func (ds *Dataset) AddTrace(tr *sim.Trace, origin int) (int, error) {
+	// Resolve trace columns for the cone snapshot once.
+	cols := make([]int, len(ds.sigs))
+	for i, s := range ds.sigs {
+		c := tr.Column(s.Name)
+		if c < 0 {
+			return 0, fmt.Errorf("trace missing cone signal %q", s.Name)
+		}
+		cols[i] = c
+	}
+	added := 0
+	span := ds.ConsOffset // window occupies cycles p..p+span
+	for p := 0; p+span < tr.Cycles(); p++ {
+		row := make([]uint64, (span+1)*len(ds.sigs))
+		for off := 0; off <= span; off++ {
+			vals := tr.Values[p+off]
+			for i := range ds.sigs {
+				row[off*len(ds.sigs)+i] = vals[cols[i]]
+			}
+		}
+		ds.rows = append(ds.rows, row)
+		ds.origins = append(ds.origins, origin)
+		added++
+	}
+	return added, nil
+}
+
+// LastWindowRow appends only the final window of the trace (the window in
+// which a counterexample violates its assertion). Returns the row index.
+func (ds *Dataset) LastWindowRow(tr *sim.Trace, origin int) (int, error) {
+	span := ds.ConsOffset
+	if tr.Cycles() < span+1 {
+		return -1, fmt.Errorf("trace too short: %d cycles, need %d", tr.Cycles(), span+1)
+	}
+	cols := make([]int, len(ds.sigs))
+	for i, s := range ds.sigs {
+		c := tr.Column(s.Name)
+		if c < 0 {
+			return -1, fmt.Errorf("trace missing cone signal %q", s.Name)
+		}
+		cols[i] = c
+	}
+	p := tr.Cycles() - span - 1
+	row := make([]uint64, (span+1)*len(ds.sigs))
+	for off := 0; off <= span; off++ {
+		vals := tr.Values[p+off]
+		for i := range ds.sigs {
+			row[off*len(ds.sigs)+i] = vals[cols[i]]
+		}
+	}
+	ds.rows = append(ds.rows, row)
+	ds.origins = append(ds.origins, origin)
+	return len(ds.rows) - 1, nil
+}
+
+// VarNames lists active feature names in order (for diagnostics).
+func (ds *Dataset) VarNames() []string {
+	names := make([]string, len(ds.Vars))
+	for i, v := range ds.Vars {
+		names[i] = v.Name()
+	}
+	return names
+}
+
+// ConeSignals returns the snapshotted cone signal names, sorted.
+func (ds *Dataset) ConeSignals() []string {
+	names := make([]string, len(ds.sigs))
+	for i, s := range ds.sigs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

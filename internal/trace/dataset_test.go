@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"testing"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+const arbiterSrc = `
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+  always @(posedge clk)
+    if (rst) begin gnt0 <= 0; gnt1 <= 0; end
+    else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule`
+
+func arbiterDataset(t *testing.T, window int) (*rtl.Design, *Dataset) {
+	t.Helper()
+	d, err := rtl.ElaborateSource(arbiterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(d, d.MustSignal("gnt0"), 0, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ds
+}
+
+func TestDatasetShape(t *testing.T) {
+	_, ds := arbiterDataset(t, 1)
+	// Registered output, window 1: consequent offset 2 (paper's gnt0(t+1)).
+	if ds.ConsOffset != 2 {
+		t.Errorf("cons offset %d want 2", ds.ConsOffset)
+	}
+	// Base features: cone inputs (req0, req1, rst) at offsets 0 and 1.
+	if ds.NumVars() != 6 {
+		t.Errorf("base vars %d want 6: %v", ds.NumVars(), ds.VarNames())
+	}
+	if ds.Extended() {
+		t.Error("should not start extended")
+	}
+}
+
+func TestDatasetRowsFromTrace(t *testing.T) {
+	d, ds := arbiterDataset(t, 1)
+	// The paper's directed test (Figure 7): 4 windowed rows need 6 cycles
+	// when the consequent offset is 2 (cycles t-1, t, t+1).
+	stim := sim.Stimulus{
+		{"rst": 1},
+		{"req0": 1},
+		{"req0": 1, "req1": 1},
+		{"req1": 1},
+		{"req0": 1, "req1": 1},
+		{},
+	}
+	tr, err := sim.Simulate(d, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ds.AddTrace(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 6 cycles, span 2 -> windows at p=0..3
+		t.Fatalf("rows added %d want 4", n)
+	}
+	if ds.Rows() != 4 {
+		t.Fatalf("rows %d", ds.Rows())
+	}
+	// Row p=1 covers cycles 1,2,3: req0@0 must be req0 at cycle 1 = 1.
+	vi := -1
+	for i := 0; i < ds.NumVars(); i++ {
+		if ds.Var(i).Name() == "req0@0" {
+			vi = i
+		}
+	}
+	if vi < 0 {
+		t.Fatalf("req0@0 not found: %v", ds.VarNames())
+	}
+	if ds.Value(1, vi) != 1 {
+		t.Errorf("row1 req0@0 = %d want 1", ds.Value(1, vi))
+	}
+	// Target of row p=0: gnt0 at cycle 2 = 1 (granted after request at 1).
+	if ds.Target(0) != 1 {
+		t.Errorf("row0 target = %d want 1", ds.Target(0))
+	}
+	if ds.Origin(0) != 0 {
+		t.Errorf("origin %d", ds.Origin(0))
+	}
+}
+
+func TestDatasetExtend(t *testing.T) {
+	_, ds := arbiterDataset(t, 1)
+	base := ds.NumVars()
+	if !ds.Extend() {
+		t.Fatal("extend should add state vars")
+	}
+	if !ds.Extended() {
+		t.Error("extended flag")
+	}
+	// Only gnt0 is state inside gnt0's own cone (gnt1 does not feed it).
+	if ds.NumVars() != base+1 {
+		t.Errorf("vars after extend %d want %d: %v", ds.NumVars(), base+1, ds.VarNames())
+	}
+	if ds.Extend() {
+		t.Error("second extend should be a no-op")
+	}
+}
+
+func TestExtendBackfillsExistingRows(t *testing.T) {
+	d, ds := arbiterDataset(t, 1)
+	stim := sim.Stimulus{{"rst": 1}, {"req0": 1}, {"req0": 1}, {"req0": 1}}
+	tr, _ := sim.Simulate(d, stim)
+	if _, err := ds.AddTrace(tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	ds.Extend()
+	// Find gnt0@0 and check the row starting at cycle 2 (gnt0 became 1).
+	vi := -1
+	for i := 0; i < ds.NumVars(); i++ {
+		if ds.Var(i).Name() == "gnt0@0" {
+			vi = i
+		}
+	}
+	if vi < 0 {
+		t.Fatalf("gnt0@0 missing after extend: %v", ds.VarNames())
+	}
+	// Row p=0: gnt0 at cycle 0 (reset) = 0.
+	if ds.Value(0, vi) != 0 {
+		t.Errorf("row0 gnt0@0 = %d", ds.Value(0, vi))
+	}
+	// Row p=1: gnt0 at cycle 1 = 0 (granted only at cycle 2).
+	if ds.Value(1, vi) != 0 {
+		t.Errorf("row1 gnt0@0 = %d", ds.Value(1, vi))
+	}
+}
+
+func TestLastWindowRow(t *testing.T) {
+	d, ds := arbiterDataset(t, 1)
+	stim := sim.Stimulus{{"rst": 1}, {"req0": 1}, {"req0": 1}, {}, {}}
+	tr, _ := sim.Simulate(d, stim)
+	idx, err := ds.LastWindowRow(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || ds.Rows() != 1 {
+		t.Errorf("idx %d rows %d", idx, ds.Rows())
+	}
+	if ds.Origin(0) != 3 {
+		t.Errorf("origin %d want 3", ds.Origin(0))
+	}
+	short, _ := sim.Simulate(d, sim.Stimulus{{}})
+	if _, err := ds.LastWindowRow(short, 1); err == nil {
+		t.Error("short trace should error")
+	}
+}
+
+func TestCombinationalConsOffset(t *testing.T) {
+	src := `module m(input a, b, output y); assign y = a ^ b; endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(d, d.MustSignal("y"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ConsOffset != 0 {
+		t.Errorf("comb output cons offset %d want 0", ds.ConsOffset)
+	}
+	tr, _ := sim.Simulate(d, sim.Stimulus{{"a": 1}, {"a": 1, "b": 1}})
+	n, _ := ds.AddTrace(tr, 0)
+	if n != 2 {
+		t.Errorf("rows %d want 2", n)
+	}
+	if ds.Target(0) != 1 || ds.Target(1) != 0 {
+		t.Errorf("targets %d %d", ds.Target(0), ds.Target(1))
+	}
+}
+
+func TestMultiBitFeatures(t *testing.T) {
+	src := `
+module m(input clk, input [1:0] sel, output reg y);
+  always @(posedge clk) y <= sel[0] & sel[1];
+endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(d, d.MustSignal("y"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sel expands to 2 bit-features at offset 0.
+	if ds.NumVars() != 2 {
+		t.Fatalf("vars: %v", ds.VarNames())
+	}
+	p := ds.Var(0).Prop(1)
+	if p.Bit != 0 || p.Signal != "sel" {
+		t.Errorf("prop %+v", p)
+	}
+	if p.Name() != "sel[0]" {
+		t.Errorf("prop name %q", p.Name())
+	}
+}
+
+func TestDatasetErrors(t *testing.T) {
+	d, _ := rtl.ElaborateSource(arbiterSrc)
+	if _, err := NewDataset(d, nil, 0, 1); err == nil {
+		t.Error("nil output")
+	}
+	if _, err := NewDataset(d, d.MustSignal("gnt0"), 3, 1); err == nil {
+		t.Error("bit out of range")
+	}
+	if _, err := NewDataset(d, d.MustSignal("gnt0"), 0, -1); err == nil {
+		t.Error("negative window")
+	}
+}
+
+func TestTargetProp(t *testing.T) {
+	_, ds := arbiterDataset(t, 1)
+	p := ds.TargetProp(0)
+	if p.Signal != "gnt0" || p.Offset != 2 || p.Value != 0 {
+		t.Errorf("target prop %+v", p)
+	}
+}

@@ -1,0 +1,412 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+// PortDir is the direction of a module port.
+type PortDir int
+
+// Port directions. DirNone marks internal wire/reg declarations.
+const (
+	DirNone PortDir = iota
+	DirInput
+	DirOutput
+	DirInout
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	case DirInout:
+		return "inout"
+	default:
+		return "internal"
+	}
+}
+
+// NetKind distinguishes wire-like from reg-like declarations.
+type NetKind int
+
+// Net kinds.
+const (
+	KindWire NetKind = iota
+	KindReg
+)
+
+func (k NetKind) String() string {
+	if k == KindReg {
+		return "reg"
+	}
+	return "wire"
+}
+
+// Range is a vector range [MSB:LSB]. A scalar signal has MSB == LSB == 0 and
+// Scalar == true.
+type Range struct {
+	MSB, LSB int
+	Scalar   bool
+}
+
+// Width returns the bit width implied by the range.
+func (r Range) Width() int {
+	if r.Scalar {
+		return 1
+	}
+	if r.MSB >= r.LSB {
+		return r.MSB - r.LSB + 1
+	}
+	return r.LSB - r.MSB + 1
+}
+
+func (r Range) String() string {
+	if r.Scalar {
+		return ""
+	}
+	return fmt.Sprintf("[%d:%d]", r.MSB, r.LSB)
+}
+
+// Decl is a signal declaration (port or internal).
+type Decl struct {
+	Name  string
+	Dir   PortDir
+	Kind  NetKind
+	Range Range
+	Line  int
+}
+
+// Param is a parameter or localparam declaration with an integer value.
+type Param struct {
+	Name  string
+	Value int64
+	Line  int
+}
+
+// Conn is one port connection of a module instance.
+type Conn struct {
+	// Port is the formal port name; empty for positional connections.
+	Port string
+	// Expr is the actual; nil for explicitly unconnected ports (.p()).
+	Expr Expr
+	Line int
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	Module string
+	Name   string
+	Conns  []Conn
+	Line   int
+}
+
+// Module is a parsed Verilog module.
+type Module struct {
+	Name      string
+	Ports     []string // port order as written in the header
+	Decls     []Decl
+	Params    []Param
+	Assigns   []Assign
+	Always    []AlwaysBlock
+	Instances []Instance
+	Line      int
+}
+
+// Decl returns the declaration for name, or nil.
+func (m *Module) Decl(name string) *Decl {
+	for i := range m.Decls {
+		if m.Decls[i].Name == name {
+			return &m.Decls[i]
+		}
+	}
+	return nil
+}
+
+// ParamValue returns the value of a parameter and whether it exists.
+func (m *Module) ParamValue(name string) (int64, bool) {
+	for _, p := range m.Params {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Assign is a continuous assignment: assign LHS = RHS.
+type Assign struct {
+	LHS  LValue
+	RHS  Expr
+	Line int
+}
+
+// EdgeKind describes a sensitivity-list entry.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeNone EdgeKind = iota // level sensitivity (combinational)
+	EdgePos
+	EdgeNeg
+)
+
+// SensItem is one entry of an always sensitivity list.
+type SensItem struct {
+	Edge   EdgeKind
+	Signal string
+}
+
+// AlwaysBlock is an always process. Star is true for always @(*) (or an
+// explicit all-inputs level list). A block with any edge-triggered item is
+// sequential.
+type AlwaysBlock struct {
+	Sens []SensItem
+	Star bool
+	Body Stmt
+	Line int
+}
+
+// Sequential reports whether the block is edge-triggered.
+func (a *AlwaysBlock) Sequential() bool {
+	for _, s := range a.Sens {
+		if s.Edge != EdgeNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Clock returns the clock signal of a sequential block: the first posedge or
+// negedge item. Designs in this subset use a single clock.
+func (a *AlwaysBlock) Clock() (string, EdgeKind) {
+	for _, s := range a.Sens {
+		if s.Edge != EdgeNone {
+			return s.Signal, s.Edge
+		}
+	}
+	return "", EdgeNone
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is a procedural statement.
+type Stmt interface {
+	stmtNode()
+	StmtLine() int
+}
+
+// BlockStmt is a begin/end group.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// AssignStmt is a procedural assignment; Blocking selects = vs <=.
+type AssignStmt struct {
+	LHS      LValue
+	RHS      Expr
+	Blocking bool
+	Line     int
+}
+
+// IfStmt is if (Cond) Then else Else; Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Line int
+}
+
+// CaseItem is one arm of a case statement. A nil Labels slice marks default.
+type CaseItem struct {
+	Labels []Expr
+	Body   Stmt
+	Line   int
+}
+
+// CaseStmt is case (Subject) ... endcase.
+type CaseStmt struct {
+	Subject Expr
+	Items   []CaseItem
+	Line    int
+}
+
+// NullStmt is a lone semicolon.
+type NullStmt struct{ Line int }
+
+func (s *BlockStmt) stmtNode()  {}
+func (s *AssignStmt) stmtNode() {}
+func (s *IfStmt) stmtNode()     {}
+func (s *CaseStmt) stmtNode()   {}
+func (s *NullStmt) stmtNode()   {}
+
+// StmtLine returns the source line of the statement.
+func (s *BlockStmt) StmtLine() int  { return s.Line }
+func (s *AssignStmt) StmtLine() int { return s.Line }
+func (s *IfStmt) StmtLine() int     { return s.Line }
+func (s *CaseStmt) StmtLine() int   { return s.Line }
+func (s *NullStmt) StmtLine() int   { return s.Line }
+
+// LValue is an assignment target: a whole signal, a bit, or a part-select.
+type LValue struct {
+	Name string
+	// Index is the bit-select expression, nil when whole-signal or ranged.
+	Index Expr
+	// HasRange selects a constant part-select [MSB:LSB].
+	HasRange bool
+	MSB, LSB int
+	Line     int
+}
+
+func (lv LValue) String() string {
+	switch {
+	case lv.Index != nil:
+		return fmt.Sprintf("%s[%s]", lv.Name, ExprString(lv.Index))
+	case lv.HasRange:
+		return fmt.Sprintf("%s[%d:%d]", lv.Name, lv.MSB, lv.LSB)
+	default:
+		return lv.Name
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is a Verilog expression node.
+type Expr interface {
+	exprNode()
+	ExprLine() int
+}
+
+// Ident references a signal or parameter by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is an integer literal. Width 0 means unsized (context-determined).
+type Number struct {
+	Value uint64
+	Width int
+	Line  int
+}
+
+// Unary applies a prefix operator: ~ ! - & | ^ ~& ~| ~^ (reductions included).
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	A, B Expr
+	Line int
+}
+
+// Ternary is Cond ? Then : Else.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// Index is a dynamic or constant bit-select X[Idx].
+type Index struct {
+	X    Expr
+	Idx  Expr
+	Line int
+}
+
+// Slice is a constant part-select X[MSB:LSB].
+type Slice struct {
+	X        Expr
+	MSB, LSB int
+	Line     int
+}
+
+// Concat is {A, B, ...} with the leftmost element most significant.
+type Concat struct {
+	Parts []Expr
+	Line  int
+}
+
+// Repl is a replication {N{X}}.
+type Repl struct {
+	Count int
+	X     Expr
+	Line  int
+}
+
+func (e *Ident) exprNode()   {}
+func (e *Number) exprNode()  {}
+func (e *Unary) exprNode()   {}
+func (e *Binary) exprNode()  {}
+func (e *Ternary) exprNode() {}
+func (e *Index) exprNode()   {}
+func (e *Slice) exprNode()   {}
+func (e *Concat) exprNode()  {}
+func (e *Repl) exprNode()    {}
+
+// ExprLine returns the source line of the expression.
+func (e *Ident) ExprLine() int   { return e.Line }
+func (e *Number) ExprLine() int  { return e.Line }
+func (e *Unary) ExprLine() int   { return e.Line }
+func (e *Binary) ExprLine() int  { return e.Line }
+func (e *Ternary) ExprLine() int { return e.Line }
+func (e *Index) ExprLine() int   { return e.Line }
+func (e *Slice) ExprLine() int   { return e.Line }
+func (e *Concat) ExprLine() int  { return e.Line }
+func (e *Repl) ExprLine() int    { return e.Line }
+
+// ExprString renders an expression back to Verilog-like text, mainly for
+// diagnostics and assertion pretty-printing.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *Number:
+		if x.Width > 0 {
+			return fmt.Sprintf("%d'd%d", x.Width, x.Value)
+		}
+		return fmt.Sprintf("%d", x.Value)
+	case *Unary:
+		return x.Op + parenthesize(x.X)
+	case *Binary:
+		return parenthesize(x.A) + " " + x.Op + " " + parenthesize(x.B)
+	case *Ternary:
+		return parenthesize(x.Cond) + " ? " + parenthesize(x.Then) + " : " + parenthesize(x.Else)
+	case *Index:
+		return parenthesize(x.X) + "[" + ExprString(x.Idx) + "]"
+	case *Slice:
+		return fmt.Sprintf("%s[%d:%d]", parenthesize(x.X), x.MSB, x.LSB)
+	case *Concat:
+		parts := make([]string, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = ExprString(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Repl:
+		return fmt.Sprintf("{%d{%s}}", x.Count, ExprString(x.X))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *Ident, *Number, *Index, *Slice, *Concat, *Repl:
+		return ExprString(e)
+	default:
+		return "(" + ExprString(e) + ")"
+	}
+}

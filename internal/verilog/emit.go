@@ -1,0 +1,121 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Emit renders a module back to Verilog source. Re-parsing the emitted text
+// yields a structurally equivalent module (round-trip tested), which makes
+// Emit useful for dumping flattened hierarchies and for golden files.
+func Emit(m *Module) string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "module %s(%s);\n", m.Name, strings.Join(m.Ports, ", "))
+	for _, p := range m.Params {
+		fmt.Fprintf(b, "  localparam %s = %d;\n", p.Name, p.Value)
+	}
+	for _, d := range m.Decls {
+		rng := ""
+		if !d.Range.Scalar {
+			rng = fmt.Sprintf(" [%d:%d]", d.Range.MSB, d.Range.LSB)
+		}
+		switch {
+		case d.Dir != DirNone && d.Kind == KindReg:
+			fmt.Fprintf(b, "  %s reg%s %s;\n", d.Dir, rng, d.Name)
+		case d.Dir != DirNone:
+			fmt.Fprintf(b, "  %s%s %s;\n", d.Dir, rng, d.Name)
+		case d.Kind == KindReg:
+			fmt.Fprintf(b, "  reg%s %s;\n", rng, d.Name)
+		default:
+			fmt.Fprintf(b, "  wire%s %s;\n", rng, d.Name)
+		}
+	}
+	for _, a := range m.Assigns {
+		fmt.Fprintf(b, "  assign %s = %s;\n", a.LHS, ExprString(a.RHS))
+	}
+	for i := range m.Always {
+		emitAlways(b, &m.Always[i])
+	}
+	for _, inst := range m.Instances {
+		var conns []string
+		for _, c := range inst.Conns {
+			actual := ""
+			if c.Expr != nil {
+				actual = ExprString(c.Expr)
+			}
+			if c.Port != "" {
+				conns = append(conns, fmt.Sprintf(".%s(%s)", c.Port, actual))
+			} else {
+				conns = append(conns, actual)
+			}
+		}
+		fmt.Fprintf(b, "  %s %s (%s);\n", inst.Module, inst.Name, strings.Join(conns, ", "))
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func emitAlways(b *strings.Builder, blk *AlwaysBlock) {
+	if blk.Star || len(blk.Sens) == 0 {
+		b.WriteString("  always @(*)\n")
+	} else {
+		var items []string
+		for _, s := range blk.Sens {
+			switch s.Edge {
+			case EdgePos:
+				items = append(items, "posedge "+s.Signal)
+			case EdgeNeg:
+				items = append(items, "negedge "+s.Signal)
+			default:
+				items = append(items, s.Signal)
+			}
+		}
+		fmt.Fprintf(b, "  always @(%s)\n", strings.Join(items, " or "))
+	}
+	emitStmt(b, blk.Body, "    ")
+}
+
+func emitStmt(b *strings.Builder, s Stmt, indent string) {
+	switch st := s.(type) {
+	case nil:
+		fmt.Fprintf(b, "%s;\n", indent)
+	case *BlockStmt:
+		fmt.Fprintf(b, "%sbegin\n", indent)
+		for _, sub := range st.Stmts {
+			emitStmt(b, sub, indent+"  ")
+		}
+		fmt.Fprintf(b, "%send\n", indent)
+	case *AssignStmt:
+		op := "<="
+		if st.Blocking {
+			op = "="
+		}
+		fmt.Fprintf(b, "%s%s %s %s;\n", indent, st.LHS, op, ExprString(st.RHS))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s)\n", indent, ExprString(st.Cond))
+		emitStmt(b, st.Then, indent+"  ")
+		if st.Else != nil {
+			fmt.Fprintf(b, "%selse\n", indent)
+			emitStmt(b, st.Else, indent+"  ")
+		}
+	case *CaseStmt:
+		fmt.Fprintf(b, "%scase (%s)\n", indent, ExprString(st.Subject))
+		for _, item := range st.Items {
+			if item.Labels == nil {
+				fmt.Fprintf(b, "%s  default:\n", indent)
+			} else {
+				var labs []string
+				for _, l := range item.Labels {
+					labs = append(labs, ExprString(l))
+				}
+				fmt.Fprintf(b, "%s  %s:\n", indent, strings.Join(labs, ", "))
+			}
+			emitStmt(b, item.Body, indent+"    ")
+		}
+		fmt.Fprintf(b, "%sendcase\n", indent)
+	case *NullStmt:
+		fmt.Fprintf(b, "%s;\n", indent)
+	default:
+		fmt.Fprintf(b, "%s// unsupported %T\n", indent, s)
+	}
+}

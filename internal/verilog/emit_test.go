@@ -1,0 +1,108 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitBasics(t *testing.T) {
+	m, err := Parse(arbiterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Emit(m)
+	for _, want := range []string{
+		"module arbiter2(clk, rst, req0, req1, gnt0, gnt1);",
+		"output reg gnt0;",
+		"always @(posedge clk)",
+		"gnt0 <= 0;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emit missing %q:\n%s", want, out)
+		}
+	}
+	// Re-parse must succeed.
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestEmitCaseAndVectors(t *testing.T) {
+	src := `
+module dec(input [1:0] sel, output reg [3:0] y);
+  always @(*) begin
+    case (sel)
+      2'b00: y = 4'b0001;
+      2'b01, 2'b10: y = 4'b0010;
+      default: y = 4'b0000;
+    endcase
+  end
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Emit(m)
+	for _, want := range []string{"case (sel)", "default:", "output reg [3:0] y;", "endcase"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emit missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestEmitInstances(t *testing.T) {
+	mods, err := ParseFile(hierSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Emit(mods[0])
+	for _, want := range []string{"inv u_inv (.a(a), .y(t));", "counter u_cnt ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emit missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitNegedgeAndSensList(t *testing.T) {
+	src := `
+module m(input clk, a, b, output reg y, output reg z);
+  always @(negedge clk) y <= a;
+  always @(*) if (a) z = b; else z = ~b;
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Emit(m)
+	if !strings.Contains(out, "negedge clk") {
+		t.Errorf("negedge lost:\n%s", out)
+	}
+	if !strings.Contains(out, "else") {
+		t.Errorf("else lost:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+}
+
+func TestEmitLocalparams(t *testing.T) {
+	src := `module m(input a, output y);
+	  localparam K = 3;
+	  assign y = a;
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Emit(m)
+	if !strings.Contains(out, "localparam K = 3;") {
+		t.Errorf("localparam lost:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+package verilog
+
+import (
+	"fmt"
+)
+
+// Flatten inlines the module hierarchy rooted at top into one flat module:
+// every instance's internals are spliced into the parent with
+// "<inst>_"-prefixed names, input ports become continuous assignments from
+// their actuals, and output ports drive their actuals. Ports connected to
+// plain identifiers are substituted directly (no intermediate wire), which
+// is also how the child's clock is bound to the parent clock.
+//
+// Limitations of the subset: instance parameter overrides are not supported
+// (children elaborate with their declared parameter values), inout ports are
+// rejected, and output actuals must be plain identifiers.
+func Flatten(mods []*Module, top string) (*Module, error) {
+	byName := map[string]*Module{}
+	for _, m := range mods {
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("duplicate module %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	root, ok := byName[top]
+	if !ok {
+		return nil, fmt.Errorf("no module %q", top)
+	}
+	f := &flattener{mods: byName, depth: map[string]bool{}}
+	return f.flatten(root)
+}
+
+type flattener struct {
+	mods  map[string]*Module
+	depth map[string]bool // instantiation path, for recursion detection
+}
+
+func (f *flattener) flatten(m *Module) (*Module, error) {
+	if f.depth[m.Name] {
+		return nil, fmt.Errorf("recursive instantiation of module %q", m.Name)
+	}
+	f.depth[m.Name] = true
+	defer delete(f.depth, m.Name)
+
+	out := &Module{
+		Name:    m.Name,
+		Ports:   append([]string(nil), m.Ports...),
+		Decls:   append([]Decl(nil), m.Decls...),
+		Params:  append([]Param(nil), m.Params...),
+		Assigns: append([]Assign(nil), m.Assigns...),
+		Always:  append([]AlwaysBlock(nil), m.Always...),
+		Line:    m.Line,
+	}
+	used := map[string]bool{}
+	for _, d := range out.Decls {
+		used[d.Name] = true
+	}
+
+	for _, inst := range m.Instances {
+		child, ok := f.mods[inst.Module]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown module %q", inst.Line, inst.Module)
+		}
+		flatChild, err := f.flatten(child)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.splice(out, used, inst, flatChild); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// splice inlines one flattened child instance into the parent.
+func (f *flattener) splice(parent *Module, used map[string]bool, inst Instance, child *Module) error {
+	// Resolve connections to a port -> actual map.
+	conns := map[string]Expr{}
+	positional := true
+	for _, c := range inst.Conns {
+		if c.Port != "" {
+			positional = false
+		}
+	}
+	if positional {
+		if len(inst.Conns) > len(child.Ports) {
+			return fmt.Errorf("line %d: instance %s has %d connections for %d ports",
+				inst.Line, inst.Name, len(inst.Conns), len(child.Ports))
+		}
+		for i, c := range inst.Conns {
+			if c.Expr != nil {
+				conns[child.Ports[i]] = c.Expr
+			}
+		}
+	} else {
+		for _, c := range inst.Conns {
+			if c.Port == "" {
+				return fmt.Errorf("line %d: instance %s mixes named and positional connections", inst.Line, inst.Name)
+			}
+			if _, dup := conns[c.Port]; dup {
+				return fmt.Errorf("line %d: instance %s connects port %s twice", inst.Line, inst.Name, c.Port)
+			}
+			if c.Expr != nil {
+				conns[c.Port] = c.Expr
+			}
+		}
+	}
+
+	// Build the rename map for every child signal.
+	rename := map[string]string{}
+	portDir := map[string]PortDir{}
+	for _, d := range child.Decls {
+		portDir[d.Name] = d.Dir
+	}
+	for port, actual := range conns {
+		dir, isPort := portDir[port]
+		if !isPort || dir == DirNone {
+			return fmt.Errorf("line %d: module %s has no port %q", inst.Line, child.Name, port)
+		}
+		if dir == DirInout {
+			return fmt.Errorf("line %d: inout port %s.%s unsupported", inst.Line, child.Name, port)
+		}
+		if id, isIdent := actual.(*Ident); isIdent {
+			// Direct substitution: the child port becomes the parent signal.
+			rename[port] = id.Name
+			continue
+		}
+		if dir == DirOutput {
+			return fmt.Errorf("line %d: output port %s.%s must connect to a plain identifier", inst.Line, child.Name, port)
+		}
+	}
+	fresh := func(name string) string {
+		cand := inst.Name + "_" + name
+		for used[cand] {
+			cand = cand + "_"
+		}
+		used[cand] = true
+		return cand
+	}
+	for _, d := range child.Decls {
+		if _, done := rename[d.Name]; done {
+			continue
+		}
+		rename[d.Name] = fresh(d.Name)
+	}
+
+	// Splice declarations: internal child signals (and ports without direct
+	// substitution) become parent wires/regs.
+	for _, d := range child.Decls {
+		target := rename[d.Name]
+		if target == d.Name && d.Dir != DirNone {
+			// Directly substituted port bound to an identically named parent
+			// signal: nothing to declare.
+			if _, exists := indexDecl(parent, target); exists {
+				continue
+			}
+		}
+		if _, exists := indexDecl(parent, target); exists {
+			continue // bound to an existing parent signal
+		}
+		nd := d
+		nd.Name = target
+		nd.Dir = DirNone // internal now
+		if d.Dir == DirInput {
+			nd.Kind = KindWire
+		}
+		parent.Decls = append(parent.Decls, nd)
+		used[target] = true
+	}
+
+	// Port binding assigns for expression-connected inputs, and unconnected
+	// inputs default to zero.
+	for _, d := range child.Decls {
+		if d.Dir != DirInput {
+			continue
+		}
+		actual, connected := conns[d.Name]
+		if _, direct := actual.(*Ident); connected && direct {
+			continue
+		}
+		var rhs Expr
+		if connected {
+			rhs = actual
+		} else {
+			rhs = &Number{Value: 0, Width: d.Range.Width(), Line: inst.Line}
+		}
+		parent.Assigns = append(parent.Assigns, Assign{
+			LHS:  LValue{Name: rename[d.Name], Line: inst.Line},
+			RHS:  rhs,
+			Line: inst.Line,
+		})
+	}
+
+	// Splice child logic with renamed identifiers.
+	for _, a := range child.Assigns {
+		na := a
+		na.LHS = renameLValue(a.LHS, rename)
+		na.RHS = renameExpr(a.RHS, rename)
+		parent.Assigns = append(parent.Assigns, na)
+	}
+	for _, blk := range child.Always {
+		nb := blk
+		nb.Sens = make([]SensItem, len(blk.Sens))
+		for i, s := range blk.Sens {
+			nb.Sens[i] = SensItem{Edge: s.Edge, Signal: renameName(s.Signal, rename)}
+		}
+		nb.Body = renameStmt(blk.Body, rename)
+		parent.Always = append(parent.Always, nb)
+	}
+	return nil
+}
+
+func indexDecl(m *Module, name string) (int, bool) {
+	for i := range m.Decls {
+		if m.Decls[i].Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func renameName(name string, rn map[string]string) string {
+	if to, ok := rn[name]; ok {
+		return to
+	}
+	return name
+}
+
+func renameLValue(lv LValue, rn map[string]string) LValue {
+	out := lv
+	out.Name = renameName(lv.Name, rn)
+	if lv.Index != nil {
+		out.Index = renameExpr(lv.Index, rn)
+	}
+	return out
+}
+
+func renameExpr(e Expr, rn map[string]string) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{Name: renameName(x.Name, rn), Line: x.Line}
+	case *Number:
+		return x
+	case *Unary:
+		return &Unary{Op: x.Op, X: renameExpr(x.X, rn), Line: x.Line}
+	case *Binary:
+		return &Binary{Op: x.Op, A: renameExpr(x.A, rn), B: renameExpr(x.B, rn), Line: x.Line}
+	case *Ternary:
+		return &Ternary{
+			Cond: renameExpr(x.Cond, rn), Then: renameExpr(x.Then, rn),
+			Else: renameExpr(x.Else, rn), Line: x.Line,
+		}
+	case *Index:
+		return &Index{X: renameExpr(x.X, rn), Idx: renameExpr(x.Idx, rn), Line: x.Line}
+	case *Slice:
+		return &Slice{X: renameExpr(x.X, rn), MSB: x.MSB, LSB: x.LSB, Line: x.Line}
+	case *Concat:
+		parts := make([]Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = renameExpr(p, rn)
+		}
+		return &Concat{Parts: parts, Line: x.Line}
+	case *Repl:
+		return &Repl{Count: x.Count, X: renameExpr(x.X, rn), Line: x.Line}
+	default:
+		return e
+	}
+}
+
+func renameStmt(s Stmt, rn map[string]string) Stmt {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *BlockStmt:
+		out := &BlockStmt{Line: st.Line}
+		for _, sub := range st.Stmts {
+			out.Stmts = append(out.Stmts, renameStmt(sub, rn))
+		}
+		return out
+	case *AssignStmt:
+		return &AssignStmt{
+			LHS: renameLValue(st.LHS, rn), RHS: renameExpr(st.RHS, rn),
+			Blocking: st.Blocking, Line: st.Line,
+		}
+	case *IfStmt:
+		return &IfStmt{
+			Cond: renameExpr(st.Cond, rn),
+			Then: renameStmt(st.Then, rn),
+			Else: renameStmt(st.Else, rn),
+			Line: st.Line,
+		}
+	case *CaseStmt:
+		out := &CaseStmt{Subject: renameExpr(st.Subject, rn), Line: st.Line}
+		for _, item := range st.Items {
+			ni := CaseItem{Line: item.Line, Body: renameStmt(item.Body, rn)}
+			for _, lab := range item.Labels {
+				ni.Labels = append(ni.Labels, renameExpr(lab, rn))
+			}
+			out.Items = append(out.Items, ni)
+		}
+		return out
+	case *NullStmt:
+		return st
+	default:
+		return s
+	}
+}

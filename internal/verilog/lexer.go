@@ -1,0 +1,210 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns Verilog source text into a token stream. It strips // and
+// /* */ comments and tracks line/column positions for diagnostics.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token slice terminated by a
+// TokEOF token, or the first lexical error encountered.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			startLine := lx.line
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return fmt.Errorf("line %d: unterminated block comment", startLine)
+				}
+				if lx.peekByte() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isBaseDigit(c byte) bool {
+	return isDigit(c) || c == '_' || c == 'x' || c == 'X' || c == 'z' || c == 'Z' ||
+		(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if IsKeyword(text) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c), c == '\'':
+		return lx.lexNumber(line, col)
+
+	case c == '"':
+		lx.advance()
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peekByte() != '"' {
+			if lx.peekByte() == '\n' {
+				return Token{}, fmt.Errorf("line %d:%d: unterminated string", line, col)
+			}
+			lx.advance()
+		}
+		if lx.pos >= len(lx.src) {
+			return Token{}, fmt.Errorf("line %d:%d: unterminated string", line, col)
+		}
+		text := lx.src[start:lx.pos]
+		lx.advance() // closing quote
+		return Token{Kind: TokString, Text: text, Line: line, Col: col}, nil
+	}
+
+	// Symbols: longest match first.
+	if lx.pos+3 <= len(lx.src) && threeSymbols[lx.src[lx.pos:lx.pos+3]] {
+		text := lx.src[lx.pos : lx.pos+3]
+		lx.advance()
+		lx.advance()
+		lx.advance()
+		return Token{Kind: TokSymbol, Text: text, Line: line, Col: col}, nil
+	}
+	if lx.pos+2 <= len(lx.src) && twoSymbols[lx.src[lx.pos:lx.pos+2]] {
+		text := lx.src[lx.pos : lx.pos+2]
+		lx.advance()
+		lx.advance()
+		return Token{Kind: TokSymbol, Text: text, Line: line, Col: col}, nil
+	}
+	if oneSymbols[c] {
+		lx.advance()
+		return Token{Kind: TokSymbol, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+}
+
+// lexNumber handles decimal literals, sized literals like 4'b1010 and 8'hFF,
+// and base-only literals like 'd3. Underscores inside digit runs are allowed.
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	// Optional size prefix (decimal digits).
+	for lx.pos < len(lx.src) && (isDigit(lx.peekByte()) || lx.peekByte() == '_') {
+		lx.advance()
+	}
+	if lx.peekByte() != '\'' {
+		text := lx.src[start:lx.pos]
+		if text == "" {
+			return Token{}, fmt.Errorf("line %d:%d: malformed number", line, col)
+		}
+		return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+	}
+	lx.advance() // consume '
+	base := lx.peekByte()
+	switch base {
+	case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+		lx.advance()
+	default:
+		return Token{}, fmt.Errorf("line %d:%d: bad base character %q in literal", lx.line, lx.col, string(base))
+	}
+	digStart := lx.pos
+	for lx.pos < len(lx.src) && isBaseDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	if lx.pos == digStart {
+		return Token{}, fmt.Errorf("line %d:%d: literal missing digits", lx.line, lx.col)
+	}
+	text := lx.src[start:lx.pos]
+	if strings.ContainsAny(text, "xXzZ") {
+		return Token{}, fmt.Errorf("line %d:%d: x/z literals are not supported (two-valued subset): %s", line, col, text)
+	}
+	return Token{Kind: TokSized, Text: text, Line: line, Col: col}, nil
+}

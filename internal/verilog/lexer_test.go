@@ -1,0 +1,148 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestLexIdentifiersAndKeywords(t *testing.T) {
+	toks, err := Lex("module foo_bar $display _x9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"module", "foo_bar", "$display", "_x9", ""}
+	got := texts(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if toks[0].Kind != TokKeyword {
+		t.Errorf("module should lex as keyword, got %v", toks[0].Kind)
+	}
+	if toks[1].Kind != TokIdent {
+		t.Errorf("foo_bar should lex as identifier, got %v", toks[1].Kind)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"42", TokNumber},
+		{"4'b1010", TokSized},
+		{"8'hFF", TokSized},
+		{"12'o777", TokSized},
+		{"'d3", TokSized},
+		{"16'd65_535", TokSized},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%s: kind %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("%s: text %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestLexRejectsXZLiterals(t *testing.T) {
+	if _, err := Lex("4'b10xz"); err == nil {
+		t.Fatal("expected error for x/z literal")
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks, err := Lex("a <= b == c && d || ~^e <<< 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "<=", "b", "==", "c", "&&", "d", "||", "~^", "e", "<<<", "2"}
+	got := texts(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `a // line comment
+	/* block
+	   comment */ b`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(toks)
+	if got[0] != "a" || got[1] != "b" {
+		t.Errorf("comments not stripped: %v", got)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Fatal("expected unterminated comment error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	_, err := Lex("a ` b")
+	if err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("want unexpected character error, got %v", err)
+	}
+}
+
+func TestLexEOFKind(t *testing.T) {
+	toks, err := Lex("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Kind != TokEOF {
+		t.Fatalf("empty input should produce single EOF, got %v", kinds(toks))
+	}
+}
+
+func TestTokenStringer(t *testing.T) {
+	tok := Token{Kind: TokIdent, Text: "x", Line: 3, Col: 7}
+	if s := tok.String(); !strings.Contains(s, "identifier") || !strings.Contains(s, "3:7") {
+		t.Errorf("token string %q", s)
+	}
+	if TokenKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

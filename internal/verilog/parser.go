@@ -1,0 +1,1047 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over a lexed token stream.
+type Parser struct {
+	toks   []Token
+	pos    int
+	params map[string]int64 // visible parameter values for constant folding
+}
+
+// Parse parses a single Verilog module from src.
+func Parse(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, params: map[string]int64{}}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing tokens after endmodule")
+	}
+	return m, nil
+}
+
+// ParseFile parses a source file that may contain several modules.
+func ParseFile(src string) ([]*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, params: map[string]int64{}}
+	var mods []*Module
+	for !p.atEOF() {
+		p.params = map[string]int64{}
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("no modules in source")
+	}
+	return mods, nil
+}
+
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+func (p *Parser) peekAhead(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("line %d:%d (near %q): %s", t.Line, t.Col, t.Text, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.Kind != TokSymbol || t.Text != sym {
+		return p.errorf("expected %q", sym)
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return p.errorf("expected keyword %q", kw)
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.Kind == TokSymbol && t.Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return Token{}, p.errorf("expected identifier")
+	}
+	return p.next(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Module structure
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseModule() (*Module, error) {
+	start := p.peek()
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: nameTok.Text, Line: start.Line}
+
+	if p.acceptSymbol("#") { // parameter port list #(parameter N = 4, ...)
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		for {
+			if !p.acceptKeyword("parameter") && len(m.Params) == 0 {
+				return nil, p.errorf("expected parameter in parameter port list")
+			}
+			if err := p.parseOneParam(m); err != nil {
+				return nil, err
+			}
+			if p.acceptSymbol(",") {
+				p.acceptKeyword("parameter") // optional repeat
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.acceptSymbol("(") {
+		if err := p.parsePortList(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		t := p.peek()
+		if t.Kind == TokKeyword && t.Text == "endmodule" {
+			p.next()
+			break
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errorf("unexpected EOF inside module %s", m.Name)
+		}
+		if err := p.parseModuleItem(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// parsePortList handles both ANSI headers (input [3:0] a, output reg b, ...)
+// and plain name lists (a, b, c).
+func (p *Parser) parsePortList(m *Module) error {
+	if p.acceptSymbol(")") {
+		return nil
+	}
+	// Persisted direction/kind/range across comma-separated ANSI entries.
+	dir := DirNone
+	kind := KindWire
+	rng := Range{Scalar: true}
+	for {
+		t := p.peek()
+		if t.Kind == TokKeyword && (t.Text == "input" || t.Text == "output" || t.Text == "inout") {
+			p.next()
+			switch t.Text {
+			case "input":
+				dir = DirInput
+			case "output":
+				dir = DirOutput
+			default:
+				dir = DirInout
+			}
+			kind = KindWire
+			rng = Range{Scalar: true}
+			if p.acceptKeyword("reg") {
+				kind = KindReg
+			} else {
+				p.acceptKeyword("wire")
+			}
+			r, has, err := p.tryParseRange()
+			if err != nil {
+				return err
+			}
+			if has {
+				rng = r
+			}
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, nameTok.Text)
+		if dir != DirNone {
+			m.Decls = append(m.Decls, Decl{
+				Name: nameTok.Text, Dir: dir, Kind: kind, Range: rng, Line: nameTok.Line,
+			})
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		return p.expectSymbol(")")
+	}
+}
+
+func (p *Parser) parseModuleItem(m *Module) error {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		// Module instantiation: <module> <inst> ( connections ) ;
+		return p.parseInstance(m)
+	}
+	if t.Kind != TokKeyword {
+		return p.errorf("expected module item (declaration, assign, always, or instance)")
+	}
+	switch t.Text {
+	case "input", "output", "inout", "wire", "reg", "integer":
+		return p.parseDecl(m)
+	case "parameter", "localparam":
+		p.next()
+		for {
+			if err := p.parseOneParam(m); err != nil {
+				return err
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		return p.expectSymbol(";")
+	case "assign":
+		return p.parseAssign(m)
+	case "always":
+		return p.parseAlways(m)
+	case "initial":
+		// Initial blocks are ignored by the synthesizable subset: registers
+		// reset to zero. Skip the block body.
+		p.next()
+		st, err := p.parseStmt()
+		_ = st
+		return err
+	default:
+		return p.errorf("unsupported module item %q", t.Text)
+	}
+}
+
+// parseInstance handles `mod inst (.a(x), .b(y));` and positional
+// `mod inst (x, y);` forms.
+func (p *Parser) parseInstance(m *Module) error {
+	modTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst := Instance{Module: modTok.Text, Name: nameTok.Text, Line: modTok.Line}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	if !p.acceptSymbol(")") {
+		for {
+			c := Conn{Line: p.peek().Line}
+			if p.acceptSymbol(".") {
+				port, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				c.Port = port.Text
+				if err := p.expectSymbol("("); err != nil {
+					return err
+				}
+				if !p.acceptSymbol(")") {
+					e, err := p.parseExpr()
+					if err != nil {
+						return err
+					}
+					c.Expr = e
+					if err := p.expectSymbol(")"); err != nil {
+						return err
+					}
+				}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				c.Expr = e
+			}
+			inst.Conns = append(inst.Conns, c)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	m.Instances = append(m.Instances, inst)
+	return nil
+}
+
+func (p *Parser) parseOneParam(m *Module) error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	v, err := p.constEval(e)
+	if err != nil {
+		return fmt.Errorf("parameter %s: %w", nameTok.Text, err)
+	}
+	m.Params = append(m.Params, Param{Name: nameTok.Text, Value: v, Line: nameTok.Line})
+	p.params[nameTok.Text] = v
+	return nil
+}
+
+func (p *Parser) parseDecl(m *Module) error {
+	t := p.next() // input/output/inout/wire/reg/integer
+	dir := DirNone
+	kind := KindWire
+	switch t.Text {
+	case "input":
+		dir = DirInput
+	case "output":
+		dir = DirOutput
+	case "inout":
+		dir = DirInout
+	case "reg":
+		kind = KindReg
+	case "integer":
+		kind = KindReg
+	}
+	if dir != DirNone {
+		if p.acceptKeyword("reg") {
+			kind = KindReg
+		} else {
+			p.acceptKeyword("wire")
+		}
+	}
+	rng := Range{Scalar: true}
+	if t.Text == "integer" {
+		rng = Range{MSB: 31, LSB: 0}
+	}
+	r, has, err := p.tryParseRange()
+	if err != nil {
+		return err
+	}
+	if has {
+		rng = r
+	}
+	for {
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		// Merge with an existing port-list entry if present (non-ANSI style:
+		// module m(a); input a; ...).
+		if d := m.Decl(nameTok.Text); d != nil {
+			if dir != DirNone {
+				d.Dir = dir
+			}
+			if kind == KindReg {
+				d.Kind = KindReg
+			}
+			if has || !rng.Scalar {
+				d.Range = rng
+			}
+		} else {
+			m.Decls = append(m.Decls, Decl{
+				Name: nameTok.Text, Dir: dir, Kind: kind, Range: rng, Line: nameTok.Line,
+			})
+		}
+		if p.acceptSymbol("=") {
+			// Wire declaration with initializer: treat as continuous assign.
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			m.Assigns = append(m.Assigns, Assign{
+				LHS:  LValue{Name: nameTok.Text, Line: nameTok.Line},
+				RHS:  rhs,
+				Line: nameTok.Line,
+			})
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		return p.expectSymbol(";")
+	}
+}
+
+// tryParseRange parses [const : const] if present.
+func (p *Parser) tryParseRange() (Range, bool, error) {
+	if !(p.peek().Kind == TokSymbol && p.peek().Text == "[") {
+		return Range{}, false, nil
+	}
+	p.next()
+	msbE, err := p.parseExpr()
+	if err != nil {
+		return Range{}, false, err
+	}
+	msb, err := p.constEval(msbE)
+	if err != nil {
+		return Range{}, false, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return Range{}, false, err
+	}
+	lsbE, err := p.parseExpr()
+	if err != nil {
+		return Range{}, false, err
+	}
+	lsb, err := p.constEval(lsbE)
+	if err != nil {
+		return Range{}, false, err
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return Range{}, false, err
+	}
+	return Range{MSB: int(msb), LSB: int(lsb)}, true, nil
+}
+
+func (p *Parser) parseAssign(m *Module) error {
+	start := p.next() // assign
+	for {
+		lv, err := p.parseLValue()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Assigns = append(m.Assigns, Assign{LHS: lv, RHS: rhs, Line: start.Line})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		return p.expectSymbol(";")
+	}
+}
+
+func (p *Parser) parseAlways(m *Module) error {
+	start := p.next() // always
+	blk := AlwaysBlock{Line: start.Line}
+	if p.acceptSymbol("@*") {
+		blk.Star = true
+	} else {
+		if err := p.expectSymbol("@"); err != nil {
+			return err
+		}
+		if p.acceptSymbol("*") {
+			blk.Star = true
+		} else {
+			if err := p.expectSymbol("("); err != nil {
+				return err
+			}
+			if p.acceptSymbol("*") {
+				blk.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return err
+				}
+			} else {
+				for {
+					item := SensItem{}
+					if p.acceptKeyword("posedge") {
+						item.Edge = EdgePos
+					} else if p.acceptKeyword("negedge") {
+						item.Edge = EdgeNeg
+					}
+					sig, err := p.expectIdent()
+					if err != nil {
+						return err
+					}
+					item.Signal = sig.Text
+					blk.Sens = append(blk.Sens, item)
+					if p.acceptKeyword("or") || p.acceptSymbol(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return err
+	}
+	blk.Body = body
+	m.Always = append(m.Always, blk)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "begin":
+		p.next()
+		blk := &BlockStmt{Line: t.Line}
+		for {
+			if p.acceptKeyword("end") {
+				return blk, nil
+			}
+			if p.atEOF() {
+				return nil, p.errorf("unexpected EOF in begin/end block")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	case t.Kind == TokKeyword && t.Text == "if":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.acceptKeyword("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case t.Kind == TokKeyword && (t.Text == "case" || t.Text == "casez" || t.Text == "casex"):
+		return p.parseCase()
+	case t.Kind == TokSymbol && t.Text == ";":
+		p.next()
+		return &NullStmt{Line: t.Line}, nil
+	case t.Kind == TokIdent && strings.HasPrefix(t.Text, "$"):
+		// System tasks ($display, $finish, ...) are simulation-only: skip
+		// the call and treat it as a null statement.
+		p.next()
+		if p.acceptSymbol("(") {
+			depth := 1
+			for depth > 0 {
+				tok := p.next()
+				switch {
+				case tok.Kind == TokEOF:
+					return nil, p.errorf("unterminated system task arguments")
+				case tok.Kind == TokSymbol && tok.Text == "(":
+					depth++
+				case tok.Kind == TokSymbol && tok.Text == ")":
+					depth--
+				}
+			}
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return &NullStmt{Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		lv, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		blocking := true
+		if p.acceptSymbol("<=") {
+			blocking = false
+		} else if !p.acceptSymbol("=") {
+			return nil, p.errorf("expected = or <= in assignment")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lv, RHS: rhs, Blocking: blocking, Line: t.Line}, nil
+	default:
+		return nil, p.errorf("expected statement")
+	}
+}
+
+func (p *Parser) parseCase() (Stmt, error) {
+	t := p.next() // case/casez/casex — z/x treated as plain case in the
+	// two-valued subset.
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	subj, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	cs := &CaseStmt{Subject: subj, Line: t.Line}
+	for {
+		if p.acceptKeyword("endcase") {
+			return cs, nil
+		}
+		if p.atEOF() {
+			return nil, p.errorf("unexpected EOF in case statement")
+		}
+		item := CaseItem{Line: p.peek().Line}
+		if p.acceptKeyword("default") {
+			p.acceptSymbol(":")
+		} else {
+			for {
+				lab, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Labels = append(item.Labels, lab)
+				if p.acceptSymbol(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSymbol(":"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		item.Body = body
+		cs.Items = append(cs.Items, item)
+	}
+}
+
+func (p *Parser) parseLValue() (LValue, error) {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return LValue{}, err
+	}
+	lv := LValue{Name: nameTok.Text, Line: nameTok.Line}
+	if p.acceptSymbol("[") {
+		first, err := p.parseExpr()
+		if err != nil {
+			return LValue{}, err
+		}
+		if p.acceptSymbol(":") {
+			msb, err := p.constEval(first)
+			if err != nil {
+				return LValue{}, err
+			}
+			second, err := p.parseExpr()
+			if err != nil {
+				return LValue{}, err
+			}
+			lsb, err := p.constEval(second)
+			if err != nil {
+				return LValue{}, err
+			}
+			lv.HasRange = true
+			lv.MSB, lv.LSB = int(msb), int(lsb)
+		} else {
+			lv.Index = first
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return LValue{}, err
+		}
+	}
+	return lv, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+// binaryPrec maps operators to precedence levels; higher binds tighter.
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4, "^~": 4, "~^": 4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSymbol && p.peek().Text == "?" {
+		t := p.next()
+		thenE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(":"); err != nil {
+			return nil, err
+		}
+		elseE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Cond: cond, Then: thenE, Else: elseE, Line: t.Line}, nil
+	}
+	return cond, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokSymbol {
+			return lhs, nil
+		}
+		prec, ok := binaryPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		normOp := op.Text
+		switch normOp {
+		case "===":
+			normOp = "=="
+		case "!==":
+			normOp = "!="
+		case "<<<":
+			normOp = "<<"
+		case ">>>":
+			normOp = ">>"
+		case "^~":
+			normOp = "~^"
+		}
+		lhs = &Binary{Op: normOp, A: lhs, B: rhs, Line: op.Line}
+	}
+}
+
+var unaryOps = map[string]bool{
+	"~": true, "!": true, "-": true, "+": true,
+	"&": true, "|": true, "^": true, "~&": true, "~|": true, "~^": true,
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokSymbol && unaryOps[t.Text] {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op.Text == "+" {
+			return x, nil
+		}
+		return &Unary{Op: op.Text, X: x, Line: op.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokSymbol && p.peek().Text == "[" {
+		open := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptSymbol(":") {
+			msb, err := p.constEval(first)
+			if err != nil {
+				return nil, err
+			}
+			second, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lsb, err := p.constEval(second)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			e = &Slice{X: e, MSB: int(msb), LSB: int(lsb), Line: open.Line}
+		} else {
+			if err := p.expectSymbol("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, Idx: first, Line: open.Line}
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokIdent:
+		p.next()
+		if v, ok := p.params[t.Text]; ok {
+			return &Number{Value: uint64(v), Line: t.Line}, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseUint(strings.ReplaceAll(t.Text, "_", ""), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q: %w", t.Line, t.Text, err)
+		}
+		return &Number{Value: v, Line: t.Line}, nil
+	case t.Kind == TokSized:
+		p.next()
+		return parseSizedLiteral(t)
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokSymbol && t.Text == "{":
+		return p.parseConcat()
+	default:
+		return nil, p.errorf("expected expression")
+	}
+}
+
+func (p *Parser) parseConcat() (Expr, error) {
+	open := p.next() // {
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Replication: {N{expr}}
+	if p.peek().Kind == TokSymbol && p.peek().Text == "{" {
+		n, err := p.constEval(first)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: replication count must be constant: %w", open.Line, err)
+		}
+		p.next() // inner {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("line %d: replication count must be positive, got %d", open.Line, n)
+		}
+		return &Repl{Count: int(n), X: inner, Line: open.Line}, nil
+	}
+	c := &Concat{Parts: []Expr{first}, Line: open.Line}
+	for p.acceptSymbol(",") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Parts = append(c.Parts, e)
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseSizedLiteral decodes tokens like 4'b1010, 8'hFF, 'd3, 12'o777.
+func parseSizedLiteral(t Token) (Expr, error) {
+	text := strings.ReplaceAll(t.Text, "_", "")
+	tick := strings.IndexByte(text, '\'')
+	width := 0
+	if tick > 0 {
+		w, err := strconv.Atoi(text[:tick])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad width in %q", t.Line, t.Text)
+		}
+		width = w
+	}
+	if width > 64 {
+		return nil, fmt.Errorf("line %d: literal width %d exceeds 64-bit subset limit", t.Line, width)
+	}
+	baseCh := text[tick+1]
+	digits := text[tick+2:]
+	var base int
+	switch baseCh {
+	case 'b', 'B':
+		base = 2
+	case 'o', 'O':
+		base = 8
+	case 'd', 'D':
+		base = 10
+	case 'h', 'H':
+		base = 16
+	default:
+		return nil, fmt.Errorf("line %d: bad base %q", t.Line, string(baseCh))
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: bad literal %q: %w", t.Line, t.Text, err)
+	}
+	if width > 0 && width < 64 {
+		v &= (uint64(1) << uint(width)) - 1
+	}
+	return &Number{Value: v, Width: width, Line: t.Line}, nil
+}
+
+// constEval folds a constant expression at parse time (for ranges, parameter
+// values and replication counts).
+func (p *Parser) constEval(e Expr) (int64, error) {
+	switch x := e.(type) {
+	case *Number:
+		return int64(x.Value), nil
+	case *Ident:
+		if v, ok := p.params[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("identifier %q is not a constant", x.Name)
+	case *Unary:
+		v, err := p.constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("operator %q not allowed in constant expression", x.Op)
+	case *Binary:
+		a, err := p.constEval(x.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := p.constEval(x.B)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero in constant expression")
+			}
+			return a % b, nil
+		case "<<":
+			return a << uint(b), nil
+		case ">>":
+			return a >> uint(b), nil
+		}
+		return 0, fmt.Errorf("operator %q not allowed in constant expression", x.Op)
+	default:
+		return 0, fmt.Errorf("expression is not constant")
+	}
+}

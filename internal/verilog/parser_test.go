@@ -1,0 +1,379 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const arbiterSrc = `
+// Two-port round-robin arbiter with priority on port 0 (paper section 6).
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+
+  always @(posedge clk)
+    if (rst) begin
+      gnt0 <= 0;
+      gnt1 <= 0;
+    end else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+endmodule
+`
+
+func TestParseArbiter(t *testing.T) {
+	m, err := Parse(arbiterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "arbiter2" {
+		t.Errorf("module name %q", m.Name)
+	}
+	if len(m.Ports) != 6 {
+		t.Errorf("got %d ports, want 6", len(m.Ports))
+	}
+	d := m.Decl("gnt0")
+	if d == nil {
+		t.Fatal("gnt0 not declared")
+	}
+	if d.Dir != DirOutput || d.Kind != KindReg {
+		t.Errorf("gnt0 decl: dir=%v kind=%v", d.Dir, d.Kind)
+	}
+	if len(m.Always) != 1 {
+		t.Fatalf("got %d always blocks", len(m.Always))
+	}
+	if !m.Always[0].Sequential() {
+		t.Error("always block should be sequential")
+	}
+	clk, edge := m.Always[0].Clock()
+	if clk != "clk" || edge != EdgePos {
+		t.Errorf("clock = %s %v", clk, edge)
+	}
+}
+
+func TestParseANSIPorts(t *testing.T) {
+	src := `
+module m(input clk, input [3:0] a, b, output reg [1:0] y, output z);
+  assign z = a[0] & b[1];
+  always @(posedge clk) y <= a[1:0] + b[3:2];
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Decl("a")
+	if a == nil || a.Range.Width() != 4 || a.Dir != DirInput {
+		t.Fatalf("a decl wrong: %+v", a)
+	}
+	b := m.Decl("b")
+	if b == nil || b.Range.Width() != 4 {
+		t.Fatalf("b should inherit [3:0]: %+v", b)
+	}
+	y := m.Decl("y")
+	if y == nil || y.Kind != KindReg || y.Range.Width() != 2 {
+		t.Fatalf("y decl wrong: %+v", y)
+	}
+	z := m.Decl("z")
+	if z == nil || !z.Range.Scalar {
+		t.Fatalf("z should be scalar: %+v", z)
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	src := `
+module m #(parameter W = 4, parameter D = W*2) (input [W-1:0] a, output [D-1:0] y);
+  localparam HALF = D/2;
+  assign y = {a, a} << HALF;
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.ParamValue("D"); !ok || v != 8 {
+		t.Errorf("D = %d, %v", v, ok)
+	}
+	if m.Decl("a").Range.Width() != 4 {
+		t.Errorf("a width %d", m.Decl("a").Range.Width())
+	}
+	if m.Decl("y").Range.Width() != 8 {
+		t.Errorf("y width %d", m.Decl("y").Range.Width())
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	src := `
+module dec(input [1:0] sel, output reg [3:0] y);
+  always @(*) begin
+    case (sel)
+      2'b00: y = 4'b0001;
+      2'b01: y = 4'b0010;
+      2'b10, 2'b11: y = 4'b0100;
+      default: y = 4'b0000;
+    endcase
+  end
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := m.Always[0]
+	if blk.Sequential() {
+		t.Error("comb block misclassified")
+	}
+	body, ok := blk.Body.(*BlockStmt)
+	if !ok {
+		t.Fatalf("body type %T", blk.Body)
+	}
+	cs, ok := body.Stmts[0].(*CaseStmt)
+	if !ok {
+		t.Fatalf("stmt type %T", body.Stmts[0])
+	}
+	if len(cs.Items) != 4 {
+		t.Fatalf("case items %d", len(cs.Items))
+	}
+	if len(cs.Items[2].Labels) != 2 {
+		t.Errorf("multi-label arm has %d labels", len(cs.Items[2].Labels))
+	}
+	if cs.Items[3].Labels != nil {
+		t.Error("default arm should have nil labels")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `module m(input a, b, c, output y); assign y = a | b & c; endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := m.Assigns[0].RHS.(*Binary)
+	if !ok || bin.Op != "|" {
+		t.Fatalf("top op should be |, got %v", ExprString(m.Assigns[0].RHS))
+	}
+	inner, ok := bin.B.(*Binary)
+	if !ok || inner.Op != "&" {
+		t.Fatalf("& should bind tighter: %v", ExprString(m.Assigns[0].RHS))
+	}
+}
+
+func TestParseTernaryAndConcat(t *testing.T) {
+	src := `module m(input s, input [1:0] a, b, output [3:0] y);
+	  assign y = s ? {a, b} : {2{a}};
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tern, ok := m.Assigns[0].RHS.(*Ternary)
+	if !ok {
+		t.Fatalf("want ternary, got %T", m.Assigns[0].RHS)
+	}
+	if _, ok := tern.Then.(*Concat); !ok {
+		t.Errorf("then-branch should be concat, got %T", tern.Then)
+	}
+	rep, ok := tern.Else.(*Repl)
+	if !ok || rep.Count != 2 {
+		t.Errorf("else-branch should be {2{a}}, got %v", ExprString(tern.Else))
+	}
+}
+
+func TestParseReductionOperators(t *testing.T) {
+	src := `module m(input [3:0] a, output x, y, z);
+	  assign x = &a;
+	  assign y = ~|a;
+	  assign z = ^a;
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantOp := range []string{"&", "~|", "^"} {
+		u, ok := m.Assigns[i].RHS.(*Unary)
+		if !ok || u.Op != wantOp {
+			t.Errorf("assign %d: want unary %s, got %v", i, wantOp, ExprString(m.Assigns[i].RHS))
+		}
+	}
+}
+
+func TestParseBitAndPartSelect(t *testing.T) {
+	src := `module m(input [7:0] a, input [2:0] i, output x, output [3:0] y);
+	  assign x = a[i];
+	  assign y = a[6:3];
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Assigns[0].RHS.(*Index); !ok {
+		t.Errorf("a[i] should parse as Index, got %T", m.Assigns[0].RHS)
+	}
+	sl, ok := m.Assigns[1].RHS.(*Slice)
+	if !ok || sl.MSB != 6 || sl.LSB != 3 {
+		t.Errorf("a[6:3] parse: %v", ExprString(m.Assigns[1].RHS))
+	}
+}
+
+func TestParseLValueSelects(t *testing.T) {
+	src := `module m(input clk, input [7:0] d, output reg [7:0] q);
+	  always @(posedge clk) begin
+	    q[0] <= d[0];
+	    q[7:4] <= d[3:0];
+	  end
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Always[0].Body.(*BlockStmt)
+	a0 := body.Stmts[0].(*AssignStmt)
+	if a0.LHS.Index == nil {
+		t.Error("q[0] lvalue should have index")
+	}
+	a1 := body.Stmts[1].(*AssignStmt)
+	if !a1.LHS.HasRange || a1.LHS.MSB != 7 || a1.LHS.LSB != 4 {
+		t.Errorf("q[7:4] lvalue: %+v", a1.LHS)
+	}
+}
+
+func TestParseMultipleModules(t *testing.T) {
+	src := arbiterSrc + `
+module tiny(input a, output y); assign y = ~a; endmodule`
+	mods, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 || mods[1].Name != "tiny" {
+		t.Fatalf("modules: %d", len(mods))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"module m(input a; endmodule",              // bad port list
+		"module m(input a); assign = a; endmodule", // missing lvalue
+		"module m(input a); assign y a; endmodule", // missing =
+		"module m(input a); always @(posedge) ; endmodule",
+		"module m(input a); wire [x:0] w; endmodule", // non-const range
+		"module m(input a);",                         // missing endmodule
+		"module m(input a); case endmodule",
+		"",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParseWireInitializer(t *testing.T) {
+	src := `module m(input a, b, output y);
+	  wire t = a ^ b;
+	  assign y = ~t;
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Assigns) != 2 {
+		t.Fatalf("wire initializer should create an assign, got %d assigns", len(m.Assigns))
+	}
+	if m.Assigns[0].LHS.Name != "t" {
+		t.Errorf("first assign LHS %q", m.Assigns[0].LHS.Name)
+	}
+}
+
+func TestParseSensitivityList(t *testing.T) {
+	src := `module m(input a, b, output reg y);
+	  always @(a or b) y = a & b;
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := m.Always[0]
+	if blk.Sequential() || len(blk.Sens) != 2 {
+		t.Fatalf("sens list: %+v", blk.Sens)
+	}
+}
+
+func TestParseAlwaysStarVariants(t *testing.T) {
+	for _, hdr := range []string{"always @(*)", "always @*"} {
+		src := "module m(input a, output reg y); " + hdr + " y = ~a; endmodule"
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", hdr, err)
+		}
+		if !m.Always[0].Star {
+			t.Errorf("%s: not flagged as star", hdr)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	src := `module m(input a, b, input [3:0] v, output y);
+	  assign y = (a & ~b) | (v[2] == 1'b1);
+	endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ExprString(m.Assigns[0].RHS)
+	for _, sub := range []string{"a", "~", "b", "v", "[2]", "=="} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("expr string %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestRangeWidth(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want int
+	}{
+		{Range{Scalar: true}, 1},
+		{Range{MSB: 3, LSB: 0}, 4},
+		{Range{MSB: 0, LSB: 7}, 8}, // reversed range
+		{Range{MSB: 5, LSB: 5}, 1},
+	}
+	for _, c := range cases {
+		if got := c.r.Width(); got != c.want {
+			t.Errorf("width(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestSizedLiteralValues(t *testing.T) {
+	cases := []struct {
+		src   string
+		value uint64
+		width int
+	}{
+		{"4'b1010", 10, 4},
+		{"8'hFF", 255, 8},
+		{"3'd9", 1, 3}, // truncated to width
+		{"'d3", 3, 0},
+		{"12'o777", 511, 12},
+	}
+	for _, c := range cases {
+		src := "module m(output [63:0] y); assign y = " + c.src + "; endmodule"
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		n, ok := m.Assigns[0].RHS.(*Number)
+		if !ok {
+			t.Fatalf("%s: not a number", c.src)
+		}
+		if n.Value != c.value || n.Width != c.width {
+			t.Errorf("%s: value=%d width=%d, want %d/%d", c.src, n.Value, n.Width, c.value, c.width)
+		}
+	}
+}
+
+func TestOversizedLiteralRejected(t *testing.T) {
+	src := "module m(output y); assign y = 128'hFF; endmodule"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("128-bit literal should be rejected")
+	}
+}

@@ -1,0 +1,66 @@
+package verilog
+
+import "testing"
+
+func TestSystemTasksSkipped(t *testing.T) {
+	src := `
+module m(input clk, a, output reg y);
+  always @(posedge clk) begin
+    y <= a;
+    $display("y is now %b", a);
+    if (a) $finish;
+  end
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Always[0].Body.(*BlockStmt)
+	if len(body.Stmts) != 3 {
+		t.Fatalf("statements %d want 3", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[1].(*NullStmt); !ok {
+		t.Errorf("$display should lower to a null statement, got %T", body.Stmts[1])
+	}
+	ifStmt, ok := body.Stmts[2].(*IfStmt)
+	if !ok {
+		t.Fatalf("if statement lost: %T", body.Stmts[2])
+	}
+	if _, ok := ifStmt.Then.(*NullStmt); !ok {
+		t.Errorf("$finish should lower to a null statement, got %T", ifStmt.Then)
+	}
+}
+
+func TestStringLexing(t *testing.T) {
+	toks, err := Lex(`$display("hello (world)")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "hello (world)" {
+		t.Errorf("string token: %v", toks[2])
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := Lex("\"new\nline\""); err == nil {
+		t.Error("newline in string should error")
+	}
+}
+
+func TestNestedParensInSystemTask(t *testing.T) {
+	src := `
+module m(input clk, a, output reg y);
+  always @(posedge clk) begin
+    $display("val", (a & (a | a)));
+    y <= a;
+  end
+endmodule`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Always[0].Body.(*BlockStmt)
+	if len(body.Stmts) != 2 {
+		t.Fatalf("statements %d want 2", len(body.Stmts))
+	}
+}

@@ -1,0 +1,97 @@
+// Package verilog implements a lexer and parser for the synthesizable
+// Verilog-2001 subset used by the GoldMine reproduction: module declarations
+// (ANSI and non-ANSI port styles), wire/reg/input/output declarations with
+// vector ranges, continuous assignments, and always blocks containing
+// blocking/non-blocking assignments, if/else, case statements and begin/end
+// blocks. Expressions cover the usual bitwise, logical, relational,
+// arithmetic, shift, reduction, concatenation, replication, bit-select,
+// part-select and conditional operators.
+package verilog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber  // plain decimal literal: 42
+	TokSized   // sized/base literal: 4'b1010, 8'hff, 'd3
+	TokKeyword // reserved word
+	TokSymbol  // operator or punctuation
+	TokString  // "quoted string" (system-task arguments only)
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF:     "EOF",
+	TokIdent:   "identifier",
+	TokNumber:  "number",
+	TokSized:   "sized literal",
+	TokKeyword: "keyword",
+	TokSymbol:  "symbol",
+	TokString:  "string",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s %q at %d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+// keywords is the set of reserved words recognized by the lexer. Words the
+// parser does not understand still lex as keywords so that error messages
+// point at the right construct.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true,
+	"input": true, "output": true, "inout": true,
+	"wire": true, "reg": true, "integer": true,
+	"assign": true, "always": true, "initial": true,
+	"begin": true, "end": true,
+	"if": true, "else": true,
+	"case": true, "casez": true, "casex": true, "endcase": true,
+	"default": true,
+	"posedge": true, "negedge": true, "or": true,
+	"parameter": true, "localparam": true,
+	"function": true, "endfunction": true,
+	"generate": true, "endgenerate": true,
+	"for": true, "while": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// multi-character symbols, longest first per starting byte. The lexer tries
+// three-byte, then two-byte, then single-byte symbols.
+var threeSymbols = map[string]bool{
+	"===": true, "!==": true, "<<<": true, ">>>": true,
+}
+
+var twoSymbols = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true,
+	"&&": true, "||": true, "<<": true, ">>": true,
+	"~&": true, "~|": true, "~^": true, "^~": true,
+	"@*": true,
+}
+
+var oneSymbols = map[byte]bool{
+	'(': true, ')': true, '[': true, ']': true, '{': true, '}': true,
+	',': true, ';': true, ':': true, '.': true, '#': true, '@': true,
+	'=': true, '+': true, '-': true, '*': true, '/': true, '%': true,
+	'&': true, '|': true, '^': true, '~': true, '!': true,
+	'<': true, '>': true, '?': true,
+}
