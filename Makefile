@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full CI gate: tier-1, vet, race detector, and a deadline smoke run of
+# cmd/goldmine that must exit cleanly (see scripts/verify.sh).
+verify:
+	sh scripts/verify.sh

@@ -8,6 +8,7 @@ package goldmine
 
 import (
 	"testing"
+	"time"
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
@@ -136,6 +137,32 @@ func BenchmarkRefinementLoop(b *testing.B) {
 	d := arbiterDesign(b)
 	for i := 0; i < b.N; i++ {
 		eng, err := core.NewEngine(d, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.MineOutputByName("gnt0", 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkRefinementLoopBudgeted is BenchmarkRefinementLoop with generous
+// budgets enabled but never hit — it measures the overhead of the budget
+// plumbing (context polls, work-pool accounting) on the hot path. The
+// acceptance bar is < 3% regression against BenchmarkRefinementLoop.
+func BenchmarkRefinementLoopBudgeted(b *testing.B) {
+	d := arbiterDesign(b)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Timeout = time.Hour
+		cfg.IterationTimeout = time.Hour
+		cfg.MC.CheckTimeout = time.Hour
+		cfg.MC.MaxWork = 1 << 40
+		eng, err := core.NewEngine(d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

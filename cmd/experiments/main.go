@@ -4,13 +4,20 @@
 //
 //	experiments -list
 //	experiments -run fig12
-//	experiments -run all
+//	experiments -run all [-timeout 5m] [-check-timeout 10s]
+//
+// SIGINT/SIGTERM or -timeout stop the run at the next experiment boundary;
+// tables already rendered stand as partial results and the process exits
+// with code 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"goldmine/internal/experiments"
@@ -18,8 +25,10 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "experiment name or 'all'")
-		list = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "experiment name or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		timeout = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
+		checkTO = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
 	)
 	flag.Parse()
 
@@ -28,6 +37,15 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
 		}
 		return
+	}
+	experiments.CheckTimeout = *checkTO
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var targets []experiments.Experiment
@@ -41,14 +59,40 @@ func main() {
 		}
 		targets = []experiments.Experiment{*e}
 	}
+
+	type outcome struct {
+		tab *experiments.Table
+		err error
+	}
+	completed := 0
 	for _, e := range targets {
-		start := time.Now()
-		tab, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
-			os.Exit(1)
+		if ctx.Err() != nil {
+			break
 		}
-		tab.Render(os.Stdout)
-		fmt.Printf("(%s completed in %.2fs)\n\n", e.Name, time.Since(start).Seconds())
+		start := time.Now()
+		// Run in a goroutine so cancellation can cut a stalled experiment
+		// loose; a completed experiment always flushes its table first.
+		ch := make(chan outcome, 1)
+		go func(e experiments.Experiment) {
+			tab, err := e.Run()
+			ch <- outcome{tab, err}
+		}(e)
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, o.err)
+				os.Exit(1)
+			}
+			o.tab.Render(os.Stdout)
+			fmt.Printf("(%s completed in %.2fs)\n\n", e.Name, time.Since(start).Seconds())
+			completed++
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "experiments: %s abandoned after %.2fs\n", e.Name, time.Since(start).Seconds())
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "experiments: interrupted — %d/%d experiments completed (tables above are final)\n",
+			completed, len(targets))
+		os.Exit(2)
 	}
 }

@@ -11,11 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
@@ -24,6 +29,11 @@ import (
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
 )
+
+// errInterrupted reports a run cut short by SIGINT/SIGTERM or -timeout. The
+// partial results are already flushed; main exits with code 2 so scripts can
+// tell "partial" from "failed".
+var errInterrupted = errors.New("interrupted: partial results above")
 
 func main() {
 	var (
@@ -40,6 +50,8 @@ func main() {
 		reduce   = flag.Bool("reduce", false, "apply A-Val subsumption reduction and ranking to the printed assertions")
 		minimize = flag.Bool("minimize", false, "minimize counterexample patterns before printing")
 		list     = flag.Bool("list", false, "list benchmark designs and exit")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
+		checkTO  = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
 	)
 	flag.Parse()
 
@@ -49,13 +61,23 @@ func main() {
 		}
 		return
 	}
-	if err := run(*design, *file, *output, *bit, *window, *seed, *format, *maxIter, *full, *tree, *reduce, *minimize); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *design, *file, *output, *bit, *window, *seed, *format, *maxIter, *checkTO, *full, *tree, *reduce, *minimize); err != nil {
 		fmt.Fprintln(os.Stderr, "goldmine:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(design, file, output string, bit, window int, seedSpec, format string, maxIter int, fullCtx, printTree, reduce, minimize bool) error {
+func run(ctx context.Context, design, file, output string, bit, window int, seedSpec, format string, maxIter int, checkTO time.Duration, fullCtx, printTree, reduce, minimize bool) error {
 	var d *rtl.Design
 	var bench *designs.Benchmark
 	var err error
@@ -85,6 +107,7 @@ func run(design, file, output string, bit, window int, seedSpec, format string, 
 	cfg := core.DefaultConfig()
 	cfg.MaxIterations = maxIter
 	cfg.AddFullCtxTrace = fullCtx
+	cfg.MC.CheckTimeout = checkTO
 	if window >= 0 {
 		cfg.Window = window
 	} else if bench != nil {
@@ -132,19 +155,36 @@ func run(design, file, output string, bit, window int, seedSpec, format string, 
 		}
 	}
 
-	totalProved, totalCtx := 0, 0
+	totalProved, totalCtx, totalUnknown, totalFaults := 0, 0, 0, 0
+	interrupted := false
+	mined := 0
 	for _, tgt := range targets {
-		res, err := eng.MineOutput(tgt.sig, tgt.bit, stim)
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		res, err := eng.MineOutputCtx(ctx, tgt.sig, tgt.bit, stim)
 		if err != nil {
 			return err
+		}
+		mined++
+		if res.Interrupted {
+			interrupted = true
 		}
 		name := tgt.sig.Name
 		if tgt.sig.Width > 1 {
 			name = fmt.Sprintf("%s[%d]", tgt.sig.Name, tgt.bit)
 		}
-		fmt.Printf("--- %s.%s: converged=%v iterations=%d proved=%d ctx=%d coverage=%.2f%%\n",
+		extra := ""
+		if len(res.Unknown) > 0 || len(res.Errors) > 0 {
+			extra = fmt.Sprintf(" unknown=%d faults=%d stuck=%d", len(res.Unknown), len(res.Errors), res.StuckLeafs)
+		}
+		if res.Interrupted {
+			extra += " interrupted"
+		}
+		fmt.Printf("--- %s.%s: converged=%v iterations=%d proved=%d ctx=%d coverage=%.2f%%%s\n",
 			d.Name, name, res.Converged, len(res.Iterations), len(res.Proved), len(res.Ctx),
-			100*res.InputSpaceCoverage())
+			100*res.InputSpaceCoverage(), extra)
 		if reduce {
 			kept := assertion.ReduceSuite(res.Assertions())
 			fmt.Printf("  A-Val reduction: %d -> %d assertions\n", len(res.Proved), len(kept))
@@ -167,11 +207,23 @@ func run(design, file, output string, bit, window int, seedSpec, format string, 
 		if printTree {
 			fmt.Println(res.Tree.String())
 		}
+		for _, ee := range res.Errors {
+			fmt.Fprintf(os.Stderr, "  fault: %v\n", ee)
+		}
 		totalProved += len(res.Proved)
 		totalCtx += len(res.Ctx)
+		totalUnknown += len(res.Unknown)
+		totalFaults += len(res.Errors)
 	}
-	fmt.Printf("total: %d proved assertions, %d counterexample patterns, %d formal checks (%.2fs formal time)\n",
-		totalProved, totalCtx, eng.Checker.Checks, eng.Checker.TotalTime.Seconds())
+	extra := ""
+	if totalUnknown > 0 || totalFaults > 0 {
+		extra = fmt.Sprintf(", %d unknown, %d isolated faults", totalUnknown, totalFaults)
+	}
+	fmt.Printf("total: %d proved assertions, %d counterexample patterns%s, %d formal checks (%.2fs formal time)\n",
+		totalProved, totalCtx, extra, eng.Checker.Checks, eng.Checker.TotalTime.Seconds())
+	if interrupted {
+		return fmt.Errorf("%w (%d/%d targets mined)", errInterrupted, mined, len(targets))
+	}
 	return nil
 }
 

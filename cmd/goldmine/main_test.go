@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,13 +11,22 @@ import (
 )
 
 func TestRunDesign(t *testing.T) {
-	if err := run("arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, false, true, false, true); err != nil {
+	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, 0, false, true, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "arbiter2", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false)
+	if !errors.Is(err, errInterrupted) {
+		t.Fatalf("err = %v, want errInterrupted", err)
+	}
+}
+
 func TestRunAllOutputsSVA(t *testing.T) {
-	if err := run("cex_small", "", "", -1, -1, "none", "sva", 16, false, false, true, false); err != nil {
+	if err := run(context.Background(), "cex_small", "", "", -1, -1, "none", "sva", 16, 0, false, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -27,22 +38,22 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "y", 0, 0, "random:8", "psl", 8, true, false, true, true); err != nil {
+	if err := run(context.Background(), "", path, "y", 0, 0, "random:8", "psl", 8, 0, true, false, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", -1, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+	if err := run(context.Background(), "", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
 		t.Error("missing design should error")
 	}
-	if err := run("nope", "", "", -1, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+	if err := run(context.Background(), "nope", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
 		t.Error("unknown design should error")
 	}
-	if err := run("arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, false, false, false, false); err == nil {
+	if err := run(context.Background(), "arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
 		t.Error("unknown output should error")
 	}
-	if err := run("arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, false, false, false, false); err == nil {
+	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, 0, false, false, false, false); err == nil {
 		t.Error("bad seed spec should error")
 	}
 }

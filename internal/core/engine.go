@@ -16,10 +16,18 @@
 // The accumulated counterexample stimuli are the generated validation
 // patterns; together with the proven assertions they are the artifacts the
 // paper argues achieve output-centric coverage closure.
+//
+// Every engine interaction — formal check, counterexample simulation, dataset
+// append, incremental tree update — runs behind a recover() barrier. A panic
+// or hard error in one check becomes a structured EngineError, the affected
+// leaf is marked stuck, and mining continues on the remaining leaves, so a
+// single hostile assertion can never lose the accumulated stimulus.
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"goldmine/internal/assertion"
@@ -55,6 +63,14 @@ type Config struct {
 	// each counterexample as soon as it is found, matching the paper's
 	// baseline implementation.
 	BatchedChecks bool
+	// Timeout bounds one MineOutput call by wall clock; zero means no
+	// deadline. On expiry the loop stops cleanly, returning everything
+	// proved so far with Interrupted set.
+	Timeout time.Duration
+	// IterationTimeout bounds a single refinement iteration. When a slice
+	// expires, the remaining candidates of that iteration are deferred to
+	// the next one (their leaves are NOT marked stuck).
+	IterationTimeout time.Duration
 	// MC are the model checker limits.
 	MC mc.Options
 }
@@ -68,12 +84,57 @@ func DefaultConfig() Config {
 	}
 }
 
+// FormalChecker is the formal-verification boundary the engine drives. It is
+// satisfied by *mc.Checker; tests substitute hostile implementations to prove
+// the engine fails soft.
+type FormalChecker interface {
+	CheckCtx(ctx context.Context, a *assertion.Assertion) (*mc.Result, error)
+}
+
+// Stages of the refinement loop where an engine fault can occur.
+const (
+	StageCheck      = "formal-check"
+	StageCtxSim     = "ctx-simulation"
+	StageDataset    = "dataset-append"
+	StageTreeUpdate = "tree-update"
+)
+
+// EngineError is a structured record of a fault (panic or hard error) isolated
+// at an engine boundary. The refinement loop records it, marks the leaf stuck,
+// and continues.
+type EngineError struct {
+	Stage     string // one of the Stage* constants
+	Output    string // output signal being mined
+	Assertion *assertion.Assertion
+	Leaf      string // root path of the affected leaf ("var=val/...")
+	Cause     error
+}
+
+func (e *EngineError) Error() string {
+	a := "<none>"
+	if e.Assertion != nil {
+		a = e.Assertion.String()
+	}
+	return fmt.Sprintf("engine fault at %s (output %s, leaf %s, assertion %s): %v",
+		e.Stage, e.Output, e.Leaf, a, e.Cause)
+}
+
+func (e *EngineError) Unwrap() error { return e.Cause }
+
 // AssertionRecord tracks one checked assertion.
 type AssertionRecord struct {
 	Assertion *assertion.Assertion
 	Status    mc.Status
 	Method    string
 	Iteration int
+	// Elapsed is the wall time of the formal check.
+	Elapsed time.Duration
+	// Degraded marks a verdict weakened by budget pressure.
+	Degraded bool
+	// Err explains an Unknown status (mc.ErrBudgetExceeded, mc.ErrCanceled,
+	// mc.ErrEngineInternal) — it distinguishes "unconverged because hard"
+	// from "unconverged because crashed".
+	Err error
 }
 
 // IterationStats records per-iteration progress (the deterministic metric of
@@ -83,7 +144,16 @@ type IterationStats struct {
 	Candidates int
 	NewProved  int
 	NewCtx     int
-	Rows       int
+	// NewUnknown counts checks that returned no verdict (budget/cancel/fault)
+	// this iteration; their leaves are stuck and will not be retried.
+	NewUnknown int
+	// Faults counts isolated engine faults (panics, hard errors) this
+	// iteration; Degraded counts budget-weakened verdicts.
+	Faults   int
+	Degraded int
+	Rows     int
+	// CheckTime is the wall time spent inside formal checks this iteration.
+	CheckTime time.Duration
 	// InputSpaceCoverage is Σ 1/2^depth over assertions proved so far
 	// (Section 7.1).
 	InputSpaceCoverage float64
@@ -99,16 +169,24 @@ type OutputResult struct {
 
 	Proved  []AssertionRecord // includes bounded-proved; see Bounded flag
 	Failed  []AssertionRecord // falsified candidates (with the iteration)
+	Unknown []AssertionRecord // no verdict: budget exhausted, cancelled, or faulted
 	Bounded int               // how many proved records were only bounded
 
 	// Ctx are the counterexample stimuli in discovery order; each one starts
 	// from reset and is a complete validation pattern.
 	Ctx []sim.Stimulus
 
+	// Errors are the isolated engine faults encountered while mining this
+	// output. Each corresponds to a stuck leaf, not a lost run.
+	Errors []*EngineError
+
 	Iterations []IterationStats
 	Converged  bool
-	StuckLeafs int
-	Elapsed    time.Duration
+	// Interrupted reports that the overall deadline or a cancellation cut
+	// mining short; the partial results above are still valid.
+	Interrupted bool
+	StuckLeafs  int
+	Elapsed     time.Duration
 }
 
 // InputSpaceCoverage is the paper's Σ 1/2^depth over proved assertions.
@@ -137,7 +215,11 @@ type Result struct {
 	Design  *rtl.Design
 	Outputs []*OutputResult
 	Seed    sim.Stimulus
-	Elapsed time.Duration
+	// Interrupted reports that mining stopped early on cancellation or
+	// deadline; Outputs holds everything completed (or partially completed)
+	// before the cut.
+	Interrupted bool
+	Elapsed     time.Duration
 }
 
 // Suite returns the complete validation suite: the seed stimulus followed by
@@ -172,11 +254,21 @@ func (r *Result) Converged() bool {
 	return true
 }
 
+// Errors collects the isolated engine faults across outputs.
+func (r *Result) Errors() []*EngineError {
+	var out []*EngineError
+	for _, o := range r.Outputs {
+		out = append(out, o.Errors...)
+	}
+	return out
+}
+
 // Engine runs the refinement loop for one design.
 type Engine struct {
 	D       *rtl.Design
 	Cfg     Config
 	Checker *mc.Checker
+	checker FormalChecker // overrides Checker when set (fault injection)
 	sim     *sim.Simulator
 }
 
@@ -194,11 +286,100 @@ func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 	}, nil
 }
 
+// SetChecker substitutes the formal checker — the fault-injection seam. A nil
+// fc restores the built-in mc.Checker.
+func (e *Engine) SetChecker(fc FormalChecker) { e.checker = fc }
+
+func (e *Engine) formalChecker() FormalChecker {
+	if e.checker != nil {
+		return e.checker
+	}
+	return e.Checker
+}
+
+// leafKey renders a leaf's root path for fault records.
+func leafKey(lf mine.Leaf) string {
+	if len(lf.Path) == 0 {
+		return "root"
+	}
+	b := &strings.Builder{}
+	for _, st := range lf.Path {
+		fmt.Fprintf(b, "%d=%d/", st.Var, st.Value)
+	}
+	return b.String()
+}
+
+// safeCheck runs one formal check behind a recover barrier. A panic or hard
+// error becomes an EngineError; budget/cancellation outcomes arrive as an
+// Unknown verdict from the checker itself and pass through untouched.
+func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate) (res *mc.Result, eerr *EngineError) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			eerr = &EngineError{
+				Stage: StageCheck, Output: out, Assertion: cand.Assertion,
+				Leaf:  leafKey(cand.Leaf),
+				Cause: fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r),
+			}
+		}
+	}()
+	v, err := e.formalChecker().CheckCtx(ctx, cand.Assertion)
+	if err != nil {
+		return nil, &EngineError{
+			Stage: StageCheck, Output: out, Assertion: cand.Assertion,
+			Leaf:  leafKey(cand.Leaf),
+			Cause: fmt.Errorf("%w: %v", mc.ErrEngineInternal, err),
+		}
+	}
+	if v == nil {
+		return nil, &EngineError{
+			Stage: StageCheck, Output: out, Assertion: cand.Assertion,
+			Leaf:  leafKey(cand.Leaf),
+			Cause: fmt.Errorf("%w: checker returned no verdict", mc.ErrEngineInternal),
+		}
+	}
+	return v, nil
+}
+
+// safeCtxSim simulates a counterexample stimulus behind a recover barrier
+// (hostile checkers can return malformed traces that trip the simulator).
+func (e *Engine) safeCtxSim(stim sim.Stimulus) (tr *sim.Trace, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr = nil
+			err = fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r)
+		}
+	}()
+	return e.sim.Run(stim)
+}
+
+// safeAddRows applies an incremental tree update behind a recover barrier.
+func safeAddRows(t *mine.Tree, rows []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r)
+		}
+	}()
+	return t.AddRows(rows)
+}
+
 // MineOutput runs counterexample-guided refinement for one bit of an output.
 // The seed stimulus may be empty (the zero-pattern limit study of Section
 // 7.2: mining starts from the single assertion "output always 0").
 func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
+	return e.MineOutputCtx(context.Background(), out, bit, seed)
+}
+
+// MineOutputCtx is MineOutput under a context and the configured deadlines.
+// Cancellation and deadline expiry are not errors: the loop stops at the next
+// boundary and returns the partial result with Interrupted set.
+func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
 	start := time.Now()
+	if e.Cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Cfg.Timeout)
+		defer cancel()
+	}
 	window := e.Cfg.Window
 	if len(e.D.Registers()) == 0 {
 		window = 0
@@ -228,10 +409,28 @@ func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*Outpu
 		maxChecks = 4000
 	}
 	checks := 0
+	fault := func(st *IterationStats, node *mine.Node, rec AssertionRecord, ee *EngineError) {
+		node.Stuck = true
+		res.Errors = append(res.Errors, ee)
+		rec.Status = mc.StatusUnknown
+		rec.Err = ee.Cause
+		res.Unknown = append(res.Unknown, rec)
+		st.Faults++
+		st.NewUnknown++
+	}
 	for it := 1; it <= maxIter && checks < maxChecks; it++ {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
+		itCtx, itCancel := ctx, context.CancelFunc(func() {})
+		if e.Cfg.IterationTimeout > 0 {
+			itCtx, itCancel = context.WithTimeout(ctx, e.Cfg.IterationTimeout)
+		}
 		cands := tree.Candidates()
 		st := IterationStats{Iteration: it, Candidates: len(cands)}
 		if len(cands) == 0 {
+			itCancel()
 			break
 		}
 		var batchedRows []int
@@ -239,45 +438,67 @@ func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*Outpu
 			node := cand.Leaf.Node
 			// The tree may have changed under us (full-trace mode): skip
 			// candidates whose leaf is gone or no longer pure.
-			if !node.IsLeaf() || node.Proved || !node.Pure() {
+			if !node.IsLeaf() || node.Proved || node.Stuck || !node.Pure() {
 				continue
 			}
 			if checks >= maxChecks {
 				break
 			}
+			if ctx.Err() != nil {
+				res.Interrupted = true
+				break
+			}
+			if itCtx.Err() != nil {
+				// Iteration slice spent: defer the rest to the next round.
+				break
+			}
 			checks++
-			verdict, err := e.Checker.Check(cand.Assertion)
-			if err != nil {
-				return nil, err
+			verdict, eerr := e.safeCheck(itCtx, out.Name, cand)
+			rec := AssertionRecord{Assertion: cand.Assertion, Iteration: it}
+			if eerr != nil {
+				fault(&st, node, rec, eerr)
+				continue
+			}
+			rec.Status = verdict.Status
+			rec.Method = verdict.Method
+			rec.Elapsed = verdict.Elapsed
+			rec.Degraded = verdict.Degraded
+			st.CheckTime += verdict.Elapsed
+			if verdict.Degraded {
+				st.Degraded++
 			}
 			switch verdict.Status {
 			case mc.StatusProved, mc.StatusBounded:
 				node.Proved = true
-				res.Proved = append(res.Proved, AssertionRecord{
-					Assertion: cand.Assertion, Status: verdict.Status,
-					Method: verdict.Method, Iteration: it,
-				})
+				res.Proved = append(res.Proved, rec)
 				if verdict.Status == mc.StatusBounded {
 					res.Bounded++
 				}
 				st.NewProved++
 			case mc.StatusFalsified:
-				res.Failed = append(res.Failed, AssertionRecord{
-					Assertion: cand.Assertion, Status: verdict.Status,
-					Method: verdict.Method, Iteration: it,
-				})
-				res.Ctx = append(res.Ctx, verdict.Ctx)
-				st.NewCtx++
-				// Ctx_simulation: concrete values for every cone signal.
-				ctxTrace, err := e.sim.Run(verdict.Ctx)
+				// Ctx_simulation: concrete values for every cone signal. The
+				// counterexample only counts once it replays cleanly — a
+				// malformed trace from a faulty engine must not pollute the
+				// validation suite.
+				ctxTrace, err := e.safeCtxSim(verdict.Ctx)
 				if err != nil {
-					return nil, err
+					fault(&st, node, rec, &EngineError{
+						Stage: StageCtxSim, Output: out.Name,
+						Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
+						Cause: err,
+					})
+					continue
 				}
 				var newRows []int
 				if e.Cfg.AddFullCtxTrace {
 					before := ds.Rows()
 					if _, err := ds.AddTrace(ctxTrace, it); err != nil {
-						return nil, err
+						fault(&st, node, rec, &EngineError{
+							Stage: StageDataset, Output: out.Name,
+							Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
+							Cause: err,
+						})
+						continue
 					}
 					for r := before; r < ds.Rows(); r++ {
 						newRows = append(newRows, r)
@@ -285,30 +506,72 @@ func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*Outpu
 				} else {
 					r, err := ds.LastWindowRow(ctxTrace, it)
 					if err != nil {
-						return nil, err
+						fault(&st, node, rec, &EngineError{
+							Stage: StageDataset, Output: out.Name,
+							Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
+							Cause: err,
+						})
+						continue
 					}
 					newRows = append(newRows, r)
 				}
+				res.Failed = append(res.Failed, rec)
+				res.Ctx = append(res.Ctx, verdict.Ctx)
+				st.NewCtx++
 				if e.Cfg.BatchedChecks {
 					batchedRows = append(batchedRows, newRows...)
-				} else {
-					tree.AddRows(newRows)
+				} else if err := safeAddRows(tree, newRows); err != nil {
+					res.Errors = append(res.Errors, &EngineError{
+						Stage: StageTreeUpdate, Output: out.Name,
+						Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
+						Cause: err,
+					})
+					st.Faults++
 				}
+			case mc.StatusUnknown:
+				if itCtx.Err() != nil && (verdict.Cause == nil || mc.IsBudget(verdict.Cause)) {
+					// The iteration (or overall) deadline expired mid-check,
+					// not the per-check budget: the leaf is retryable.
+					res.Unknown = append(res.Unknown, rec)
+					st.NewUnknown++
+					if ctx.Err() != nil {
+						res.Interrupted = true
+					}
+					continue
+				}
+				// A per-check budget verdict: retrying next iteration would
+				// livelock, so the leaf is parked as stuck.
+				node.Stuck = true
+				rec.Err = verdict.Cause
+				res.Unknown = append(res.Unknown, rec)
+				st.NewUnknown++
+			}
+			if res.Interrupted {
+				break
 			}
 		}
+		itCancel()
 		if len(batchedRows) > 0 {
-			tree.AddRows(batchedRows)
+			if err := safeAddRows(tree, batchedRows); err != nil {
+				res.Errors = append(res.Errors, &EngineError{
+					Stage: StageTreeUpdate, Output: out.Name, Cause: err,
+				})
+				st.Faults++
+			}
 		}
 		st.Rows = ds.Rows()
 		st.InputSpaceCoverage = res.InputSpaceCoverage()
 		ts := tree.Stats()
 		st.TreeLeaves, st.TreeNodes = ts.Leaves, ts.Nodes
 		res.Iterations = append(res.Iterations, st)
-		if tree.Converged() {
+		if res.Interrupted || tree.Converged() {
 			break
 		}
 	}
-	res.Converged = tree.Converged()
+	if ctx.Err() != nil {
+		res.Interrupted = true
+	}
+	res.Converged = tree.Converged() && !res.Interrupted
 	res.StuckLeafs = tree.Stats().StuckLeaves
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -316,15 +579,30 @@ func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*Outpu
 
 // MineAll mines every bit of every design output with a shared seed.
 func (e *Engine) MineAll(seed sim.Stimulus) (*Result, error) {
+	return e.MineAllCtx(context.Background(), seed)
+}
+
+// MineAllCtx mines every output bit under a context. On cancellation or
+// deadline it stops between (or inside) outputs and returns the partial
+// result with Interrupted set rather than an error.
+func (e *Engine) MineAllCtx(ctx context.Context, seed sim.Stimulus) (*Result, error) {
 	start := time.Now()
 	res := &Result{Design: e.D, Seed: seed}
 	for _, out := range e.D.Outputs() {
 		for bit := 0; bit < out.Width; bit++ {
-			or, err := e.MineOutput(out, bit, seed)
+			if ctx.Err() != nil {
+				res.Interrupted = true
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			or, err := e.MineOutputCtx(ctx, out, bit, seed)
 			if err != nil {
 				return nil, fmt.Errorf("mining %s[%d]: %w", out.Name, bit, err)
 			}
 			res.Outputs = append(res.Outputs, or)
+			if or.Interrupted {
+				res.Interrupted = true
+			}
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -333,6 +611,12 @@ func (e *Engine) MineAll(seed sim.Stimulus) (*Result, error) {
 
 // MineOutputByName is a convenience wrapper resolving the output by name.
 func (e *Engine) MineOutputByName(name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
+	return e.MineOutputByNameCtx(context.Background(), name, bit, seed)
+}
+
+// MineOutputByNameCtx resolves the output by name and mines it under a
+// context.
+func (e *Engine) MineOutputByNameCtx(ctx context.Context, name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
 	out := e.D.Signal(name)
 	if out == nil {
 		return nil, fmt.Errorf("no signal %q in design %s", name, e.D.Name)
@@ -340,5 +624,5 @@ func (e *Engine) MineOutputByName(name string, bit int, seed sim.Stimulus) (*Out
 	if out.Kind != rtl.SigOutput && !out.IsState {
 		return nil, fmt.Errorf("signal %q is not an output or register", name)
 	}
-	return e.MineOutput(out, bit, seed)
+	return e.MineOutputCtx(ctx, out, bit, seed)
 }

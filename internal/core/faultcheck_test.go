@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/mc"
+	"goldmine/internal/sim"
+)
+
+// hostileChecker wraps the real checker and injects one fault per configured
+// call number: a panic, a sleep that outlives the iteration deadline, or a
+// falsified verdict carrying a malformed counterexample. All other calls
+// delegate, so mining can make real progress around the faults.
+type hostileChecker struct {
+	real *mc.Checker
+
+	calls     int
+	panicOn   int // call number that panics (0 = never)
+	sleepOn   int // call number that blocks until ctx is done
+	badCtxOn  int // call number returning a malformed counterexample
+	errOn     int // call number returning a hard error
+	slept     bool
+	sawCancel bool
+}
+
+func (h *hostileChecker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*mc.Result, error) {
+	h.calls++
+	switch h.calls {
+	case h.panicOn:
+		panic("hostile: injected checker panic")
+	case h.sleepOn:
+		// Sleep past any deadline; only the context wakes us. A missing
+		// deadline would hang the test, which is exactly the regression this
+		// harness guards against.
+		select {
+		case <-ctx.Done():
+			h.slept = true
+			return &mc.Result{Status: mc.StatusUnknown, Method: "hostile-sleep",
+				Degraded: true, Cause: mc.ErrBudgetExceeded}, nil
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("hostile: sleep was never interrupted")
+		}
+	case h.badCtxOn:
+		// A "counterexample" with no cycles: Ctx_simulation cannot find a
+		// violating window in it.
+		return &mc.Result{Status: mc.StatusFalsified, Method: "hostile-badctx",
+			Ctx: sim.Stimulus{}}, nil
+	case h.errOn:
+		return nil, errors.New("hostile: injected hard error")
+	}
+	if ctx.Err() != nil {
+		h.sawCancel = true
+	}
+	return h.real.CheckCtx(ctx, a)
+}
+
+// TestFaultInjectionPartialResults is the acceptance scenario: a checker that
+// panics on one assertion, sleeps past the deadline on another, and returns a
+// malformed trace on a third. MineOutput must still return proven assertions
+// and accumulated ctx stimuli, with Converged=false, StuckLeafs >= 1, and
+// structured EngineError records — no crash, no hang.
+func TestFaultInjectionPartialResults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IterationTimeout = 100 * time.Millisecond
+	e := mustEngine(t, arbiterSrc, cfg)
+	h := &hostileChecker{real: e.Checker, panicOn: 2, sleepOn: 3, badCtxOn: 6}
+	e.SetChecker(h)
+
+	done := make(chan struct{})
+	var res *OutputResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = e.MineOutputByName("gnt0", 0, paperSeed())
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("fault-injected mining hung")
+	}
+	if err != nil {
+		t.Fatalf("fault-injected mining returned hard error: %v", err)
+	}
+	if h.calls < 6 {
+		t.Fatalf("only %d checks ran; faults aborted the loop", h.calls)
+	}
+	if !h.slept {
+		t.Fatal("sleeping check was never woken by a deadline")
+	}
+	if len(res.Proved) == 0 {
+		t.Error("no proven assertions survived the faults")
+	}
+	if len(res.Ctx) == 0 {
+		t.Error("no counterexample stimuli accumulated")
+	}
+	if res.Converged {
+		t.Error("mining claims convergence despite stuck leaves")
+	}
+	if res.StuckLeafs < 1 {
+		t.Errorf("StuckLeafs = %d, want >= 1", res.StuckLeafs)
+	}
+	if len(res.Errors) < 2 {
+		t.Fatalf("EngineError records = %d, want >= 2 (panic, bad ctx)", len(res.Errors))
+	}
+	stages := map[string]bool{}
+	for _, ee := range res.Errors {
+		stages[ee.Stage] = true
+		if ee.Output != "gnt0" {
+			t.Errorf("EngineError on wrong output: %+v", ee)
+		}
+		if ee.Cause == nil {
+			t.Errorf("EngineError without cause: %+v", ee)
+		}
+	}
+	if !stages[StageCheck] {
+		t.Error("no StageCheck fault recorded for the panic")
+	}
+	if !stages[StageCtxSim] && !stages[StageDataset] {
+		t.Error("malformed counterexample produced no ctx-sim/dataset fault")
+	}
+	// The panic must surface as ErrEngineInternal with the panic text.
+	foundPanic := false
+	for _, ee := range res.Errors {
+		if errors.Is(ee.Cause, mc.ErrEngineInternal) && strings.Contains(ee.Error(), "injected checker panic") {
+			foundPanic = true
+		}
+	}
+	if !foundPanic {
+		t.Error("injected panic not wrapped as ErrEngineInternal")
+	}
+	if len(res.Unknown) < 1 {
+		t.Errorf("Unknown records = %d, want >= 1", len(res.Unknown))
+	}
+	// Fault records must not masquerade as proved.
+	for _, rec := range res.Unknown {
+		if rec.Status != mc.StatusUnknown {
+			t.Errorf("unknown record carries status %v", rec.Status)
+		}
+	}
+	// Proved assertions must still hold on the real checker.
+	for _, rec := range res.Proved {
+		v, cerr := e.Checker.Check(rec.Assertion)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		if v.Status == mc.StatusFalsified {
+			t.Errorf("fault run proved a false assertion: %s", rec.Assertion)
+		}
+	}
+}
+
+// TestHardErrorIsolated: a checker returning a hard Go error (not a panic)
+// is isolated the same way — recorded, leaf stuck, loop continues.
+func TestHardErrorIsolated(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	h := &hostileChecker{real: e.Checker, errOn: 2}
+	e.SetChecker(h)
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatalf("hard checker error escaped the barrier: %v", err)
+	}
+	if len(res.Errors) != 1 || res.Errors[0].Stage != StageCheck {
+		t.Fatalf("errors = %+v, want one StageCheck fault", res.Errors)
+	}
+	if !errors.Is(res.Errors[0].Cause, mc.ErrEngineInternal) {
+		t.Errorf("cause = %v, want ErrEngineInternal", res.Errors[0].Cause)
+	}
+	if res.StuckLeafs < 1 {
+		t.Errorf("StuckLeafs = %d, want >= 1", res.StuckLeafs)
+	}
+	if len(res.Proved) == 0 {
+		t.Error("no proofs survived a single hard error")
+	}
+}
+
+// TestOverallDeadlineFlushesPartial: a checker that always sleeps plus an
+// overall timeout must yield a prompt Interrupted partial result, not a hang
+// or an error.
+func TestOverallDeadlineFlushesPartial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Timeout = 200 * time.Millisecond
+	e := mustEngine(t, arbiterSrc, cfg)
+	e.SetChecker(checkerFunc(func(ctx context.Context, a *assertion.Assertion) (*mc.Result, error) {
+		<-ctx.Done()
+		return &mc.Result{Status: mc.StatusUnknown, Method: "sleeper",
+			Degraded: true, Cause: mc.ErrBudgetExceeded}, nil
+	}))
+	start := time.Now()
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("overall deadline ignored: ran %v", el)
+	}
+	if !res.Interrupted {
+		t.Error("deadline expiry not reported as Interrupted")
+	}
+	if res.Converged {
+		t.Error("interrupted run claims convergence")
+	}
+}
+
+// checkerFunc adapts a function to FormalChecker.
+type checkerFunc func(ctx context.Context, a *assertion.Assertion) (*mc.Result, error)
+
+func (f checkerFunc) CheckCtx(ctx context.Context, a *assertion.Assertion) (*mc.Result, error) {
+	return f(ctx, a)
+}
+
+// TestMineAllCancelledContext: cancelling the context stops MineAll between
+// outputs with a partial, Interrupted result.
+func TestMineAllCancelledContext(t *testing.T) {
+	e := mustEngine(t, arbiterSrc, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.MineAllCtx(ctx, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Error("cancelled MineAll not marked Interrupted")
+	}
+	if len(res.Outputs) != 0 {
+		t.Errorf("pre-cancelled context still mined %d outputs", len(res.Outputs))
+	}
+}
+
+// TestPerCheckBudgetMarksLeavesStuck: a per-check budget too small for any
+// verdict parks every leaf as stuck (no livelock, no convergence claim), and
+// the Unknown records carry the budget cause.
+func TestPerCheckBudgetMarksLeavesStuck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MC.MaxStateBits = 0 // force SAT
+	cfg.MC.MaxWork = 1
+	e := mustEngine(t, arbiterSrc, cfg)
+	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("starved mining claims convergence")
+	}
+	if res.StuckLeafs < 1 {
+		t.Errorf("StuckLeafs = %d, want >= 1", res.StuckLeafs)
+	}
+	if len(res.Unknown) < 1 {
+		t.Fatalf("no Unknown records under starvation")
+	}
+	for _, rec := range res.Unknown {
+		if rec.Err == nil || !mc.IsBudget(rec.Err) {
+			t.Errorf("unknown record cause = %v, want budget error", rec.Err)
+		}
+	}
+	// Starvation must terminate quickly: stuck leaves are never retried.
+	if len(res.Iterations) > 2 {
+		t.Errorf("starved mining looped %d iterations", len(res.Iterations))
+	}
+}

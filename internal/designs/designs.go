@@ -52,7 +52,7 @@ var registry = map[string]*Benchmark{}
 
 func register(b *Benchmark) {
 	if _, dup := registry[b.Name]; dup {
-		panic("duplicate benchmark " + b.Name)
+		panic("designs: duplicate benchmark " + b.Name)
 	}
 	registry[b.Name] = b
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"goldmine/internal/core"
 	"goldmine/internal/coverage"
@@ -68,6 +69,11 @@ type Experiment struct {
 	Desc string
 	Run  func() (*Table, error)
 }
+
+// CheckTimeout, when non-zero, bounds every formal check issued by an
+// experiment (wired from cmd/experiments -check-timeout). Checks that exceed
+// it degrade to bounded/unknown verdicts instead of stalling a table.
+var CheckTimeout time.Duration
 
 var registry []Experiment
 
@@ -130,6 +136,9 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 	}
 	if mcOpts != nil {
 		cfg.MC = *mcOpts
+	}
+	if CheckTimeout > 0 {
+		cfg.MC.CheckTimeout = CheckTimeout
 	}
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {

@@ -17,6 +17,8 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -31,11 +33,14 @@ import (
 // Status is the verdict for an assertion.
 type Status int
 
-// Verdicts.
+// Verdicts. Budget pressure moves a verdict only downward along
+// proved -> bounded -> unknown; it can never flip falsified to proved or
+// vice versa (soundness under budgets, tested in budget_test.go).
 const (
 	StatusProved Status = iota
 	StatusFalsified
 	StatusBounded // no counterexample up to the BMC depth; induction inconclusive
+	StatusUnknown // budget exhausted or cancelled before any claim could be made
 )
 
 func (s Status) String() string {
@@ -44,9 +49,32 @@ func (s Status) String() string {
 		return "proved"
 	case StatusFalsified:
 		return "falsified"
-	default:
+	case StatusBounded:
 		return "bounded"
+	default:
+		return "unknown"
 	}
+}
+
+// Error taxonomy for budget-limited checking. Callers distinguish
+// "unconverged because the problem is hard" (ErrBudgetExceeded),
+// "unconverged because the caller gave up" (ErrCanceled), and "unconverged
+// because an engine crashed" (ErrEngineInternal, attached by the core
+// recover barrier).
+var (
+	// ErrBudgetExceeded: the per-check wall-clock or work budget ran out.
+	ErrBudgetExceeded = errors.New("mc: check budget exceeded")
+	// ErrCanceled: the caller's context was cancelled mid-check.
+	ErrCanceled = errors.New("mc: check cancelled")
+	// ErrEngineInternal: an engine panicked or misbehaved; the fault was
+	// isolated at the engine boundary.
+	ErrEngineInternal = errors.New("mc: engine internal fault")
+)
+
+// IsBudget reports whether err belongs to the budget/cancellation taxonomy
+// (as opposed to a hard engine failure).
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrCanceled)
 }
 
 // Result is the outcome of checking one assertion.
@@ -61,6 +89,12 @@ type Result struct {
 	Depth int
 	// Elapsed is the wall time of the check.
 	Elapsed time.Duration
+	// Degraded marks a verdict weakened by budget pressure: a proof attempt
+	// was cut short and only a bounded claim (or none) survives.
+	Degraded bool
+	// Cause explains StatusUnknown or a degraded verdict: ErrBudgetExceeded
+	// or ErrCanceled, possibly wrapped with engine detail.
+	Cause error
 }
 
 // Options tune the checker.
@@ -81,6 +115,16 @@ type Options struct {
 	MaxBMCDepth int
 	// MaxInduction bounds the k of k-induction.
 	MaxInduction int
+	// CheckTimeout bounds the wall-clock time of one Check call; 0 means no
+	// limit. The budget is sliced across engines: the explicit-state engine
+	// gets at most half (falling back to SAT on exhaustion), and within the
+	// SAT engine BMC gets 60% with k-induction taking the remainder.
+	CheckTimeout time.Duration
+	// MaxWork bounds the deterministic work of one Check call: SAT
+	// propagations plus explicit-state window simulations, drawn from a
+	// single shared pool. 0 means no limit. Unlike CheckTimeout this budget
+	// is reproducible, which the degradation tests rely on.
+	MaxWork int64
 }
 
 // DefaultOptions returns sensible limits for benchmark-scale designs.
@@ -110,6 +154,10 @@ type Checker struct {
 	TotalTime   time.Duration
 	ExplicitOK  bool
 	explicitErr error
+	// Unknowns counts checks that ended in StatusUnknown; Degraded counts
+	// checks whose verdict was weakened (but not voided) by budget pressure.
+	Unknowns int
+	Degraded int
 }
 
 // New creates a checker with default options.
@@ -125,35 +173,187 @@ func NewWithOptions(d *rtl.Design, opts Options) *Checker {
 // Design returns the design under check.
 func (c *Checker) Design() *rtl.Design { return c.d }
 
+// ---------------------------------------------------------------------------
+// Check budgets
+// ---------------------------------------------------------------------------
+
+// budget is the resource envelope of one Check call: a context, an optional
+// wall-clock deadline, and an optional shared work pool (SAT propagations +
+// explicit window simulations). Engines consume from it sequentially; slices
+// narrow the deadline so one engine cannot starve its successors.
+type budget struct {
+	ctx      context.Context
+	deadline time.Time // zero = none
+	workLeft *int64    // nil = unlimited; shared across engines of one check
+	ticks    int64     // tick counter rate-limiting clock/context polls
+}
+
+// newBudget derives the envelope for one check from the options and context.
+func (c *Checker) newBudget(ctx context.Context) *budget {
+	b := &budget{ctx: ctx}
+	if c.opts.CheckTimeout > 0 {
+		b.deadline = time.Now().Add(c.opts.CheckTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || d.Before(b.deadline)) {
+		b.deadline = d
+	}
+	if c.opts.MaxWork > 0 {
+		w := c.opts.MaxWork
+		b.workLeft = &w
+	}
+	return b
+}
+
+// active reports whether any budget source is live (the fast path when
+// budgets are disabled skips all polling).
+func (b *budget) active() bool {
+	return b.ctx.Done() != nil || !b.deadline.IsZero() || b.workLeft != nil
+}
+
+// err reports why the budget is exhausted, or nil while it is not.
+func (b *budget) err() error {
+	if e := b.ctx.Err(); e != nil {
+		if errors.Is(e, context.Canceled) {
+			return fmt.Errorf("%w: %v", ErrCanceled, e)
+		}
+		return fmt.Errorf("%w: %v", ErrBudgetExceeded, e)
+	}
+	if b.workLeft != nil && *b.workLeft <= 0 {
+		return fmt.Errorf("%w: work pool drained", ErrBudgetExceeded)
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return fmt.Errorf("%w: deadline passed", ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// charge deducts n work units from the shared pool.
+func (b *budget) charge(n int64) {
+	if b.workLeft != nil {
+		*b.workLeft -= n
+	}
+}
+
+// tick charges one unit of explicit-engine work and polls the budget. Pool
+// exhaustion is detected immediately (making work budgets deterministic even
+// on tiny designs); the clock and context are consulted every 1024 ticks.
+func (b *budget) tick() error {
+	if b.workLeft != nil {
+		*b.workLeft--
+		if *b.workLeft < 0 {
+			return fmt.Errorf("%w: work pool drained", ErrBudgetExceeded)
+		}
+	}
+	b.ticks++
+	if b.ticks&1023 == 0 {
+		return b.err()
+	}
+	return nil
+}
+
+// slice returns a view of the budget whose deadline consumes at most the
+// given fraction of the remaining wall time. The context and work pool are
+// shared: work drawn by the slice is gone for everyone.
+func (b *budget) slice(frac float64) *budget {
+	nb := *b
+	if !b.deadline.IsZero() {
+		if rem := time.Until(b.deadline); rem > 0 {
+			nb.deadline = time.Now().Add(time.Duration(float64(rem) * frac))
+		}
+	}
+	return &nb
+}
+
+// solve runs one budgeted SAT call, charging the pool for the propagations
+// consumed. An Unknown verdict comes back with the mapped taxonomy error.
+func (b *budget) solve(s *sat.Solver, assumps ...sat.Lit) (sat.Status, error) {
+	s.Deadline = b.deadline
+	if b.workLeft != nil {
+		if *b.workLeft <= 0 {
+			return sat.Unknown, fmt.Errorf("%w: work pool drained", ErrBudgetExceeded)
+		}
+		s.MaxPropagations = *b.workLeft
+	}
+	before := s.Propagations
+	st := s.SolveCtx(b.ctx, assumps...)
+	b.charge(s.Propagations - before)
+	if st == sat.Unknown {
+		if cause := s.StopCause(); cause != nil {
+			if errors.Is(cause, context.Canceled) {
+				return st, fmt.Errorf("%w: %v", ErrCanceled, cause)
+			}
+			return st, fmt.Errorf("%w: %v", ErrBudgetExceeded, cause)
+		}
+	}
+	return st, nil
+}
+
 // Check decides the assertion, producing a counterexample when false.
 func (c *Checker) Check(a *assertion.Assertion) (*Result, error) {
+	return c.CheckCtx(context.Background(), a)
+}
+
+// CheckCtx decides the assertion under a context and the configured budgets.
+// Cancellation or budget exhaustion never returns an error: the verdict
+// degrades along proved -> bounded -> unknown and the cause is recorded in
+// Result.Cause, so callers always receive a usable (if weaker) answer.
+func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result, error) {
 	start := time.Now()
 	c.Checks++
+	b := c.newBudget(ctx)
+	res, err := c.dispatch(b, a)
+	if err != nil {
+		if !IsBudget(err) {
+			return nil, err
+		}
+		// Budget died before any engine could make a claim.
+		res = &Result{Status: StatusUnknown, Method: "none", Degraded: true, Cause: err}
+	}
+	res.Elapsed = time.Since(start)
+	c.TotalTime += res.Elapsed
+	switch {
+	case res.Status == StatusFalsified:
+		c.CtxFound++
+	case res.Status == StatusUnknown:
+		c.Unknowns++
+	}
+	if res.Degraded {
+		c.Degraded++
+	}
+	return res, nil
+}
+
+// dispatch routes the check to an engine, degrading explicit-state to SAT
+// when the explicit slice of the budget runs out.
+func (c *Checker) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
 	// The explicit engine pins input bits already fixed by the antecedent,
 	// so only the remaining free bits need enumeration. Its work is
 	// (reachable states) x 2^freeBits window simulations; gate on the
 	// worst-case state count so a check can never blow up.
 	freeBits := c.d.InputBits()*(a.Consequent.Offset+1) - c.pinnedInputBits(a)
 	explicitWork := c.d.StateBits() + freeBits
-	var res *Result
-	var err error
 	switch {
 	case len(c.d.Registers()) == 0:
-		res, err = c.checkCombinational(a)
+		return c.checkCombinational(b, a)
 	case c.ExplicitOK && explicitWork <= c.opts.MaxExplicitBits:
-		res, err = c.checkExplicit(a)
+		// The explicit engine gets half the remaining budget; if that slice
+		// is exhausted the SAT engine inherits what is left.
+		res, err := c.checkExplicit(b.slice(0.5), a)
+		if err != nil && IsBudget(err) {
+			res, err = c.checkSAT(b, a)
+			// A decisive SAT verdict is as good as the explicit one would
+			// have been; only a weaker outcome counts as degraded.
+			if res != nil && (res.Status == StatusBounded || res.Status == StatusUnknown) {
+				res.Degraded = true
+				if res.Cause == nil {
+					res.Cause = fmt.Errorf("%w: explicit engine budget slice exhausted", ErrBudgetExceeded)
+				}
+			}
+		}
+		return res, err
 	default:
-		res, err = c.checkSAT(a)
+		return c.checkSAT(b, a)
 	}
-	if err != nil {
-		return nil, err
-	}
-	res.Elapsed = time.Since(start)
-	c.TotalTime += res.Elapsed
-	if res.Status == StatusFalsified {
-		c.CtxFound++
-	}
-	return res, nil
 }
 
 // propExpr builds the rtl expression "signal == value" (or "signal[bit] ==
@@ -194,7 +394,7 @@ func propVal(p assertion.Prop, sig *rtl.Signal, v uint64) uint64 {
 // Combinational designs: one SAT check, complete.
 // ---------------------------------------------------------------------------
 
-func (c *Checker) checkCombinational(a *assertion.Assertion) (*Result, error) {
+func (c *Checker) checkCombinational(b *budget, a *assertion.Assertion) (*Result, error) {
 	s := sat.New()
 	u := cnf.NewUnroller(s, c.d)
 	u.AddFrame()
@@ -202,13 +402,19 @@ func (c *Checker) checkCombinational(a *assertion.Assertion) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch s.Solve(assumps...) {
+	st, cause := b.solve(s, assumps...)
+	switch st {
 	case sat.Sat:
 		ctx := sim.Stimulus{u.InputModel(0)}
 		return &Result{Status: StatusFalsified, Ctx: ctx, Method: "sat-comb", Depth: 1}, nil
 	case sat.Unsat:
 		return &Result{Status: StatusProved, Method: "sat-comb", Depth: 1}, nil
 	default:
+		if cause != nil {
+			return &Result{Status: StatusUnknown, Method: "sat-comb", Depth: 1, Degraded: true, Cause: cause}, nil
+		}
+		// A user-set MaxConflicts on the solver keeps its historical
+		// "bounded" reading.
 		return &Result{Status: StatusBounded, Method: "sat-comb", Depth: 1}, nil
 	}
 }
@@ -338,8 +544,10 @@ func (sp *inputSpace) vec(n uint64) []uint64 {
 	return out
 }
 
-// computeReach performs BFS from the all-zero reset state.
-func (c *Checker) computeReach() (*reachability, error) {
+// computeReach performs BFS from the all-zero reset state. A budget
+// exhaustion mid-BFS leaves no partial cache behind: the next check (or the
+// SAT fallback) starts clean.
+func (c *Checker) computeReach(b *budget) (*reachability, error) {
 	if c.reach != nil {
 		return c.reach, nil
 	}
@@ -364,11 +572,17 @@ func (c *Checker) computeReach() (*reachability, error) {
 	r.order = append(r.order, ik)
 	queue := []stateKey{ik}
 	sp := newInputSpace(r.inputs)
+	poll := b != nil && b.active()
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		curState := r.states[cur]
 		for n := uint64(0); n < sp.total; n++ {
+			if poll {
+				if err := b.tick(); err != nil {
+					return nil, err
+				}
+			}
 			iv := sp.vec(n)
 			_, next := st.settle(curState, iv)
 			nk := key(next)
@@ -448,8 +662,8 @@ func resolveProp(d *rtl.Design, p assertion.Prop) (rp, error) {
 	return rp{sig: sig, prop: p, off: p.Offset, val: want}, nil
 }
 
-func (c *Checker) checkExplicit(a *assertion.Assertion) (*Result, error) {
-	r, err := c.computeReach()
+func (c *Checker) checkExplicit(b *budget, a *assertion.Assertion) (*Result, error) {
+	r, err := c.computeReach(b)
 	if err != nil {
 		return nil, err
 	}
@@ -517,9 +731,15 @@ func (c *Checker) checkExplicit(a *assertion.Assertion) (*Result, error) {
 	for f := range ivs {
 		ivs[f] = make([]uint64, len(r.inputs))
 	}
+	poll := b != nil && b.active()
 	for _, sk := range r.order {
 		startState := r.states[sk]
 		for seq := uint64(0); seq < seqTotal; seq++ {
+			if poll {
+				if err := b.tick(); err != nil {
+					return nil, err
+				}
+			}
 			// Compose the window's inputs: pinned bits + enumerated bits.
 			for f := 0; f < frames; f++ {
 				copy(ivs[f], fixedVal[f])
@@ -576,7 +796,7 @@ func inputVec(ins []*rtl.Signal, vals []uint64) sim.InputVec {
 // ReachableStates returns the number of reachable states (explicit engine),
 // computing the reachability fixpoint if needed.
 func (c *Checker) ReachableStates() (int, error) {
-	r, err := c.computeReach()
+	r, err := c.computeReach(nil)
 	if err != nil {
 		return 0, err
 	}
@@ -587,11 +807,19 @@ func (c *Checker) ReachableStates() (int, error) {
 // SAT engine: BMC + k-induction
 // ---------------------------------------------------------------------------
 
-func (c *Checker) checkSAT(a *assertion.Assertion) (*Result, error) {
+// checkSAT runs the BMC + k-induction ladder under the budget. The verdict
+// degrades gracefully: a budget hit during BMC reports the deepest fully
+// explored bound (or StatusUnknown if not even the first window completed); a
+// budget hit during induction falls back to the completed BMC bound. A
+// falsification found before the budget dies is always reported — budget
+// pressure can weaken a claim but never invert one.
+func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 	coff := a.Consequent.Offset
 	minFrames := coff + 1
 
 	// Bounded model checking from reset, incremental in the unroll depth.
+	// BMC gets 60% of the remaining wall budget; induction inherits the rest.
+	bmcBudget := b.slice(0.6)
 	s := sat.New()
 	u := cnf.NewUnroller(s, c.d)
 	for i := 0; i < minFrames; i++ {
@@ -602,6 +830,13 @@ func (c *Checker) checkSAT(a *assertion.Assertion) (*Result, error) {
 	if maxDepth < minFrames {
 		maxDepth = minFrames
 	}
+	bounded := func(lastOK int, cause error) (*Result, error) {
+		if lastOK < minFrames {
+			// Not even the shortest window was decided: nothing to claim.
+			return nil, cause
+		}
+		return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: lastOK, Degraded: true, Cause: cause}, nil
+	}
 	for depth := minFrames; depth <= maxDepth; depth++ {
 		for u.Frames() < depth {
 			u.AddFrame()
@@ -611,21 +846,29 @@ func (c *Checker) checkSAT(a *assertion.Assertion) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.Solve(assumps...) == sat.Sat {
+		st, cause := bmcBudget.solve(s, assumps...)
+		if st == sat.Sat {
 			ctx := make(sim.Stimulus, 0, depth)
 			for f := 0; f < depth; f++ {
 				ctx = append(ctx, u.InputModel(f))
 			}
 			return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
 		}
+		if st == sat.Unknown && cause != nil {
+			return bounded(depth-1, cause)
+		}
 	}
 
 	// k-induction: base case is the BMC above. Step: from an arbitrary state,
 	// if the property holds for k consecutive windows it holds for the next.
 	for k := 1; k <= c.opts.MaxInduction; k++ {
-		proved, err := c.inductionStep(a, k)
+		proved, cause, err := c.inductionStep(b, a, k)
 		if err != nil {
 			return nil, err
+		}
+		if cause != nil {
+			// Induction cut short: the completed BMC bound still stands.
+			return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: maxDepth, Degraded: true, Cause: cause}, nil
 		}
 		if proved {
 			return &Result{Status: StatusProved, Method: fmt.Sprintf("k-induction(k=%d)", k), Depth: k}, nil
@@ -636,8 +879,9 @@ func (c *Checker) checkSAT(a *assertion.Assertion) (*Result, error) {
 
 // inductionStep checks the k-induction step case: assume the property for
 // windows starting at frames 0..k-1 (arbitrary initial state) and look for a
-// violation at window k. UNSAT means the step holds.
-func (c *Checker) inductionStep(a *assertion.Assertion, k int) (bool, error) {
+// violation at window k. UNSAT means the step holds. A non-nil cause reports
+// a budget interruption (the step is then undecided, not failed).
+func (c *Checker) inductionStep(b *budget, a *assertion.Assertion, k int) (proved bool, cause, err error) {
 	coff := a.Consequent.Offset
 	s := sat.New()
 	u := cnf.NewUnroller(s, c.d)
@@ -651,36 +895,40 @@ func (c *Checker) inductionStep(a *assertion.Assertion, k int) (bool, error) {
 		for _, p := range a.Antecedent {
 			e, err := propExpr(c.d, p)
 			if err != nil {
-				return false, err
+				return false, nil, err
 			}
 			vec, err := u.EncodeExpr(e, t0+p.Offset)
 			if err != nil {
-				return false, err
+				return false, nil, err
 			}
 			lits = append(lits, vec[0].Neg())
 		}
 		ce, err := propExpr(c.d, a.Consequent)
 		if err != nil {
-			return false, err
+			return false, nil, err
 		}
 		cvec, err := u.EncodeExpr(ce, t0+coff)
 		if err != nil {
-			return false, err
+			return false, nil, err
 		}
 		lits = append(lits, cvec[0])
 		s.AddClause(lits...)
 	}
 	assumps, err := windowAssumptions(u, c.d, a, k)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
-	return s.Solve(assumps...) == sat.Unsat, nil
+	st, cause := b.solve(s, assumps...)
+	if cause != nil {
+		return false, cause, nil
+	}
+	return st == sat.Unsat, nil, nil
 }
 
 // Reachable returns a sorted list of reachable state keys rendered for
 // debugging (explicit engine only).
 func (c *Checker) Reachable() ([]string, error) {
-	r, err := c.computeReach()
+	r, err := c.computeReach(nil)
 	if err != nil {
 		return nil, err
 	}

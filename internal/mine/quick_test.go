@@ -166,7 +166,9 @@ func TestQuickIncrementalPreservesOrdering(t *testing.T) {
 			for r := start; r < ds.Rows(); r++ {
 				newRows = append(newRows, r)
 			}
-			tr.AddRows(newRows)
+			if err := tr.AddRows(newRows); err != nil {
+				return false
+			}
 			after := treeShape(tr)
 			for path, v := range before {
 				if after[path] != v {

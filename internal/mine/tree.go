@@ -8,6 +8,7 @@
 package mine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,12 @@ import (
 	"goldmine/internal/assertion"
 	"goldmine/internal/trace"
 )
+
+// ErrProvedContradicted reports that new trace rows contradicted a leaf whose
+// assertion had already been formally proved — either the prover or the
+// simulator is unsound for this design. The leaf is demoted (Proved cleared,
+// Stuck set) so mining can continue around it.
+var ErrProvedContradicted = errors.New("mine: proved leaf contradicted by new data")
 
 // Node is a decision-tree node. Var < 0 marks a leaf; otherwise Zero/One are
 // the subtrees for the split variable's two values.
@@ -204,8 +211,10 @@ func sse(n, ones int) float64 {
 // AddRows routes freshly appended dataset rows down the tree, recomputing
 // statistics along each path and resplitting any leaf that becomes impure.
 // Existing split variables are never changed (incremental tree,
-// Definition 6).
-func (t *Tree) AddRows(rowIdx []int) {
+// Definition 6). If a proved leaf is contradicted it is demoted to stuck and
+// an error wrapping ErrProvedContradicted is returned; the remaining leaves
+// are still processed, so the tree stays usable.
+func (t *Tree) AddRows(rowIdx []int) error {
 	type touch struct {
 		node *Node
 		path []PathStep
@@ -238,17 +247,23 @@ func (t *Tree) AddRows(rowIdx []int) {
 	sort.Slice(order, func(i, j int) bool {
 		return pathKey(order[i].path) < pathKey(order[j].path)
 	})
+	var errs error
 	for _, tc := range order {
 		n := tc.node
 		if n.Err > 0 {
 			// A proved leaf can never be contradicted by real behaviour: its
-			// assertion holds on all reachable traces. Guard the invariant.
+			// assertion holds on all reachable traces. Demote it rather than
+			// corrupting the proof bookkeeping by resplitting it.
 			if n.Proved {
-				panic(fmt.Sprintf("mine: proved leaf contradicted by new data (path %s)", pathKey(tc.path)))
+				n.Proved = false
+				n.Stuck = true
+				errs = errors.Join(errs, fmt.Errorf("%w (path %s)", ErrProvedContradicted, pathKey(tc.path)))
+				continue
 			}
 			t.grow(n, tc.path)
 		}
 	}
+	return errs
 }
 
 func pathKey(path []PathStep) string {
@@ -299,10 +314,12 @@ func (t *Tree) Assertion(lf Leaf) *assertion.Assertion {
 
 // Candidates returns the unproved pure leaves paired with their candidate
 // assertions — the assertions due for formal verification this iteration.
+// Stuck leaves are skipped: retrying a leaf whose check already timed out or
+// faulted would livelock the refinement loop.
 func (t *Tree) Candidates() []Candidate {
 	var out []Candidate
 	for _, lf := range t.Leaves() {
-		if lf.Node.Proved || !lf.Node.Pure() {
+		if lf.Node.Proved || lf.Node.Stuck || !lf.Node.Pure() {
 			continue
 		}
 		if a := t.Assertion(lf); a != nil {

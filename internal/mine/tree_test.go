@@ -1,6 +1,7 @@
 package mine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -132,7 +133,9 @@ func TestIncrementalAddRowsPreservesOrdering(t *testing.T) {
 	if _, err := ds.AddTrace(tr2, 1); err != nil {
 		t.Fatal(err)
 	}
-	tr.AddRows([]int{start})
+	if err := tr.AddRows([]int{start}); err != nil {
+		t.Fatal(err)
+	}
 	if tr.Root.Var != rootVar {
 		t.Fatal("incremental update changed the root split variable")
 	}
@@ -162,7 +165,9 @@ func TestFailedAssertionNeverRegenerated(t *testing.T) {
 	t2, _ := s.Run(sim.Stimulus{{"a": 1, "b": 1}})
 	start := ds.Rows()
 	ds.AddTrace(t2, 1)
-	tr.AddRows([]int{start})
+	if err := tr.AddRows([]int{start}); err != nil {
+		t.Fatal(err)
+	}
 	after := map[string]bool{}
 	for _, c := range tr.Candidates() {
 		after[c.Assertion.Key()] = true
@@ -187,6 +192,46 @@ func TestProvedLeafRetained(t *testing.T) {
 	}
 	if got := len(tr.Candidates()); got != 0 {
 		t.Errorf("proved leaves still produce candidates: %d", got)
+	}
+}
+
+func TestProvedLeafContradictionDemotes(t *testing.T) {
+	// A proved leaf contradicted by new rows is demoted to stuck (prover vs
+	// simulator disagreement) instead of panicking, and the rest of the tree
+	// keeps mining.
+	d, ds := xorDataset(t, sim.Stimulus{{"a": 0, "b": 0}, {"a": 1, "b": 0}})
+	tr := Build(ds)
+	// Mark the a=1 leaf (predicting z=1) as proved, then contradict it.
+	one := tr.Root.One
+	if !one.IsLeaf() || one.PredictedValue() != 1 {
+		t.Fatalf("unexpected tree shape\n%s", tr)
+	}
+	one.Proved = true
+	s, _ := sim.New(d)
+	t2, _ := s.Run(sim.Stimulus{{"a": 1, "b": 1}}) // a=1 but z=0
+	start := ds.Rows()
+	if _, err := ds.AddTrace(t2, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.AddRows([]int{start})
+	if !errors.Is(err, ErrProvedContradicted) {
+		t.Fatalf("AddRows error = %v, want ErrProvedContradicted", err)
+	}
+	if one.Proved || !one.Stuck {
+		t.Fatalf("contradicted leaf not demoted: proved=%v stuck=%v", one.Proved, one.Stuck)
+	}
+	if got := tr.Stats().StuckLeaves; got != 1 {
+		t.Errorf("stuck leaves %d want 1", got)
+	}
+	// The demoted leaf is impure and stuck: it must not resurface as a
+	// candidate, and the tree can no longer claim convergence.
+	for _, c := range tr.Candidates() {
+		if c.Leaf.Node == one {
+			t.Error("demoted leaf offered as candidate")
+		}
+	}
+	if tr.Converged() {
+		t.Error("tree with demoted leaf reports converged")
 	}
 }
 

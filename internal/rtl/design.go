@@ -77,7 +77,7 @@ func (d *Design) Signal(name string) *Signal { return d.byName[name] }
 func (d *Design) MustSignal(name string) *Signal {
 	s := d.byName[name]
 	if s == nil {
-		panic(fmt.Sprintf("design %s: no signal %q", d.Name, name))
+		panic(fmt.Sprintf("rtl: design %s: no signal %q", d.Name, name))
 	}
 	return s
 }

@@ -73,7 +73,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 				return nil, fmt.Errorf("bad literal %q: %w", tok, err)
 			}
 			if v == 0 {
-				s.AddClause(cur...)
+				if _, err := s.AddClause(cur...); err != nil {
+					return nil, err
+				}
 				cur = cur[:0]
 				continue
 			}
@@ -84,7 +86,9 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 		return nil, err
 	}
 	if len(cur) > 0 {
-		s.AddClause(cur...)
+		if _, err := s.AddClause(cur...); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

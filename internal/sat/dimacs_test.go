@@ -86,7 +86,7 @@ func TestDIMACSRoundTripRandom(t *testing.T) {
 				cl = append(cl, v)
 			}
 			cnf = append(cnf, cl)
-			alive = s.AddClause(cl...)
+			alive, _ = s.AddClause(cl...)
 		}
 		if !alive {
 			continue // formula trivially unsat at level 0; skip round trip

@@ -10,9 +10,25 @@
 package sat
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 )
+
+// Budget-stop causes reported by StopCause after an Unknown verdict.
+var (
+	// ErrConflictBudget: MaxConflicts was exhausted.
+	ErrConflictBudget = errors.New("sat: conflict budget exhausted")
+	// ErrPropagationBudget: MaxPropagations was exhausted.
+	ErrPropagationBudget = errors.New("sat: propagation budget exhausted")
+	// ErrDeadline: the Deadline passed mid-search.
+	ErrDeadline = errors.New("sat: deadline exceeded")
+)
+
+// ErrZeroLit is returned by AddClause when a clause contains literal 0.
+var ErrZeroLit = errors.New("sat: zero literal")
 
 // Lit is a DIMACS-style literal: +v or -v for variable v >= 1.
 type Lit int
@@ -129,7 +145,27 @@ type Solver struct {
 
 	// MaxConflicts bounds one Solve call; <= 0 means unlimited.
 	MaxConflicts int64
+	// MaxPropagations bounds one Solve call; <= 0 means unlimited. Unlike
+	// conflicts, propagations accrue on every search step, so this is a
+	// deterministic work budget even on easy instances.
+	MaxPropagations int64
+	// Deadline bounds one Solve call by wall clock; the zero value means no
+	// deadline. Polled every pollInterval propagations.
+	Deadline time.Time
+
+	// cancellation/budget state of the in-flight Solve
+	ctx       context.Context
+	polling   bool
+	nextPoll  int64
+	propLimit int64
+	stopCause error
 }
+
+// pollInterval is how many propagations elapse between budget/cancellation
+// polls. It is small enough that a cancelled context stops the search within
+// well under 100 ms on any realistic workload, and large enough that polling
+// is invisible in profiles.
+const pollInterval = 2048
 
 // New creates an empty solver.
 func New() *Solver {
@@ -178,17 +214,20 @@ func (s *Solver) value(il ilit) lbool {
 }
 
 // AddClause adds a clause (a disjunction of literals). Returns false if the
-// formula is already unsatisfiable at level 0.
-func (s *Solver) AddClause(lits ...Lit) bool {
+// formula is already unsatisfiable at level 0. A clause containing literal 0
+// is rejected with ErrZeroLit and leaves the solver untouched.
+func (s *Solver) AddClause(lits ...Lit) (bool, error) {
+	for _, l := range lits {
+		if l == 0 {
+			return false, fmt.Errorf("%w in clause %v", ErrZeroLit, lits)
+		}
+	}
 	if s.unsat {
-		return false
+		return false, nil
 	}
 	s.backjump(0) // incremental use: drop the previous model's decisions
 	ils := make([]ilit, 0, len(lits))
 	for _, l := range lits {
-		if l == 0 {
-			panic("sat: zero literal")
-		}
 		s.ensure(l.Var())
 		ils = append(ils, toInternal(l))
 	}
@@ -201,11 +240,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			continue
 		}
 		if i > 0 && il == prev.neg() {
-			return true // tautology
+			return true, nil // tautology
 		}
 		switch s.value(il) {
 		case lTrue:
-			return true // already satisfied at level 0
+			return true, nil // already satisfied at level 0
 		case lFalse:
 			// drop
 		default:
@@ -217,19 +256,19 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	switch len(ils) {
 	case 0:
 		s.unsat = true
-		return false
+		return false, nil
 	case 1:
 		s.enqueue(ils[0], nil)
 		if s.propagate() != nil {
 			s.unsat = true
-			return false
+			return false, nil
 		}
-		return true
+		return true, nil
 	}
 	c := &clause{lits: ils}
 	s.clauses = append(s.clauses, c)
 	s.watch(c)
-	return true
+	return true, nil
 }
 
 func (s *Solver) watch(c *clause) {
@@ -510,11 +549,29 @@ func luby(i int64) int64 {
 
 // Solve determines satisfiability under the given assumptions. A Sat result
 // leaves the model readable via Value; Unsat means unsatisfiable under the
-// assumptions; Unknown means MaxConflicts was exhausted.
+// assumptions; Unknown means a budget (MaxConflicts, MaxPropagations,
+// Deadline) was exhausted — StopCause then reports which.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveCtx(context.Background(), assumptions...)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled every
+// pollInterval propagations and aborts the search with Unknown, leaving the
+// context's error available via StopCause.
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
+	s.stopCause = nil
+	s.ctx = ctx
+	s.polling = ctx.Done() != nil || !s.Deadline.IsZero() || s.MaxPropagations > 0
+	s.nextPoll = s.Propagations // poll on the first search step
+	s.propLimit = 0
+	if s.MaxPropagations > 0 {
+		s.propLimit = s.Propagations + s.MaxPropagations
+	}
+	defer func() { s.ctx = nil }()
+
 	s.backjump(0)
 	if c := s.propagate(); c != nil {
 		s.unsat = true
@@ -533,12 +590,50 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if status != Unknown {
 			return status
 		}
+		if s.stopCause != nil {
+			s.backjump(0)
+			return Unknown
+		}
 		s.Restarts++
 		if s.MaxConflicts > 0 && s.Conflicts-conflictsAtStart >= s.MaxConflicts {
+			s.stopCause = ErrConflictBudget
 			s.backjump(0)
 			return Unknown
 		}
 	}
+}
+
+// StopCause reports why the previous Solve returned Unknown: a context error,
+// ErrDeadline, ErrPropagationBudget, or ErrConflictBudget. It is nil after a
+// decided (Sat/Unsat) result.
+func (s *Solver) StopCause() error { return s.stopCause }
+
+// shouldStop polls the cancellation and budget sources. It is rate-limited by
+// the propagation counter so the hot search loop pays one integer compare in
+// the common case.
+func (s *Solver) shouldStop() bool {
+	if !s.polling || s.Propagations < s.nextPoll {
+		return false
+	}
+	s.nextPoll = s.Propagations + pollInterval
+	if s.propLimit > 0 && s.propLimit < s.nextPoll {
+		// Land the next poll exactly on the propagation budget so small
+		// deterministic budgets are honoured, not rounded up to pollInterval.
+		s.nextPoll = s.propLimit
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.stopCause = err
+		return true
+	}
+	if s.propLimit > 0 && s.Propagations >= s.propLimit {
+		s.stopCause = ErrPropagationBudget
+		return true
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		s.stopCause = ErrDeadline
+		return true
+	}
+	return false
 }
 
 // search runs CDCL until a verdict, a restart budget exhaustion (Unknown), or
@@ -546,6 +641,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *int64) Status {
 	conflicts := int64(0)
 	for {
+		if s.shouldStop() {
+			s.backjump(0)
+			return Unknown
+		}
 		conflict := s.propagate()
 		if conflict != nil {
 			s.Conflicts++

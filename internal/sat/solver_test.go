@@ -1,8 +1,11 @@
 package sat
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestTrivial(t *testing.T) {
@@ -25,7 +28,7 @@ func TestTrivial(t *testing.T) {
 	if st := s.Solve(); st != Unsat {
 		t.Fatal("unsat is sticky")
 	}
-	if s.AddClause(2) {
+	if ok, _ := s.AddClause(2); ok {
 		t.Error("AddClause after unsat should return false")
 	}
 }
@@ -191,7 +194,9 @@ func TestRandomCNFAgainstBruteForce(t *testing.T) {
 		s := New()
 		live := true
 		for _, cl := range cnf {
-			if !s.AddClause(cl...) {
+			if ok, err := s.AddClause(cl...); err != nil {
+				t.Fatal(err)
+			} else if !ok {
 				live = false
 				break
 			}
@@ -254,7 +259,9 @@ func TestRandomWithAssumptions(t *testing.T) {
 		s := New()
 		live := true
 		for _, cl := range cnf {
-			if !s.AddClause(cl...) {
+			if ok, err := s.AddClause(cl...); err != nil {
+				t.Fatal(err)
+			} else if !ok {
 				live = false
 				break
 			}
@@ -329,5 +336,104 @@ func TestValueLitBounds(t *testing.T) {
 	s := New()
 	if s.Value(0) || s.Value(99) {
 		t.Error("out-of-range Value must be false")
+	}
+}
+
+// php builds a pigeonhole instance PHP(p, h) — unsat and exponentially hard
+// for CDCL when p = h+1, which makes it a good budget-test workload.
+func php(s *Solver, pigeons, holes int) {
+	v := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		var cl []Lit
+		for h := 0; h < holes; h++ {
+			cl = append(cl, v(p, h))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+}
+
+func TestAddClauseZeroLiteral(t *testing.T) {
+	s := New()
+	if _, err := s.AddClause(1, 0, 2); !errors.Is(err, ErrZeroLit) {
+		t.Fatalf("want ErrZeroLit, got %v", err)
+	}
+	// The rejected clause must not have perturbed the solver.
+	s.AddClause(1)
+	if st := s.Solve(); st != Sat || !s.Value(1) {
+		t.Fatalf("solver unusable after rejected clause: %v", st)
+	}
+}
+
+func TestPropagationBudgetUnknown(t *testing.T) {
+	s := New()
+	php(s, 9, 8)
+	s.MaxPropagations = 500
+	st := s.Solve()
+	if st != Unknown {
+		t.Fatalf("want Unknown under 500-propagation budget, got %v (%s)", st, s)
+	}
+	if !errors.Is(s.StopCause(), ErrPropagationBudget) {
+		t.Fatalf("StopCause = %v, want ErrPropagationBudget", s.StopCause())
+	}
+	// Lifting the budget on the same solver finds the refutation.
+	s.MaxPropagations = 0
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(9,8) without budget: %v", st)
+	}
+	if s.StopCause() != nil {
+		t.Fatalf("StopCause after decided result = %v, want nil", s.StopCause())
+	}
+}
+
+func TestDeadlineUnknown(t *testing.T) {
+	s := New()
+	php(s, 12, 11)
+	s.Deadline = time.Now().Add(5 * time.Millisecond)
+	start := time.Now()
+	st := s.Solve()
+	if st != Unknown {
+		t.Fatalf("want Unknown under 5ms deadline, got %v (%s)", st, s)
+	}
+	if !errors.Is(s.StopCause(), ErrDeadline) {
+		t.Fatalf("StopCause = %v, want ErrDeadline", s.StopCause())
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("deadline overrun: solve took %v", el)
+	}
+}
+
+func TestContextCancelStopsSearch(t *testing.T) {
+	s := New()
+	php(s, 12, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Status, 1)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	go func() { done <- s.SolveCtx(ctx) }()
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("cancelled solve returned %v, want Unknown", st)
+		}
+		if !errors.Is(s.StopCause(), context.Canceled) {
+			t.Fatalf("StopCause = %v, want context.Canceled", s.StopCause())
+		}
+		// The acceptance bound is 100ms from cancellation to return; allow
+		// slack for CI scheduling noise on top of the 10ms pre-cancel sleep.
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("cancellation latency too high: %v", el)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled solve hung")
 	}
 }

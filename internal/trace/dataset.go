@@ -155,21 +155,26 @@ func NewDatasetCfg(d *rtl.Design, out *rtl.Signal, outBit, window int, useBitCon
 	for _, br := range cone.StateBitRefs(cn) {
 		ds.extVars = append(ds.extVars, VarRef{Signal: br.Sig.Name, Bit: br.Bit, Offset: 0, Width: br.Sig.Width})
 	}
-	ds.varCols = ds.resolve(ds.Vars)
-	ds.extCols = ds.resolve(ds.extVars)
+	var err error
+	if ds.varCols, err = ds.resolve(ds.Vars); err != nil {
+		return nil, err
+	}
+	if ds.extCols, err = ds.resolve(ds.extVars); err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 
-func (ds *Dataset) resolve(vars []VarRef) []col {
+func (ds *Dataset) resolve(vars []VarRef) ([]col, error) {
 	cols := make([]col, len(vars))
 	for i, v := range vars {
 		si, ok := ds.sigIdx[v.Signal]
 		if !ok {
-			panic(fmt.Sprintf("trace: feature %s not in cone snapshot", v.Signal))
+			return nil, fmt.Errorf("trace: feature %s not in cone snapshot", v.Signal)
 		}
 		cols[i] = col{sig: si, bit: v.Bit, offset: v.Offset}
 	}
-	return cols
+	return cols, nil
 }
 
 // Extended reports whether the state features have been activated.

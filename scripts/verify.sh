@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repo verification gate: tier-1 build+test, vet, race-enabled suite, and a
+# short-budget smoke run proving cmd/goldmine exits cleanly under a deadline
+# (0 = completed, 2 = clean partial flush; anything else is a failure).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: go build ./... && go test ./... =="
+go build ./...
+go test ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== smoke: goldmine on arbiter2 under a 1s deadline =="
+tmpbin="$(mktemp -d)"
+trap 'rm -rf "$tmpbin"' EXIT
+go build -o "$tmpbin/goldmine" ./cmd/goldmine
+status=0
+"$tmpbin/goldmine" -design arbiter2 -timeout 1s >/dev/null || status=$?
+case "$status" in
+0) echo "smoke: completed within deadline" ;;
+2) echo "smoke: clean partial flush under deadline" ;;
+*) echo "smoke: FAILED (exit $status)" >&2; exit 1 ;;
+esac
+
+echo "verify: OK"
