@@ -7,6 +7,8 @@ package goldmine
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"goldmine/internal/mine"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sat"
+	"goldmine/internal/sched"
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
 	"goldmine/internal/trace"
@@ -344,4 +347,92 @@ func BenchmarkElaborate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: parallel mining and the verdict cache (internal/sched)
+// ---------------------------------------------------------------------------
+
+// BenchmarkMineAllParallel mines every output bit of the decode stage at
+// increasing worker counts. On a multi-core host the speedup tracks the core
+// count; on a single-CPU host it measures pure scheduler overhead (expect
+// ~1x). The artifacts are identical at every -j (see core.Result.Canonical).
+func BenchmarkMineAllParallel(b *testing.B) {
+	bench, err := designs.Get("decode")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.Design()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Window = bench.Window
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.NewEngine(d, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.MineAll(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerdictCache measures the cache on both scales: the raw cost of a
+// hit lookup, and a full re-mine of arbiter2 against a warm shared cache (the
+// cross-engine reuse path used by the experiments sweep).
+func BenchmarkVerdictCache(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c := sched.NewVerdictCache()
+		compute := func() (*mc.Result, error) {
+			return &mc.Result{Status: mc.StatusProved, Method: "bench"}, nil
+		}
+		if _, _, err := c.Check(context.Background(), "k", compute); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, o, err := c.Check(context.Background(), "k", compute); err != nil || o != sched.Hit {
+				b.Fatalf("outcome %v err %v", o, err)
+			}
+		}
+	})
+	b.Run("warm-remine", func(b *testing.B) {
+		bench, err := designs.Get("arbiter2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := bench.Design()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Window = bench.Window
+		cfg.Cache = sched.NewVerdictCache()
+		seed := bench.Directed()
+		warm, err := core.NewEngine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.MineAll(seed); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewEngine(d, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.MineAll(seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

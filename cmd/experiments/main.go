@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -25,10 +26,12 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment name or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		timeout = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
-		checkTO = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
+		run        = flag.String("run", "all", "experiment name or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		timeout    = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
+		checkTO    = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
+		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; tables are identical for any value)")
+		schedBench = flag.String("sched-bench", "", "run the scheduler benchmark and write the JSON report to this file ('-' = stdout), then exit")
 	)
 	flag.Parse()
 
@@ -39,6 +42,25 @@ func main() {
 		return
 	}
 	experiments.CheckTimeout = *checkTO
+	experiments.Workers = *workers
+
+	if *schedBench != "" {
+		out := os.Stdout
+		if *schedBench != "-" {
+			f, err := os.Create(*schedBench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.SchedBench(out, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: sched-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,6 +46,7 @@ func main() {
 		seed     = flag.String("seed", "directed", "seed stimulus: directed | random:<cycles> | none")
 		format   = flag.String("format", "ltl", "assertion format: ltl | sva | psl")
 		maxIter  = flag.Int("max-iter", 64, "maximum refinement iterations")
+		batched  = flag.Bool("batched", false, "batch each iteration's checks before updating the tree (Section 7 optimization; enables parallel check lanes under -j)")
 		full     = flag.Bool("full-ctx", false, "add every counterexample window to the dataset")
 		tree     = flag.Bool("tree", false, "print the final decision tree")
 		reduce   = flag.Bool("reduce", false, "apply A-Val subsumption reduction and ranking to the printed assertions")
@@ -52,6 +54,8 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmark designs and exit")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
 		checkTO  = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; results are identical for any value)")
+		schedOut = flag.Bool("sched-stats", false, "print scheduler/cache telemetry to stderr (advisory, non-deterministic)")
 	)
 	flag.Parse()
 
@@ -68,7 +72,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *design, *file, *output, *bit, *window, *seed, *format, *maxIter, *checkTO, *full, *tree, *reduce, *minimize); err != nil {
+	if err := run(ctx, *design, *file, *output, *bit, *window, *seed, *format, *maxIter, *checkTO, *workers, *batched, *full, *tree, *reduce, *minimize, *schedOut); err != nil {
 		fmt.Fprintln(os.Stderr, "goldmine:", err)
 		if errors.Is(err, errInterrupted) {
 			os.Exit(2)
@@ -77,7 +81,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, design, file, output string, bit, window int, seedSpec, format string, maxIter int, checkTO time.Duration, fullCtx, printTree, reduce, minimize bool) error {
+func run(ctx context.Context, design, file, output string, bit, window int, seedSpec, format string, maxIter int, checkTO time.Duration, workers int, batched, fullCtx, printTree, reduce, minimize, schedOut bool) error {
 	var d *rtl.Design
 	var bench *designs.Benchmark
 	var err error
@@ -106,7 +110,9 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 
 	cfg := core.DefaultConfig()
 	cfg.MaxIterations = maxIter
+	cfg.BatchedChecks = batched
 	cfg.AddFullCtxTrace = fullCtx
+	cfg.Workers = workers
 	cfg.MC.CheckTimeout = checkTO
 	if window >= 0 {
 		cfg.Window = window
@@ -124,23 +130,14 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 		return err
 	}
 
-	var targets []struct {
-		sig *rtl.Signal
-		bit int
-	}
+	var targets []core.Target
 	addTarget := func(sig *rtl.Signal) {
 		if bit >= 0 {
-			targets = append(targets, struct {
-				sig *rtl.Signal
-				bit int
-			}{sig, bit})
+			targets = append(targets, core.Target{Output: sig, Bit: bit})
 			return
 		}
 		for b := 0; b < sig.Width; b++ {
-			targets = append(targets, struct {
-				sig *rtl.Signal
-				bit int
-			}{sig, b})
+			targets = append(targets, core.Target{Output: sig, Bit: b})
 		}
 	}
 	if output != "" {
@@ -155,25 +152,20 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 		}
 	}
 
+	// Mine every target (in parallel for -j > 1), then print in target order:
+	// the output below is byte-identical for any -j value. On SIGINT/-timeout
+	// the engine drains cleanly and everything mined so far is still flushed.
+	all, err := eng.MineTargetsCtx(ctx, targets, stim)
+	if err != nil {
+		return err
+	}
+	interrupted := all.Interrupted
+	mined := len(all.Outputs)
 	totalProved, totalCtx, totalUnknown, totalFaults := 0, 0, 0, 0
-	interrupted := false
-	mined := 0
-	for _, tgt := range targets {
-		if ctx.Err() != nil {
-			interrupted = true
-			break
-		}
-		res, err := eng.MineOutputCtx(ctx, tgt.sig, tgt.bit, stim)
-		if err != nil {
-			return err
-		}
-		mined++
-		if res.Interrupted {
-			interrupted = true
-		}
-		name := tgt.sig.Name
-		if tgt.sig.Width > 1 {
-			name = fmt.Sprintf("%s[%d]", tgt.sig.Name, tgt.bit)
+	for _, res := range all.Outputs {
+		name := res.Output
+		if sig := d.Signal(res.Output); sig != nil && sig.Width > 1 {
+			name = fmt.Sprintf("%s[%d]", res.Output, res.Bit)
 		}
 		extra := ""
 		if len(res.Unknown) > 0 || len(res.Errors) > 0 {
@@ -221,6 +213,11 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 	}
 	fmt.Printf("total: %d proved assertions, %d counterexample patterns%s, %d formal checks (%.2fs formal time)\n",
 		totalProved, totalCtx, extra, eng.Checker.Checks, eng.Checker.TotalTime.Seconds())
+	if schedOut && all.Sched != nil {
+		s := all.Sched
+		fmt.Fprintf(os.Stderr, "sched: workers=%d tasks=%d stolen=%d panics=%d cache-hits=%d deduped=%d misses=%d hit-rate=%.1f%%\n",
+			s.Workers, s.Tasks, s.TasksStolen, s.WorkerPanics, s.CacheHits, s.ChecksDeduped, s.CacheMisses, 100*s.CacheHitRate)
+	}
 	if interrupted {
 		return fmt.Errorf("%w (%d/%d targets mined)", errInterrupted, mined, len(targets))
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 func TestRunDesign(t *testing.T) {
-	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, 0, false, true, false, true); err != nil {
+	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, 0, 2, true, false, true, false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,14 +19,14 @@ func TestRunDesign(t *testing.T) {
 func TestRunCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "arbiter2", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false)
+	err := run(ctx, "arbiter2", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false)
 	if !errors.Is(err, errInterrupted) {
 		t.Fatalf("err = %v, want errInterrupted", err)
 	}
 }
 
 func TestRunAllOutputsSVA(t *testing.T) {
-	if err := run(context.Background(), "cex_small", "", "", -1, -1, "none", "sva", 16, 0, false, false, true, false); err != nil {
+	if err := run(context.Background(), "cex_small", "", "", -1, -1, "none", "sva", 16, 0, 2, false, false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,22 +38,22 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", path, "y", 0, 0, "random:8", "psl", 8, 0, true, false, true, true); err != nil {
+	if err := run(context.Background(), "", path, "y", 0, 0, "random:8", "psl", 8, 0, 2, false, true, false, true, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
+	if err := run(context.Background(), "", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
 		t.Error("missing design should error")
 	}
-	if err := run(context.Background(), "nope", "", "", -1, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
+	if err := run(context.Background(), "nope", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
 		t.Error("unknown design should error")
 	}
-	if err := run(context.Background(), "arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, 0, false, false, false, false); err == nil {
+	if err := run(context.Background(), "arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
 		t.Error("unknown output should error")
 	}
-	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, 0, false, false, false, false); err == nil {
+	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
 		t.Error("bad seed spec should error")
 	}
 }

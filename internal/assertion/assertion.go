@@ -96,6 +96,35 @@ func (a *Assertion) Key() string {
 	return b.String()
 }
 
+// CanonicalKey is the order-independent semantic identity of the assertion:
+// the antecedent propositions sorted and deduplicated, then the consequent,
+// each rendered as name@offset=value. Unlike Key it does not depend on the
+// stored antecedent order (and never mutates the assertion), so two
+// assertions mined by different outputs' refinement runs — or regenerated
+// across iterations — compare equal exactly when the model checker would
+// treat them identically. Statistical metadata (Confidence, Support) and the
+// mining window are deliberately excluded: they do not affect the verdict.
+// The verdict cache keys on this plus a design/options fingerprint.
+func (a *Assertion) CanonicalKey() string {
+	parts := make([]string, 0, len(a.Antecedent))
+	for _, p := range a.Antecedent {
+		parts = append(parts, fmt.Sprintf("%s@%d=%d", p.Name(), p.Offset, p.Value))
+	}
+	sort.Strings(parts)
+	b := &strings.Builder{}
+	prev := ""
+	for _, s := range parts {
+		if s == prev {
+			continue // duplicated proposition: same constraint
+		}
+		b.WriteString(s)
+		b.WriteByte('&')
+		prev = s
+	}
+	fmt.Fprintf(b, ">%s@%d=%d", a.Consequent.Name(), a.Consequent.Offset, a.Consequent.Value)
+	return b.String()
+}
+
 // String renders the assertion in LTL notation, e.g.
 // "req0 && X(!req1) ==> XX(!gnt0)".
 func (a *Assertion) String() string {

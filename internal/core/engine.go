@@ -26,14 +26,18 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/mc"
 	"goldmine/internal/mine"
 	"goldmine/internal/rtl"
+	"goldmine/internal/sched"
 	"goldmine/internal/sim"
 	"goldmine/internal/trace"
 )
@@ -71,6 +75,18 @@ type Config struct {
 	// expires, the remaining candidates of that iteration are deferred to
 	// the next one (their leaves are NOT marked stuck).
 	IterationTimeout time.Duration
+	// Workers is the parallelism degree of MineAll/MineTargets: output-bit
+	// mining jobs are spread over a work-stealing pool of this many workers,
+	// and in BatchedChecks mode a batch's independent leaf checks fan out
+	// over the same worker budget. <= 1 mines sequentially. Mining artifacts
+	// (assertions, counterexample stimuli, iteration stats) are identical
+	// for any Workers value; only wall time and scheduler telemetry change.
+	Workers int
+	// Cache optionally supplies a shared verdict cache (e.g. one cache
+	// across the engines of an experiment sweep). Keys include design and
+	// model-checker-option fingerprints, so sharing across engines and
+	// designs is safe. Nil means a private per-engine cache.
+	Cache *sched.VerdictCache
 	// MC are the model checker limits.
 	MC mc.Options
 }
@@ -97,6 +113,11 @@ const (
 	StageCtxSim     = "ctx-simulation"
 	StageDataset    = "dataset-append"
 	StageTreeUpdate = "tree-update"
+	// StageWorker marks a panic that escaped every per-check barrier and was
+	// caught by the scheduler's whole-job barrier: the output's partial
+	// result is replaced by a single fault record, and mining of the other
+	// outputs continues.
+	StageWorker = "worker"
 )
 
 // EngineError is a structured record of a fault (panic or hard error) isolated
@@ -187,6 +208,14 @@ type OutputResult struct {
 	Interrupted bool
 	StuckLeafs  int
 	Elapsed     time.Duration
+
+	// Verdict-cache telemetry for this output's checks: CacheHits were
+	// served from a stored verdict, CacheShared waited on an identical
+	// in-flight check (deduplicated concurrent work), CacheMisses ran the
+	// model checker. Advisory only — which concurrent output scores the hit
+	// for a shared candidate is a benign race, so these counters are
+	// excluded from the determinism contract (see Result.Canonical).
+	CacheHits, CacheShared, CacheMisses int
 }
 
 // InputSpaceCoverage is the paper's Σ 1/2^depth over proved assertions.
@@ -210,6 +239,28 @@ func (r *OutputResult) Assertions() []*assertion.Assertion {
 	return out
 }
 
+// SchedStats is the scheduler telemetry of one MineAll/MineTargets run. All
+// of it is advisory: none of these numbers participate in the determinism
+// contract (work stealing and cache-hit attribution are benign races).
+type SchedStats struct {
+	// Workers is the resolved parallelism degree (1 = sequential).
+	Workers int
+	// Tasks is the number of output-bit mining jobs scheduled.
+	Tasks int
+	// TasksStolen counts jobs executed by a worker other than the one they
+	// were initially sharded onto.
+	TasksStolen int64
+	// WorkerPanics counts whole-job panics isolated by the worker barrier.
+	WorkerPanics int64
+	// ChecksDeduped counts formal checks that waited on an identical
+	// in-flight check instead of running the model checker again.
+	ChecksDeduped int64
+	// CacheHits / CacheMisses count verdict-cache lookups over the run.
+	CacheHits, CacheMisses int64
+	// CacheHitRate is (hits + deduped) / lookups, 0 when no checks ran.
+	CacheHitRate float64
+}
+
 // Result aggregates mining over several output bits.
 type Result struct {
 	Design  *rtl.Design
@@ -220,6 +271,9 @@ type Result struct {
 	// before the cut.
 	Interrupted bool
 	Elapsed     time.Duration
+	// Sched is the scheduler/cache telemetry of the run (set by MineAll and
+	// MineTargets in both sequential and parallel modes).
+	Sched *SchedStats
 }
 
 // Suite returns the complete validation suite: the seed stimulus followed by
@@ -263,6 +317,60 @@ func (r *Result) Errors() []*EngineError {
 	return out
 }
 
+// Canonical renders the run's mining artifacts — everything the determinism
+// contract covers — as a stable string: the same design, seed and
+// configuration produce byte-identical output for any Workers value. Wall
+// times and scheduler/cache telemetry are deliberately absent; comparing
+// Canonical strings is how the tests and the bench harness verify -j 1 ≡ -j N.
+func (r *Result) Canonical() string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "design %s interrupted=%v\n", r.Design.Name, r.Interrupted)
+	for _, o := range r.Outputs {
+		fmt.Fprintf(b, "output %s[%d] converged=%v interrupted=%v bounded=%d stuck=%d faults=%d\n",
+			o.Output, o.Bit, o.Converged, o.Interrupted, o.Bounded, o.StuckLeafs, len(o.Errors))
+		writeRecs := func(kind string, recs []AssertionRecord) {
+			for _, rec := range recs {
+				fmt.Fprintf(b, "  %s it=%d %v %s\n", kind, rec.Iteration, rec.Status, rec.Assertion.Key())
+			}
+		}
+		writeRecs("proved", o.Proved)
+		writeRecs("failed", o.Failed)
+		writeRecs("unknown", o.Unknown)
+		for i, stim := range o.Ctx {
+			fmt.Fprintf(b, "  ctx %d %s\n", i, canonicalStimulus(stim))
+		}
+		for _, st := range o.Iterations {
+			fmt.Fprintf(b, "  iter %d cand=%d proved=%d ctx=%d unknown=%d faults=%d rows=%d leaves=%d nodes=%d cov=%.6f\n",
+				st.Iteration, st.Candidates, st.NewProved, st.NewCtx, st.NewUnknown,
+				st.Faults, st.Rows, st.TreeLeaves, st.TreeNodes, st.InputSpaceCoverage)
+		}
+	}
+	return b.String()
+}
+
+// canonicalStimulus renders a stimulus with sorted input names per cycle
+// (InputVec is a map; iteration order must not leak into the canonical form).
+func canonicalStimulus(st sim.Stimulus) string {
+	b := &strings.Builder{}
+	for c, vec := range st {
+		if c > 0 {
+			b.WriteByte(';')
+		}
+		names := make([]string, 0, len(vec))
+		for n := range vec {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%d", n, vec[n])
+		}
+	}
+	return b.String()
+}
+
 // Engine runs the refinement loop for one design.
 type Engine struct {
 	D       *rtl.Design
@@ -270,25 +378,72 @@ type Engine struct {
 	Checker *mc.Checker
 	checker FormalChecker // overrides Checker when set (fault injection)
 	sim     *sim.Simulator
+
+	// cache memoizes model-checker verdicts under canonical keys; shared by
+	// every fork of this engine (and across engines when Config.Cache is
+	// set). keyPrefix pins its entries to this design + checker options.
+	cache     *sched.VerdictCache
+	keyPrefix string
+	// checkSem is the shared lane budget for intra-output batched-check
+	// fan-out: Workers-1 tokens, so total check concurrency across all
+	// in-flight mining jobs stays at the configured degree (each job always
+	// keeps one lane of its own).
+	checkSem chan struct{}
 }
 
-// NewEngine creates an engine (shared model-checker cache across outputs).
+// NewEngine creates an engine (shared model-checker reachability and verdict
+// caches across outputs).
 func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 	s, err := sim.New(d)
 	if err != nil {
 		return nil, err
 	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = sched.NewVerdictCache()
+	}
+	lanes := cfg.Workers - 1
+	if lanes < 0 {
+		lanes = 0
+	}
 	return &Engine{
-		D:       d,
-		Cfg:     cfg,
-		Checker: mc.NewWithOptions(d, cfg.MC),
-		sim:     s,
+		D:         d,
+		Cfg:       cfg,
+		Checker:   mc.NewWithOptions(d, cfg.MC),
+		sim:       s,
+		cache:     cache,
+		keyPrefix: sched.DesignFingerprint(d) + "|" + sched.OptionsFingerprint(cfg.MC) + "|",
+		checkSem:  make(chan struct{}, lanes),
 	}, nil
 }
 
+// fork clones the engine for one parallel mining job: a fresh simulator
+// (sim.Simulator is single-goroutine), sharing the design, the thread-safe
+// model checker (and its reachability cache), the verdict cache, and the
+// check-lane budget.
+func (e *Engine) fork() (*Engine, error) {
+	s, err := sim.New(e.D)
+	if err != nil {
+		return nil, err
+	}
+	fe := *e
+	fe.sim = s
+	return &fe, nil
+}
+
 // SetChecker substitutes the formal checker — the fault-injection seam. A nil
-// fc restores the built-in mc.Checker.
-func (e *Engine) SetChecker(fc FormalChecker) { e.checker = fc }
+// fc restores the built-in mc.Checker. The verdict cache is reset so stale
+// verdicts from the previous checker cannot mask the substitute; in parallel
+// runs the substitute must itself be safe for concurrent CheckCtx calls.
+func (e *Engine) SetChecker(fc FormalChecker) {
+	e.checker = fc
+	e.cache = sched.NewVerdictCache()
+}
+
+// cacheKey derives the verdict-cache key of a candidate assertion.
+func (e *Engine) cacheKey(a *assertion.Assertion) string {
+	return e.keyPrefix + a.CanonicalKey()
+}
 
 func (e *Engine) formalChecker() FormalChecker {
 	if e.checker != nil {
@@ -309,36 +464,86 @@ func leafKey(lf mine.Leaf) string {
 	return b.String()
 }
 
-// safeCheck runs one formal check behind a recover barrier. A panic or hard
-// error becomes an EngineError; budget/cancellation outcomes arrive as an
-// Unknown verdict from the checker itself and pass through untouched.
-func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate) (res *mc.Result, eerr *EngineError) {
+// checkOutcome carries one formal-check verdict from a check lane back to the
+// sequential merge step of the iteration.
+type checkOutcome struct {
+	verdict *mc.Result
+	outcome sched.Outcome
+	eerr    *EngineError
+}
+
+// safeCheck runs one formal check behind a recover barrier, routed through the
+// verdict cache. A panic or hard error becomes an EngineError;
+// budget/cancellation outcomes arrive as an Unknown verdict from the checker
+// itself (or are synthesized for a cancelled wait on a shared in-flight check)
+// and pass through untouched. Safe for concurrent use by check lanes: it
+// mutates nothing on the engine.
+func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate) (co checkOutcome) {
+	engineFault := func(cause error) *EngineError {
+		return &EngineError{
+			Stage: StageCheck, Output: out, Assertion: cand.Assertion,
+			Leaf:  leafKey(cand.Leaf),
+			Cause: cause,
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			res = nil
-			eerr = &EngineError{
-				Stage: StageCheck, Output: out, Assertion: cand.Assertion,
-				Leaf:  leafKey(cand.Leaf),
-				Cause: fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r),
-			}
+			co.verdict = nil
+			co.eerr = engineFault(fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r))
 		}
 	}()
-	v, err := e.formalChecker().CheckCtx(ctx, cand.Assertion)
+	v, outcome, err := e.cache.Check(ctx, e.cacheKey(cand.Assertion), func() (*mc.Result, error) {
+		return e.formalChecker().CheckCtx(ctx, cand.Assertion)
+	})
+	co.outcome = outcome
 	if err != nil {
-		return nil, &EngineError{
-			Stage: StageCheck, Output: out, Assertion: cand.Assertion,
-			Leaf:  leafKey(cand.Leaf),
-			Cause: fmt.Errorf("%w: %v", mc.ErrEngineInternal, err),
+		if errors.Is(err, mc.ErrCanceled) {
+			// Cancelled while waiting on a shared in-flight check: report it
+			// the way the checker itself reports cancellation, so the leaf
+			// stays retryable instead of becoming a fault.
+			co.verdict = &mc.Result{Status: mc.StatusUnknown, Cause: err}
+			return co
 		}
+		co.eerr = engineFault(fmt.Errorf("%w: %v", mc.ErrEngineInternal, err))
+		return co
 	}
 	if v == nil {
-		return nil, &EngineError{
-			Stage: StageCheck, Output: out, Assertion: cand.Assertion,
-			Leaf:  leafKey(cand.Leaf),
-			Cause: fmt.Errorf("%w: checker returned no verdict", mc.ErrEngineInternal),
+		co.eerr = engineFault(fmt.Errorf("%w: checker returned no verdict", mc.ErrEngineInternal))
+		return co
+	}
+	if outcome == sched.Hit {
+		// The stored verdict's wall time was paid by an earlier check; a hit
+		// costs nothing.
+		v.Elapsed = 0
+	}
+	co.verdict = v
+	return co
+}
+
+// runChecks runs a batch of independent leaf checks, fanning out over the
+// engine's shared check lanes whenever a token is free. The calling goroutine
+// always keeps checking itself (it never blocks waiting for a lane), so every
+// mining job makes progress even when other jobs hold all the spare tokens.
+// Results are positional: the returned slice parallels dispatch.
+func (e *Engine) runChecks(ctx context.Context, out string, dispatch []mine.Candidate) []checkOutcome {
+	outcomes := make([]checkOutcome, len(dispatch))
+	var wg sync.WaitGroup
+	for i := range dispatch {
+		select {
+		case e.checkSem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.checkSem }()
+				// safeCheck's recover barrier contains lane panics.
+				outcomes[i] = e.safeCheck(ctx, out, dispatch[i])
+			}(i)
+		default:
+			outcomes[i] = e.safeCheck(ctx, out, dispatch[i])
 		}
 	}
-	return v, nil
+	wg.Wait()
+	return outcomes
 }
 
 // safeCtxSim simulates a counterexample stimulus behind a recover barrier
@@ -434,31 +639,25 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 			break
 		}
 		var batchedRows []int
-		for _, cand := range cands {
+		// process merges one check verdict into the iteration state. It runs
+		// only on the mining goroutine (never inside a check lane), so all
+		// tree, dataset and result mutation stays single-threaded.
+		process := func(cand mine.Candidate, co checkOutcome) {
 			node := cand.Leaf.Node
-			// The tree may have changed under us (full-trace mode): skip
-			// candidates whose leaf is gone or no longer pure.
-			if !node.IsLeaf() || node.Proved || node.Stuck || !node.Pure() {
-				continue
-			}
-			if checks >= maxChecks {
-				break
-			}
-			if ctx.Err() != nil {
-				res.Interrupted = true
-				break
-			}
-			if itCtx.Err() != nil {
-				// Iteration slice spent: defer the rest to the next round.
-				break
-			}
-			checks++
-			verdict, eerr := e.safeCheck(itCtx, out.Name, cand)
 			rec := AssertionRecord{Assertion: cand.Assertion, Iteration: it}
-			if eerr != nil {
-				fault(&st, node, rec, eerr)
-				continue
+			switch co.outcome {
+			case sched.Hit:
+				res.CacheHits++
+			case sched.Shared:
+				res.CacheShared++
+			default:
+				res.CacheMisses++
 			}
+			if co.eerr != nil {
+				fault(&st, node, rec, co.eerr)
+				return
+			}
+			verdict := co.verdict
 			rec.Status = verdict.Status
 			rec.Method = verdict.Method
 			rec.Elapsed = verdict.Elapsed
@@ -487,7 +686,7 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 						Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
 						Cause: err,
 					})
-					continue
+					return
 				}
 				var newRows []int
 				if e.Cfg.AddFullCtxTrace {
@@ -498,7 +697,7 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 							Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
 							Cause: err,
 						})
-						continue
+						return
 					}
 					for r := before; r < ds.Rows(); r++ {
 						newRows = append(newRows, r)
@@ -511,7 +710,7 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 							Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
 							Cause: err,
 						})
-						continue
+						return
 					}
 					newRows = append(newRows, r)
 				}
@@ -537,7 +736,7 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 					if ctx.Err() != nil {
 						res.Interrupted = true
 					}
-					continue
+					return
 				}
 				// A per-check budget verdict: retrying next iteration would
 				// livelock, so the leaf is parked as stuck.
@@ -546,8 +745,56 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 				res.Unknown = append(res.Unknown, rec)
 				st.NewUnknown++
 			}
-			if res.Interrupted {
-				break
+		}
+		if e.Cfg.BatchedChecks {
+			// Batched mode: the tree does not change until the whole batch has
+			// been checked, so the dispatch set is fixed up front and the
+			// independent leaf checks may fan out over idle check lanes.
+			// Verdicts are merged in candidate order, keeping the artifacts
+			// identical for any Workers value.
+			var dispatch []mine.Candidate
+			for _, cand := range cands {
+				node := cand.Leaf.Node
+				if !node.IsLeaf() || node.Proved || node.Stuck || !node.Pure() {
+					continue
+				}
+				if checks >= maxChecks {
+					break
+				}
+				checks++
+				dispatch = append(dispatch, cand)
+			}
+			outcomes := e.runChecks(itCtx, out.Name, dispatch)
+			for i, cand := range dispatch {
+				process(cand, outcomes[i])
+			}
+			if ctx.Err() != nil {
+				res.Interrupted = true
+			}
+		} else {
+			for _, cand := range cands {
+				node := cand.Leaf.Node
+				// The tree changes under us as counterexamples land: skip
+				// candidates whose leaf is gone or no longer pure.
+				if !node.IsLeaf() || node.Proved || node.Stuck || !node.Pure() {
+					continue
+				}
+				if checks >= maxChecks {
+					break
+				}
+				if ctx.Err() != nil {
+					res.Interrupted = true
+					break
+				}
+				if itCtx.Err() != nil {
+					// Iteration slice spent: defer the rest to the next round.
+					break
+				}
+				checks++
+				process(cand, e.safeCheck(itCtx, out.Name, cand))
+				if res.Interrupted {
+					break
+				}
 			}
 		}
 		itCancel()
@@ -586,27 +833,152 @@ func (e *Engine) MineAll(seed sim.Stimulus) (*Result, error) {
 // deadline it stops between (or inside) outputs and returns the partial
 // result with Interrupted set rather than an error.
 func (e *Engine) MineAllCtx(ctx context.Context, seed sim.Stimulus) (*Result, error) {
-	start := time.Now()
-	res := &Result{Design: e.D, Seed: seed}
+	return e.MineTargetsCtx(ctx, e.Targets(), seed)
+}
+
+// Target names one output bit to mine: one independent job of a
+// MineTargetsCtx run.
+type Target struct {
+	Output *rtl.Signal
+	Bit    int
+}
+
+// Targets lists every output bit of the design in declaration order — the
+// full job set of MineAll.
+func (e *Engine) Targets() []Target {
+	var ts []Target
 	for _, out := range e.D.Outputs() {
 		for bit := 0; bit < out.Width; bit++ {
+			ts = append(ts, Target{Output: out, Bit: bit})
+		}
+	}
+	return ts
+}
+
+// mineOutputSafe is MineOutputCtx behind a whole-job recover barrier: a panic
+// that escapes every per-check barrier (a hostile checker corrupting engine
+// state, a bug in the miner itself) degrades only this output — the result is
+// replaced by a single StageWorker fault record — and never takes down the
+// run or the scheduler.
+func (e *Engine) mineOutputSafe(ctx context.Context, out *rtl.Signal, bit int, seed sim.Stimulus) (or *OutputResult, err error) {
+	name := "<nil>"
+	if out != nil {
+		name = out.Name
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+			or = &OutputResult{Output: name, Bit: bit, Errors: []*EngineError{{
+				Stage: StageWorker, Output: name,
+				Cause: fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r),
+			}}}
+		}
+	}()
+	return e.MineOutputCtx(ctx, out, bit, seed)
+}
+
+// MineTargetsCtx mines the given output bits under a context. With
+// Cfg.Workers > 1 the jobs are spread over a work-stealing pool (each job on a
+// forked engine with its own simulator); results are merged positionally, so
+// the mining artifacts are identical for any Workers value. On cancellation
+// or deadline the pool drains cleanly: jobs never started are excluded from
+// Outputs, running jobs stop at their next boundary and contribute their
+// partial results, and Interrupted is set.
+func (e *Engine) MineTargetsCtx(ctx context.Context, targets []Target, seed sim.Stimulus) (*Result, error) {
+	start := time.Now()
+	res := &Result{Design: e.D, Seed: seed}
+	cacheBefore := e.cache.Stats()
+	workers := e.Cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers <= 1 {
+		for _, t := range targets {
 			if ctx.Err() != nil {
 				res.Interrupted = true
-				res.Elapsed = time.Since(start)
-				return res, nil
+				break
 			}
-			or, err := e.MineOutputCtx(ctx, out, bit, seed)
+			or, err := e.mineOutputSafe(ctx, t.Output, t.Bit, seed)
 			if err != nil {
-				return nil, fmt.Errorf("mining %s[%d]: %w", out.Name, bit, err)
+				return nil, fmt.Errorf("mining %s[%d]: %w", t.Output.Name, t.Bit, err)
 			}
 			res.Outputs = append(res.Outputs, or)
 			if or.Interrupted {
 				res.Interrupted = true
 			}
 		}
+		e.finishSched(res, &SchedStats{Workers: 1, Tasks: len(targets)}, cacheBefore)
+		res.Elapsed = time.Since(start)
+		return res, nil
 	}
+
+	outs := make([]*OutputResult, len(targets))
+	errs := make([]error, len(targets))
+	tasks := make([]sched.Task, len(targets))
+	for i := range targets {
+		i := i
+		t := targets[i]
+		tasks[i] = sched.Task{ID: i, Run: func(jctx context.Context) {
+			fe, err := e.fork()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = fe.mineOutputSafe(jctx, t.Output, t.Bit, seed)
+		}}
+	}
+	st := sched.RunTasks(ctx, workers, tasks, func(t sched.Task, pe *sched.PanicError) {
+		// Backstop only: mineOutputSafe's own barrier catches job panics, so
+		// this fires just for faults in the task closure itself.
+		tg := targets[t.ID]
+		outs[t.ID] = &OutputResult{Output: tg.Output.Name, Bit: tg.Bit, Errors: []*EngineError{{
+			Stage: StageWorker, Output: tg.Output.Name,
+			Cause: fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, pe.Value),
+		}}}
+	})
+	for i, t := range targets {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("mining %s[%d]: %w", t.Output.Name, t.Bit, errs[i])
+		}
+		if outs[i] == nil {
+			// Cancelled before the job started: nothing mined, nothing merged.
+			res.Interrupted = true
+			continue
+		}
+		res.Outputs = append(res.Outputs, outs[i])
+		if outs[i].Interrupted {
+			res.Interrupted = true
+		}
+	}
+	if ctx.Err() != nil {
+		res.Interrupted = true
+	}
+	e.finishSched(res, &SchedStats{
+		Workers:      st.Workers,
+		Tasks:        st.Tasks,
+		TasksStolen:  st.Stolen,
+		WorkerPanics: st.Panics,
+	}, cacheBefore)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// finishSched attaches the run's scheduler telemetry, deriving cache counters
+// from the delta of the shared cache's snapshots. With a cache shared across
+// engines the delta can include concurrent foreign lookups — advisory numbers,
+// see SchedStats.
+func (e *Engine) finishSched(res *Result, ss *SchedStats, before sched.CacheStats) {
+	after := e.cache.Stats()
+	ss.CacheHits = after.Hits - before.Hits
+	ss.ChecksDeduped = after.Shared - before.Shared
+	ss.CacheMisses = after.Misses - before.Misses
+	if n := ss.CacheHits + ss.ChecksDeduped + ss.CacheMisses; n > 0 {
+		ss.CacheHitRate = float64(ss.CacheHits+ss.ChecksDeduped) / float64(n)
+	}
+	res.Sched = ss
 }
 
 // MineOutputByName is a convenience wrapper resolving the output by name.

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"goldmine/internal/designs"
 	"goldmine/internal/mc"
 	"goldmine/internal/rtl"
+	"goldmine/internal/sched"
 	"goldmine/internal/sim"
 )
 
@@ -74,6 +76,17 @@ type Experiment struct {
 // experiment (wired from cmd/experiments -check-timeout). Checks that exceed
 // it degrade to bounded/unknown verdicts instead of stalling a table.
 var CheckTimeout time.Duration
+
+// Workers is the parallelism degree every experiment mines with (wired from
+// cmd/experiments -j). The tables are identical for any value; only wall time
+// changes.
+var Workers int
+
+// sharedCache is one verdict cache spanning every engine the experiments
+// create. Cache keys carry design and option fingerprints, so re-mining the
+// same benchmark in a later experiment (the sweeps do this constantly) reuses
+// decisive verdicts instead of re-running the model checker.
+var sharedCache = sched.NewVerdictCache()
 
 var registry []Experiment
 
@@ -140,6 +153,8 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 	if CheckTimeout > 0 {
 		cfg.MC.CheckTimeout = CheckTimeout
 	}
+	cfg.Workers = Workers
+	cfg.Cache = sharedCache
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		return nil, err
@@ -154,6 +169,7 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 			outs = append(outs, o.Name)
 		}
 	}
+	var tgts []core.Target
 	for _, spec := range outs {
 		name, bit := spec, -1
 		if i := strings.IndexByte(spec, '['); i >= 0 && strings.HasSuffix(spec, "]") {
@@ -171,13 +187,16 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 			lo, hi = bit, bit+1
 		}
 		for bb := lo; bb < hi; bb++ {
-			res, err := eng.MineOutput(sig, bb, seed)
-			if err != nil {
-				return nil, err
-			}
-			mr.Results = append(mr.Results, res)
+			tgts = append(tgts, core.Target{Output: sig, Bit: bb})
 		}
 	}
+	// One scheduler run over every target bit: parallel when Workers > 1,
+	// with results merged back in target order.
+	res, err := eng.MineTargetsCtx(context.Background(), tgts, seed)
+	if err != nil {
+		return nil, err
+	}
+	mr.Results = res.Outputs
 	return mr, nil
 }
 

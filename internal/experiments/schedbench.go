@@ -1,0 +1,141 @@
+// Scheduler benchmark: the machine-readable speedup/cache evidence behind the
+// parallel-mining claims (sequential vs parallel wall time, -j1 ≡ -jN
+// determinism, verdict-cache hit rates). scripts/bench.sh writes its output to
+// BENCH_sched.json.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"goldmine/internal/core"
+	"goldmine/internal/designs"
+	"goldmine/internal/sched"
+	"goldmine/internal/sim"
+)
+
+// schedBenchDesigns are the designs the scheduler benchmark mines: the two
+// arbiters from the paper's running example plus the three Rigel-like
+// pipeline-stage modules, whose many output bits give the pool real work to
+// balance.
+var schedBenchDesigns = []string{"arbiter2", "arbiter4", "decode", "fetch", "wb_stage"}
+
+// SchedBenchDesign is one design's row of the scheduler benchmark.
+type SchedBenchDesign struct {
+	Design  string `json:"design"`
+	Outputs int    `json:"outputs"`
+	Proved  int    `json:"proved"`
+	// SeqMS / ParMS are the cold MineAll wall times at one worker and at the
+	// benchmark's worker count; Speedup is their ratio.
+	SeqMS   float64 `json:"seq_ms"`
+	ParMS   float64 `json:"par_ms"`
+	Speedup float64 `json:"speedup"`
+	// WarmMS is a parallel MineAll re-run against a pre-filled shared verdict
+	// cache; WarmHitRate is its cache hit rate (ParHitRate is the cold run's).
+	WarmMS      float64 `json:"warm_ms"`
+	ParHitRate  float64 `json:"par_cache_hit_rate"`
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+	// Deterministic reports that the sequential and parallel runs produced
+	// byte-identical canonical mining artifacts.
+	Deterministic bool `json:"deterministic"`
+}
+
+// SchedBenchReport is the full benchmark output.
+type SchedBenchReport struct {
+	Workers int                `json:"workers"`
+	Designs []SchedBenchDesign `json:"designs"`
+	// MeanSpeedup averages the per-design speedups.
+	MeanSpeedup float64 `json:"mean_speedup"`
+	// AllDeterministic is the conjunction of the per-design checks.
+	AllDeterministic bool `json:"all_deterministic"`
+}
+
+// schedBenchRun mines every output bit of a benchmark once.
+func schedBenchRun(b *designs.Benchmark, seed sim.Stimulus, workers int, cache *sched.VerdictCache) (*core.Result, time.Duration, error) {
+	d, err := b.Design()
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Window = b.Window
+	cfg.Workers = workers
+	cfg.Cache = cache
+	if CheckTimeout > 0 {
+		cfg.MC.CheckTimeout = CheckTimeout
+	}
+	eng, err := core.NewEngine(d, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := eng.MineAll(seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start), nil
+}
+
+// SchedBench runs the scheduler benchmark at the given worker count (< 1
+// means GOMAXPROCS) and writes the JSON report to w.
+func SchedBench(w io.Writer, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := SchedBenchReport{Workers: workers, AllDeterministic: true}
+	sum := 0.0
+	for _, name := range schedBenchDesigns {
+		b, err := designs.Get(name)
+		if err != nil {
+			return err
+		}
+		seed := seedOf(b)
+		seqRes, seqT, err := schedBenchRun(b, seed, 1, nil)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", name, err)
+		}
+		parRes, parT, err := schedBenchRun(b, seed, workers, nil)
+		if err != nil {
+			return fmt.Errorf("%s parallel: %w", name, err)
+		}
+		// Warm pass: one run fills a shared cache, the second reuses every
+		// decisive verdict — the cross-engine hit-rate evidence.
+		cache := sched.NewVerdictCache()
+		if _, _, err := schedBenchRun(b, seed, workers, cache); err != nil {
+			return fmt.Errorf("%s cache fill: %w", name, err)
+		}
+		warmRes, warmT, err := schedBenchRun(b, seed, workers, cache)
+		if err != nil {
+			return fmt.Errorf("%s warm: %w", name, err)
+		}
+		row := SchedBenchDesign{
+			Design:        name,
+			Outputs:       len(seqRes.Outputs),
+			Proved:        len(seqRes.Assertions()),
+			SeqMS:         float64(seqT.Microseconds()) / 1000,
+			ParMS:         float64(parT.Microseconds()) / 1000,
+			WarmMS:        float64(warmT.Microseconds()) / 1000,
+			Deterministic: seqRes.Canonical() == parRes.Canonical(),
+		}
+		if parT > 0 {
+			row.Speedup = seqT.Seconds() / parT.Seconds()
+		}
+		if parRes.Sched != nil {
+			row.ParHitRate = parRes.Sched.CacheHitRate
+		}
+		if warmRes.Sched != nil {
+			row.WarmHitRate = warmRes.Sched.CacheHitRate
+		}
+		rep.Designs = append(rep.Designs, row)
+		rep.AllDeterministic = rep.AllDeterministic && row.Deterministic
+		sum += row.Speedup
+	}
+	if len(rep.Designs) > 0 {
+		rep.MeanSpeedup = sum / float64(len(rep.Designs))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -14,6 +14,20 @@
 //     the BMC bound is exhausted and induction does not converge the verdict
 //     is StatusBounded ("no counterexample up to depth D"), which the
 //     refinement loop treats as true while recording the bound.
+//
+// # Concurrency contract
+//
+// A *Checker is safe for concurrent CheckCtx/Check calls from any number of
+// goroutines: every check builds its own SAT solver, CNF unroller, and
+// explicit-state stepper (no scratch buffers are shared between in-flight
+// checks), the lazily computed reachability fixpoint is built once under an
+// internal lock, and the exported statistics counters are updated under
+// another. The first check to need the reachability cache pays for its
+// construction out of its own budget; concurrent checks block on the lock and
+// then read the immutable result for free. The exported statistics fields
+// (Checks, CtxFound, ...) are written under the internal lock but are plain
+// fields — read them only when no check is in flight, or via Snapshot. The
+// package has no mutable package-level state (only sentinel error values).
 package mc
 
 import (
@@ -21,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"goldmine/internal/assertion"
@@ -140,15 +155,21 @@ func DefaultOptions() Options {
 }
 
 // Checker verifies assertions against one design, caching reachability
-// analysis across checks.
+// analysis across checks. It is safe for concurrent use; see the package
+// comment for the exact contract.
 type Checker struct {
 	d    *rtl.Design
 	opts Options
 
-	// Explicit-state cache.
-	reach *reachability
+	// Explicit-state cache: reachMu guards the one-time fixpoint
+	// construction (and its error memo); the *reachability itself is
+	// immutable once published.
+	reachMu sync.Mutex
+	reach   *reachability
 
-	// Statistics.
+	// Statistics, written under statMu. Read them only between checks (no
+	// call in flight) or via Snapshot.
+	statMu      sync.Mutex
 	Checks      int
 	CtxFound    int
 	TotalTime   time.Duration
@@ -158,6 +179,24 @@ type Checker struct {
 	// checks whose verdict was weakened (but not voided) by budget pressure.
 	Unknowns int
 	Degraded int
+}
+
+// Stats is a consistent snapshot of the checker counters.
+type Stats struct {
+	Checks    int
+	CtxFound  int
+	TotalTime time.Duration
+	Unknowns  int
+	Degraded  int
+}
+
+// Snapshot returns the statistics counters under the internal lock, safe to
+// call while checks are in flight.
+func (c *Checker) Snapshot() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return Stats{Checks: c.Checks, CtxFound: c.CtxFound, TotalTime: c.TotalTime,
+		Unknowns: c.Unknowns, Degraded: c.Degraded}
 }
 
 // New creates a checker with default options.
@@ -299,7 +338,9 @@ func (c *Checker) Check(a *assertion.Assertion) (*Result, error) {
 // Result.Cause, so callers always receive a usable (if weaker) answer.
 func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result, error) {
 	start := time.Now()
+	c.statMu.Lock()
 	c.Checks++
+	c.statMu.Unlock()
 	b := c.newBudget(ctx)
 	res, err := c.dispatch(b, a)
 	if err != nil {
@@ -310,6 +351,7 @@ func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result
 		res = &Result{Status: StatusUnknown, Method: "none", Degraded: true, Cause: err}
 	}
 	res.Elapsed = time.Since(start)
+	c.statMu.Lock()
 	c.TotalTime += res.Elapsed
 	switch {
 	case res.Status == StatusFalsified:
@@ -320,6 +362,7 @@ func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result
 	if res.Degraded {
 		c.Degraded++
 	}
+	c.statMu.Unlock()
 	return res, nil
 }
 
@@ -546,8 +589,12 @@ func (sp *inputSpace) vec(n uint64) []uint64 {
 
 // computeReach performs BFS from the all-zero reset state. A budget
 // exhaustion mid-BFS leaves no partial cache behind: the next check (or the
-// SAT fallback) starts clean.
+// SAT fallback) starts clean. Concurrent callers serialize on reachMu: the
+// first pays for the fixpoint out of its own budget, the rest wait on the
+// lock and read the published (immutable) cache.
 func (c *Checker) computeReach(b *budget) (*reachability, error) {
+	c.reachMu.Lock()
+	defer c.reachMu.Unlock()
 	if c.reach != nil {
 		return c.reach, nil
 	}

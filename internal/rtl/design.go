@@ -3,6 +3,7 @@ package rtl
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // SigKind classifies signals in a Design.
@@ -66,7 +67,11 @@ type Design struct {
 	// elaboration.
 	Cover *CoverageInfo
 
-	combOrder []*Signal // cached topological order
+	// combOrder is the lazily computed topological order, built once under
+	// combMu so concurrent simulators/steppers over a shared Design can race
+	// to first use safely. The published slice is immutable.
+	combMu    sync.Mutex
+	combOrder []*Signal
 }
 
 // Signal returns the signal named name, or nil.
@@ -137,6 +142,8 @@ func (d *Design) InputBits() int {
 // signal appears after all non-state signals its expression reads. An error
 // is returned for combinational cycles.
 func (d *Design) CombOrder() ([]*Signal, error) {
+	d.combMu.Lock()
+	defer d.combMu.Unlock()
 	if d.combOrder != nil {
 		return d.combOrder, nil
 	}

@@ -7,6 +7,17 @@
 //
 // Variables are positive integers. A literal is a signed variable: +v is the
 // positive literal, -v the negation, as in DIMACS.
+//
+// # Concurrency contract
+//
+// A *Solver is single-goroutine: it keeps trail, watcher, and activity state
+// across calls and must never be shared between goroutines without external
+// synchronization. Distinct Solver instances share nothing — the package has
+// no mutable package-level state (only sentinel error values) and no pooled
+// scratch buffers — so the one-solver-per-goroutine pattern used by the
+// parallel mining scheduler is safe by construction. Cancellation is
+// cooperative: SolveCtx polls its context between propagations, so the owner
+// goroutine cancels a search via the context, not by touching the solver.
 package sat
 
 import (

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Scheduler benchmark: mines the arbiters and the Rigel-like pipeline stages
+# sequentially, in parallel, and against a warm shared verdict cache, then
+# writes the machine-readable report to BENCH_sched.json (override with $1).
+#
+# Fields per design: seq_ms / par_ms / warm_ms wall times, speedup
+# (seq/par; bounded by the host's core count — ~1x on a single-CPU machine),
+# cache hit rates, and the -j1 ≡ -jN determinism check.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sched.json}"
+jobs="${JOBS:-4}"
+
+go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
+echo "bench: wrote $out (workers=$jobs)"

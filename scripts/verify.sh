@@ -28,4 +28,17 @@ case "$status" in
 *) echo "smoke: FAILED (exit $status)" >&2; exit 1 ;;
 esac
 
+echo "== smoke: parallel mining (-j 4) matches sequential (-j 1) =="
+"$tmpbin/goldmine" -design arbiter4 -j 1 >"$tmpbin/j1.txt"
+"$tmpbin/goldmine" -design arbiter4 -j 4 -sched-stats >"$tmpbin/j4.txt" 2>"$tmpbin/sched.txt"
+# The total line carries wall-clock telemetry; everything above it must be
+# byte-identical across worker counts.
+grep -v '^total:' "$tmpbin/j1.txt" >"$tmpbin/j1.art"
+grep -v '^total:' "$tmpbin/j4.txt" >"$tmpbin/j4.art"
+if ! diff "$tmpbin/j1.art" "$tmpbin/j4.art"; then
+    echo "smoke: FAILED (-j 4 artifacts differ from -j 1)" >&2
+    exit 1
+fi
+echo "smoke: -j 4 artifacts identical to -j 1 ($(cat "$tmpbin/sched.txt"))"
+
 echo "verify: OK"
