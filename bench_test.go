@@ -134,6 +134,46 @@ func BenchmarkFormalCheckSAT(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckIncremental measures batched assertion checking through one
+// persistent mc.Session against the stateless per-check baseline, on a
+// realistic workload: the candidate assertions harvested from mining the
+// design. The session amortizes solver construction, Tseitin frames, and
+// learned clauses across the batch; the acceptance bar is >= 3x over
+// "fresh" on the arbiter and fetch batches (scripts/bench.sh records the
+// same comparison in BENCH_mc.json).
+func BenchmarkCheckIncremental(b *testing.B) {
+	for _, name := range []string{"arbiter2", "fetch"} {
+		d, suite, err := experiments.MCAssertionSuite(name, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := mc.DefaultOptions()
+		opts.MaxStateBits = 0 // force the SAT engines sessions accelerate
+		b.Run(name+"/fresh", func(b *testing.B) {
+			c := mc.NewWithOptions(d, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range suite {
+					if _, err := c.Check(a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(name+"/session", func(b *testing.B) {
+			sess := mc.NewWithOptions(d, opts).NewSession()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range suite {
+					if _, err := sess.Check(a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRefinementLoop measures a complete zero-seed mining run for one
 // output (the paper: runtime proportional to the number of counterexamples).
 func BenchmarkRefinementLoop(b *testing.B) {

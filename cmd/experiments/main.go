@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"goldmine/internal/experiments"
+	"goldmine/internal/prof"
 )
 
 func main() {
@@ -32,6 +34,9 @@ func main() {
 		checkTO    = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; tables are identical for any value)")
 		schedBench = flag.String("sched-bench", "", "run the scheduler benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		mcBench    = flag.String("mc-bench", "", "run the incremental model-checking benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -41,24 +46,42 @@ func main() {
 		}
 		return
 	}
+	// os.Exit below skips defers, so the profile stop runs explicitly on
+	// every exit path — including the interrupt one (exit code 2).
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		stopProf()
+		os.Exit(1)
+	}
 	experiments.CheckTimeout = *checkTO
 	experiments.Workers = *workers
 
-	if *schedBench != "" {
-		out := os.Stdout
-		if *schedBench != "-" {
-			f, err := os.Create(*schedBench)
+	benchTo := func(path string, run func(io.Writer) error, what string) {
+		var out io.Writer = os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail("experiments: %v", err)
 			}
 			defer f.Close()
 			out = f
 		}
-		if err := experiments.SchedBench(out, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: sched-bench:", err)
-			os.Exit(1)
+		if err := run(out); err != nil {
+			fail("experiments: %s: %v", what, err)
 		}
+	}
+	if *schedBench != "" {
+		benchTo(*schedBench, func(w io.Writer) error { return experiments.SchedBench(w, *workers) }, "sched-bench")
+		return
+	}
+	if *mcBench != "" {
+		benchTo(*mcBench, experiments.MCBench, "mc-bench")
 		return
 	}
 
@@ -76,8 +99,7 @@ func main() {
 	} else {
 		e, err := experiments.Get(*run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail("experiments: %v", err)
 		}
 		targets = []experiments.Experiment{*e}
 	}
@@ -102,8 +124,7 @@ func main() {
 		select {
 		case o := <-ch:
 			if o.err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, o.err)
-				os.Exit(1)
+				fail("experiments: %s: %v", e.Name, o.err)
 			}
 			o.tab.Render(os.Stdout)
 			fmt.Printf("(%s completed in %.2fs)\n\n", e.Name, time.Since(start).Seconds())
@@ -115,6 +136,7 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "experiments: interrupted — %d/%d experiments completed (tables above are final)\n",
 			completed, len(targets))
+		stopProf()
 		os.Exit(2)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
 	"goldmine/internal/designs"
+	"goldmine/internal/prof"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
@@ -56,6 +57,10 @@ func main() {
 		checkTO  = flag.Duration("check-timeout", 0, "wall-clock budget per formal check (0 = none)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; results are identical for any value)")
 		schedOut = flag.Bool("sched-stats", false, "print scheduler/cache telemetry to stderr (advisory, non-deterministic)")
+		incr     = flag.Bool("incremental", true, "reuse persistent SAT solver sessions across checks (verdicts and counterexamples are identical either way)")
+		coi      = flag.Bool("coi", true, "cone-of-influence CNF reduction: encode only the logic each assertion can observe")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -65,6 +70,14 @@ func main() {
 		}
 		return
 	}
+	// os.Exit below skips defers, so the profile stop runs explicitly on
+	// every exit path — including the SIGINT/-timeout one (exit code 2).
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldmine:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
@@ -72,8 +85,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *design, *file, *output, *bit, *window, *seed, *format, *maxIter, *checkTO, *workers, *batched, *full, *tree, *reduce, *minimize, *schedOut); err != nil {
+	opts := runOpts{
+		design: *design, file: *file, output: *output,
+		bit: *bit, window: *window,
+		seed: *seed, format: *format,
+		maxIter: *maxIter, checkTO: *checkTO, workers: *workers,
+		batched: *batched, fullCtx: *full, printTree: *tree,
+		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
+		incremental: *incr, coi: *coi,
+	}
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "goldmine:", err)
+		stopProf()
 		if errors.Is(err, errInterrupted) {
 			os.Exit(2)
 		}
@@ -81,13 +104,28 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, design, file, output string, bit, window int, seedSpec, format string, maxIter int, checkTO time.Duration, workers int, batched, fullCtx, printTree, reduce, minimize, schedOut bool) error {
+// runOpts carries the flag values into run; the zero value of the two
+// engine toggles is "off", so tests opt in explicitly where they matter.
+type runOpts struct {
+	design, file, output string
+	bit, window          int
+	seed, format         string
+	maxIter              int
+	checkTO              time.Duration
+	workers              int
+	batched, fullCtx     bool
+	printTree, reduce    bool
+	minimize, schedOut   bool
+	incremental, coi     bool
+}
+
+func run(ctx context.Context, o runOpts) error {
 	var d *rtl.Design
 	var bench *designs.Benchmark
 	var err error
 	switch {
-	case design != "":
-		bench, err = designs.Get(design)
+	case o.design != "":
+		bench, err = designs.Get(o.design)
 		if err != nil {
 			return err
 		}
@@ -95,8 +133,8 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 		if err != nil {
 			return err
 		}
-	case file != "":
-		src, err := os.ReadFile(file)
+	case o.file != "":
+		src, err := os.ReadFile(o.file)
 		if err != nil {
 			return err
 		}
@@ -109,18 +147,20 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.MaxIterations = maxIter
-	cfg.BatchedChecks = batched
-	cfg.AddFullCtxTrace = fullCtx
-	cfg.Workers = workers
-	cfg.MC.CheckTimeout = checkTO
-	if window >= 0 {
-		cfg.Window = window
+	cfg.MaxIterations = o.maxIter
+	cfg.BatchedChecks = o.batched
+	cfg.AddFullCtxTrace = o.fullCtx
+	cfg.Workers = o.workers
+	cfg.Incremental = o.incremental
+	cfg.MC.CoI = o.coi
+	cfg.MC.CheckTimeout = o.checkTO
+	if o.window >= 0 {
+		cfg.Window = o.window
 	} else if bench != nil {
 		cfg.Window = bench.Window
 	}
 
-	stim, err := seedStimulus(d, bench, seedSpec)
+	stim, err := seedStimulus(d, bench, o.seed)
 	if err != nil {
 		return err
 	}
@@ -132,18 +172,18 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 
 	var targets []core.Target
 	addTarget := func(sig *rtl.Signal) {
-		if bit >= 0 {
-			targets = append(targets, core.Target{Output: sig, Bit: bit})
+		if o.bit >= 0 {
+			targets = append(targets, core.Target{Output: sig, Bit: o.bit})
 			return
 		}
 		for b := 0; b < sig.Width; b++ {
 			targets = append(targets, core.Target{Output: sig, Bit: b})
 		}
 	}
-	if output != "" {
-		sig := d.Signal(output)
+	if o.output != "" {
+		sig := d.Signal(o.output)
 		if sig == nil {
-			return fmt.Errorf("no signal %q", output)
+			return fmt.Errorf("no signal %q", o.output)
 		}
 		addTarget(sig)
 	} else {
@@ -177,26 +217,26 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 		fmt.Printf("--- %s.%s: converged=%v iterations=%d proved=%d ctx=%d coverage=%.2f%%%s\n",
 			d.Name, name, res.Converged, len(res.Iterations), len(res.Proved), len(res.Ctx),
 			100*res.InputSpaceCoverage(), extra)
-		if reduce {
+		if o.reduce {
 			kept := assertion.ReduceSuite(res.Assertions())
 			fmt.Printf("  A-Val reduction: %d -> %d assertions\n", len(res.Proved), len(kept))
 			for _, a := range kept {
-				fmt.Printf("  %s\n", renderA(a, format, d.Clock))
+				fmt.Printf("  %s\n", renderA(a, o.format, d.Clock))
 			}
 		} else {
 			for _, rec := range res.Proved {
-				fmt.Printf("  [it%d %s] %s\n", rec.Iteration, rec.Method, render(rec.Assertion.String(), rec, format, d.Clock))
+				fmt.Printf("  [it%d %s] %s\n", rec.Iteration, rec.Method, render(rec.Assertion.String(), rec, o.format, d.Clock))
 			}
 		}
 		for i, ctx := range res.Ctx {
-			if minimize && i < len(res.Failed) {
+			if o.minimize && i < len(res.Failed) {
 				if min, err := core.MinimizeCtx(d, res.Failed[i].Assertion, ctx); err == nil {
 					ctx = min
 				}
 			}
 			fmt.Printf("  ctx%d (%d cycles): %s\n", i+1, len(ctx), stimString(ctx))
 		}
-		if printTree {
+		if o.printTree {
 			fmt.Println(res.Tree.String())
 		}
 		for _, ee := range res.Errors {
@@ -213,7 +253,7 @@ func run(ctx context.Context, design, file, output string, bit, window int, seed
 	}
 	fmt.Printf("total: %d proved assertions, %d counterexample patterns%s, %d formal checks (%.2fs formal time)\n",
 		totalProved, totalCtx, extra, eng.Checker.Checks, eng.Checker.TotalTime.Seconds())
-	if schedOut && all.Sched != nil {
+	if o.schedOut && all.Sched != nil {
 		s := all.Sched
 		fmt.Fprintf(os.Stderr, "sched: workers=%d tasks=%d stolen=%d panics=%d cache-hits=%d deduped=%d misses=%d hit-rate=%.1f%%\n",
 			s.Workers, s.Tasks, s.TasksStolen, s.WorkerPanics, s.CacheHits, s.ChecksDeduped, s.CacheMisses, 100*s.CacheHitRate)

@@ -11,7 +11,25 @@ import (
 )
 
 func TestRunDesign(t *testing.T) {
-	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "directed", "ltl", 32, 0, 2, true, false, true, false, true, false); err != nil {
+	o := runOpts{
+		design: "arbiter2", output: "gnt0", bit: 0, window: -1,
+		seed: "directed", format: "ltl", maxIter: 32, workers: 2,
+		batched: true, printTree: true, minimize: true,
+		incremental: true, coi: true,
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDesignFresh exercises the stateless checker path the -incremental
+// and -coi flags fall back to.
+func TestRunDesignFresh(t *testing.T) {
+	o := runOpts{
+		design: "arbiter2", output: "gnt0", bit: 0, window: -1,
+		seed: "directed", format: "ltl", maxIter: 32, workers: 1,
+	}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,14 +37,24 @@ func TestRunDesign(t *testing.T) {
 func TestRunCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "arbiter2", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false)
+	o := runOpts{
+		design: "arbiter2", bit: -1, window: -1,
+		seed: "directed", format: "ltl", maxIter: 8, workers: 2,
+		incremental: true, coi: true,
+	}
+	err := run(ctx, o)
 	if !errors.Is(err, errInterrupted) {
 		t.Fatalf("err = %v, want errInterrupted", err)
 	}
 }
 
 func TestRunAllOutputsSVA(t *testing.T) {
-	if err := run(context.Background(), "cex_small", "", "", -1, -1, "none", "sva", 16, 0, 2, false, false, false, true, false, false); err != nil {
+	o := runOpts{
+		design: "cex_small", bit: -1, window: -1,
+		seed: "none", format: "sva", maxIter: 16, workers: 2,
+		reduce: true, incremental: true, coi: true,
+	}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,22 +66,38 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), "", path, "y", 0, 0, "random:8", "psl", 8, 0, 2, false, true, false, true, true, false); err != nil {
+	o := runOpts{
+		file: path, output: "y", bit: 0, window: 0,
+		seed: "random:8", format: "psl", maxIter: 8, workers: 2,
+		fullCtx: true, reduce: true, minimize: true,
+		incremental: true, coi: true,
+	}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
+	base := runOpts{
+		bit: -1, window: -1, seed: "directed", format: "ltl",
+		maxIter: 8, workers: 2, incremental: true, coi: true,
+	}
+	if err := run(context.Background(), base); err == nil {
 		t.Error("missing design should error")
 	}
-	if err := run(context.Background(), "nope", "", "", -1, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
+	o := base
+	o.design = "nope"
+	if err := run(context.Background(), o); err == nil {
 		t.Error("unknown design should error")
 	}
-	if err := run(context.Background(), "arbiter2", "", "ghost", 0, -1, "directed", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
+	o = base
+	o.design, o.output, o.bit = "arbiter2", "ghost", 0
+	if err := run(context.Background(), o); err == nil {
 		t.Error("unknown output should error")
 	}
-	if err := run(context.Background(), "arbiter2", "", "gnt0", 0, -1, "random:x", "ltl", 8, 0, 2, false, false, false, false, false, false); err == nil {
+	o = base
+	o.design, o.output, o.bit, o.seed = "arbiter2", "gnt0", 0, "random:x"
+	if err := run(context.Background(), o); err == nil {
 		t.Error("bad seed spec should error")
 	}
 }

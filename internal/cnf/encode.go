@@ -28,6 +28,14 @@ type Unroller struct {
 
 	// frames[t] holds the encodings of frame t.
 	frames []*frame
+
+	// lazy defers input/register materialization to first reference, so a
+	// property's encoding touches exactly the sequential cone of influence of
+	// the signals it mentions (see NewLazyUnroller).
+	lazy bool
+	// initZero records that InitZero was requested, so lazily materialized
+	// frame-0 registers are constrained to the reset state on creation.
+	initZero bool
 }
 
 type frame struct {
@@ -42,6 +50,27 @@ func NewUnroller(s *sat.Solver, d *rtl.Design) *Unroller {
 	tv := s.NewVar()
 	u.constTrue = sat.Lit(tv)
 	s.AddClause(u.constTrue)
+	return u
+}
+
+// NewLazyUnroller creates an unroller that materializes signals on demand:
+// AddFrame only reserves a frame, and inputs/registers get solver variables
+// the first time they are referenced (directly or through a register's
+// next-state function in an earlier frame). Encoding a property therefore
+// emits CNF for exactly the transitive sequential cone of influence of the
+// signals the property mentions — on a wide design, a narrow assertion
+// encodes a fraction of the transition relation.
+//
+// This is sound because the unreferenced logic is definitional (Tseitin
+// clauses constrain only their own fresh outputs), so omitting it cannot
+// change satisfiability of the encoded cone; it only leaves the unreferenced
+// inputs unconstrained, which is what the eager encoding does anyway.
+//
+// InputModel only reports inputs that were materialized; callers that need a
+// total stimulus (the mc package) fill the rest with zeros.
+func NewLazyUnroller(s *sat.Solver, d *rtl.Design) *Unroller {
+	u := NewUnroller(s, d)
+	u.lazy = true
 	return u
 }
 
@@ -66,24 +95,48 @@ func (u *Unroller) AddFrame() int {
 		comb:   map[*rtl.Signal]Vec{},
 	}
 	u.frames = append(u.frames, f)
+	if u.lazy {
+		return t
+	}
 	for _, in := range u.D.Inputs() {
 		f.inputs[in] = u.freshVec(in.Width)
 	}
 	if t == 0 {
 		for _, reg := range u.D.Registers() {
-			f.regs[reg] = u.freshVec(reg.Width)
+			f.regs[reg] = u.regVec(f, 0, reg)
 		}
 	} else {
 		for _, reg := range u.D.Registers() {
-			f.regs[reg] = u.encodeExpr(u.D.Next[reg], t-1)
+			f.regs[reg] = u.regVec(f, t, reg)
 		}
 	}
 	return t
 }
 
+// regVec materializes register sig at frame t: fresh variables at frame 0
+// (reset-constrained when InitZero is in effect), the encoded next-state
+// function of frame t-1 otherwise. The caller stores the result in f.regs.
+func (u *Unroller) regVec(f *frame, t int, sig *rtl.Signal) Vec {
+	if t == 0 {
+		v := u.freshVec(sig.Width)
+		f.regs[sig] = v
+		if u.initZero {
+			for _, l := range v {
+				u.S.AddClause(l.Neg())
+			}
+		}
+		return v
+	}
+	v := u.encodeExpr(u.D.Next[sig], t-1)
+	f.regs[sig] = v
+	return v
+}
+
 // InitZero constrains every register bit of frame 0 to zero (the reset state
-// shared with the simulator).
+// shared with the simulator). Under a lazy unroller the constraint also
+// applies to frame-0 registers materialized after this call.
 func (u *Unroller) InitZero() {
+	u.initZero = true
 	if len(u.frames) == 0 {
 		u.AddFrame()
 	}
@@ -118,6 +171,18 @@ func (u *Unroller) SignalVec(t int, sig *rtl.Signal) (Vec, error) {
 	if v, ok := f.comb[sig]; ok {
 		return v, nil
 	}
+	if u.lazy {
+		// First reference: materialize exactly this signal (and, for a
+		// register at t > 0, its next-state cone in frame t-1).
+		if sig.Kind == rtl.SigInput && sig.Name != u.D.Clock {
+			v := u.freshVec(sig.Width)
+			f.inputs[sig] = v
+			return v, nil
+		}
+		if sig.IsState {
+			return u.regVec(f, t, sig), nil
+		}
+	}
 	e, ok := u.D.Comb[sig]
 	if !ok {
 		return nil, fmt.Errorf("signal %s has no encoding at frame %d", sig.Name, t)
@@ -133,6 +198,18 @@ func (u *Unroller) EncodeExpr(e rtl.Expr, t int) (Vec, error) {
 		return nil, fmt.Errorf("frame %d not materialized (have %d)", t, len(u.frames))
 	}
 	return u.encodeExpr(e, t), nil
+}
+
+// InputVecAt returns the literal vector of input sig at frame t if it has
+// been materialized, without forcing materialization. Under a lazy unroller a
+// missing vector means the input is outside every encoded cone at that frame
+// and is therefore unconstrained.
+func (u *Unroller) InputVecAt(t int, sig *rtl.Signal) (Vec, bool) {
+	if t < 0 || t >= len(u.frames) {
+		return nil, false
+	}
+	v, ok := u.frames[t].inputs[sig]
+	return v, ok
 }
 
 // InputModel extracts the input assignment of frame t from a satisfying

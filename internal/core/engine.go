@@ -87,6 +87,16 @@ type Config struct {
 	// model-checker-option fingerprints, so sharing across engines and
 	// designs is safe. Nil means a private per-engine cache.
 	Cache *sched.VerdictCache
+	// Incremental routes formal checks through a pool of persistent
+	// mc.Session solver contexts, amortizing the transition-relation
+	// encoding and learned clauses across the thousands of checks of a
+	// refinement run. Verdicts and counterexamples are identical to the
+	// stateless path (sessions canonicalize counterexamples), so the
+	// -j1 ≡ -jN determinism contract is unaffected. One caveat: with a
+	// deterministic MC.MaxWork budget, *where* a hard check degrades along
+	// proved→bounded→unknown can depend on which session answered it
+	// (verdicts only ever weaken; they never flip). DefaultConfig enables it.
+	Incremental bool
 	// MC are the model checker limits.
 	MC mc.Options
 }
@@ -96,6 +106,7 @@ func DefaultConfig() Config {
 	return Config{
 		Window:        1,
 		MaxIterations: 64,
+		Incremental:   true,
 		MC:            mc.DefaultOptions(),
 	}
 }
@@ -389,6 +400,13 @@ type Engine struct {
 	// in-flight mining jobs stays at the configured degree (each job always
 	// keeps one lane of its own).
 	checkSem chan struct{}
+	// sessions pools incremental mc.Sessions (nil when Cfg.Incremental is
+	// off). A Session is single-goroutine, so each in-flight check takes one
+	// out, uses it exclusively, and returns it; the channel is shared by
+	// every fork of this engine so warmed-up solver states migrate between
+	// mining jobs. A check that panics simply never returns its session —
+	// the possibly-corrupt state is dropped, not repooled.
+	sessions chan *mc.Session
 }
 
 // NewEngine creates an engine (shared model-checker reachability and verdict
@@ -406,7 +424,7 @@ func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 	if lanes < 0 {
 		lanes = 0
 	}
-	return &Engine{
+	e := &Engine{
 		D:         d,
 		Cfg:       cfg,
 		Checker:   mc.NewWithOptions(d, cfg.MC),
@@ -414,7 +432,31 @@ func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 		cache:     cache,
 		keyPrefix: sched.DesignFingerprint(d) + "|" + sched.OptionsFingerprint(cfg.MC) + "|",
 		checkSem:  make(chan struct{}, lanes),
-	}, nil
+	}
+	if cfg.Incremental {
+		// Capacity covers the worst-case concurrent checks (one per mining
+		// worker plus every spare check lane) so sessions are parked, not lost.
+		e.sessions = make(chan *mc.Session, cfg.Workers+lanes+2)
+	}
+	return e, nil
+}
+
+// getSession checks a pooled incremental session out (or warms a new one up).
+func (e *Engine) getSession() *mc.Session {
+	select {
+	case s := <-e.sessions:
+		return s
+	default:
+		return e.Checker.NewSession()
+	}
+}
+
+// putSession parks a session for the next check; a full pool drops it.
+func (e *Engine) putSession(s *mc.Session) {
+	select {
+	case e.sessions <- s:
+	default:
+	}
 }
 
 // fork clones the engine for one parallel mining job: a fresh simulator
@@ -493,6 +535,16 @@ func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate)
 		}
 	}()
 	v, outcome, err := e.cache.Check(ctx, e.cacheKey(cand.Assertion), func() (*mc.Result, error) {
+		// The fault-injection override always wins; otherwise prefer an
+		// incremental session when the engine keeps a pool. A panicking
+		// session is never repooled (the deferred recover above fires before
+		// putSession runs), so corrupt solver state dies with the check.
+		if e.checker == nil && e.sessions != nil {
+			s := e.getSession()
+			r, err := s.CheckCtx(ctx, cand.Assertion)
+			e.putSession(s)
+			return r, err
+		}
 		return e.formalChecker().CheckCtx(ctx, cand.Assertion)
 	})
 	co.outcome = outcome

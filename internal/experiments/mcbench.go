@@ -1,0 +1,202 @@
+// Model-checker benchmark: the machine-readable evidence behind the
+// incremental-BMC claims (persistent-session vs stateless check latency on a
+// realistic mined-assertion batch, verdict/counterexample equality).
+// scripts/bench.sh writes its output to BENCH_mc.json.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/core"
+	"goldmine/internal/designs"
+	"goldmine/internal/mc"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// mcBenchDesigns are the designs the incremental benchmark checks: the two
+// arbiters (the paper's running example) and the fetch stage, whose deeper
+// cones make the per-check Tseitin re-encoding the fresh path pays visible.
+var mcBenchDesigns = []string{"arbiter2", "arbiter4", "fetch"}
+
+// mcBenchRounds is how many times each batch is replayed per timing: sessions
+// amortize encoding across a batch, so one round already shows the effect and
+// three keep the wall times out of timer-granularity noise.
+const mcBenchRounds = 3
+
+// mcBenchMaxSuite caps the harvested batch per design so a wide design cannot
+// turn the benchmark into a soak test.
+const mcBenchMaxSuite = 32
+
+// MCBenchDesign is one design's row of the incremental-checking benchmark.
+type MCBenchDesign struct {
+	Design     string `json:"design"`
+	Assertions int    `json:"assertions"`
+	// FreshMS / SessionMS are the wall times for checking the whole batch
+	// (mcBenchRounds times) with a stateless checker vs one persistent
+	// Session; Speedup is their ratio.
+	FreshMS   float64 `json:"fresh_ms"`
+	SessionMS float64 `json:"session_ms"`
+	Speedup   float64 `json:"speedup"`
+	// Reuses and Activations are the session's telemetry counters: solver
+	// states carried across checks and induction properties activated.
+	Reuses      int `json:"session_reuses"`
+	Activations int `json:"session_activations"`
+	// ResultsMatch reports that both paths agreed on status, method, depth,
+	// and the byte-identical canonical counterexample for every assertion.
+	ResultsMatch bool `json:"results_match"`
+}
+
+// MCBenchReport is the full benchmark output.
+type MCBenchReport struct {
+	Designs     []MCBenchDesign `json:"designs"`
+	MeanSpeedup float64         `json:"mean_speedup"`
+	// AllMatch is the conjunction of the per-design equality checks.
+	AllMatch bool `json:"all_results_match"`
+}
+
+// MCAssertionSuite mines a benchmark design once (sequentially, bounded
+// iterations) and returns the harvested candidate assertions — proved,
+// falsified, and unknown alike — as a realistic re-check workload. The batch
+// is deterministic: mining is reproducible and the records keep discovery
+// order.
+func MCAssertionSuite(name string, maxIter int) (*rtl.Design, []*assertion.Assertion, error) {
+	b, err := designs.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := b.Design()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Window = b.Window
+	cfg.Workers = 1
+	if maxIter > 0 {
+		cfg.MaxIterations = maxIter
+	}
+	if CheckTimeout > 0 {
+		cfg.MC.CheckTimeout = CheckTimeout
+	}
+	eng, err := core.NewEngine(d, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var seed sim.Stimulus
+	if b.Directed != nil {
+		seed = b.Directed()
+	}
+	res, err := eng.MineAll(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var suite []*assertion.Assertion
+	for _, out := range res.Outputs {
+		for _, rec := range out.Proved {
+			suite = append(suite, rec.Assertion)
+		}
+		for _, rec := range out.Failed {
+			suite = append(suite, rec.Assertion)
+		}
+		for _, rec := range out.Unknown {
+			suite = append(suite, rec.Assertion)
+		}
+	}
+	if len(suite) > mcBenchMaxSuite {
+		suite = suite[:mcBenchMaxSuite]
+	}
+	if len(suite) == 0 {
+		return nil, nil, fmt.Errorf("%s: mining harvested no assertions", name)
+	}
+	return d, suite, nil
+}
+
+// mcBenchOptions forces the SAT engines (the paths sessions change) so the
+// benchmark measures BMC/induction encoding cost, not the explicit engine.
+func mcBenchOptions() mc.Options {
+	o := mc.DefaultOptions()
+	o.MaxStateBits = 0
+	if CheckTimeout > 0 {
+		o.CheckTimeout = CheckTimeout
+	}
+	return o
+}
+
+// MCBench runs the incremental-checking benchmark and writes the JSON report
+// to w.
+func MCBench(w io.Writer) error {
+	rep := MCBenchReport{AllMatch: true}
+	sum := 0.0
+	for _, name := range mcBenchDesigns {
+		d, suite, err := MCAssertionSuite(name, 4)
+		if err != nil {
+			return err
+		}
+
+		fresh := mc.NewWithOptions(d, mcBenchOptions())
+		var freshRes []*mc.Result
+		start := time.Now()
+		for round := 0; round < mcBenchRounds; round++ {
+			for _, a := range suite {
+				r, err := fresh.Check(a)
+				if err != nil {
+					return fmt.Errorf("%s fresh: %w", name, err)
+				}
+				if round == 0 {
+					freshRes = append(freshRes, r)
+				}
+			}
+		}
+		freshT := time.Since(start)
+
+		sess := mc.NewWithOptions(d, mcBenchOptions()).NewSession()
+		var sessRes []*mc.Result
+		start = time.Now()
+		for round := 0; round < mcBenchRounds; round++ {
+			for _, a := range suite {
+				r, err := sess.Check(a)
+				if err != nil {
+					return fmt.Errorf("%s session: %w", name, err)
+				}
+				if round == 0 {
+					sessRes = append(sessRes, r)
+				}
+			}
+		}
+		sessT := time.Since(start)
+
+		match := true
+		for i := range freshRes {
+			f, s := freshRes[i], sessRes[i]
+			if f.Status != s.Status || f.Method != s.Method || f.Depth != s.Depth || !reflect.DeepEqual(f.Ctx, s.Ctx) {
+				match = false
+			}
+		}
+		row := MCBenchDesign{
+			Design:       name,
+			Assertions:   len(suite),
+			FreshMS:      float64(freshT.Microseconds()) / 1000,
+			SessionMS:    float64(sessT.Microseconds()) / 1000,
+			Reuses:       sess.Reuses,
+			Activations:  sess.Activations,
+			ResultsMatch: match,
+		}
+		if sessT > 0 {
+			row.Speedup = freshT.Seconds() / sessT.Seconds()
+		}
+		rep.Designs = append(rep.Designs, row)
+		rep.AllMatch = rep.AllMatch && match
+		sum += row.Speedup
+	}
+	if len(rep.Designs) > 0 {
+		rep.MeanSpeedup = sum / float64(len(rep.Designs))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -140,6 +140,11 @@ type Options struct {
 	// single shared pool. 0 means no limit. Unlike CheckTimeout this budget
 	// is reproducible, which the degradation tests rely on.
 	MaxWork int64
+	// CoI enables cone-of-influence CNF reduction: the SAT engines encode
+	// only the transitive sequential cone of the signals an assertion
+	// references (lazy unrolling) instead of the whole transition relation.
+	// Sound — see cnf.NewLazyUnroller — and on by default.
+	CoI bool
 }
 
 // DefaultOptions returns sensible limits for benchmark-scale designs.
@@ -151,7 +156,17 @@ func DefaultOptions() Options {
 		MaxExplicitBits: 22,
 		MaxBMCDepth:     24,
 		MaxInduction:    12,
+		CoI:             true,
 	}
+}
+
+// newUnroller builds the CNF unroller the SAT engines use, honouring the CoI
+// option.
+func (c *Checker) newUnroller(s *sat.Solver) *cnf.Unroller {
+	if c.opts.CoI {
+		return cnf.NewLazyUnroller(s, c.d)
+	}
+	return cnf.NewUnroller(s, c.d)
 }
 
 // Checker verifies assertions against one design, caching reachability
@@ -163,9 +178,16 @@ type Checker struct {
 
 	// Explicit-state cache: reachMu guards the one-time fixpoint
 	// construction (and its error memo); the *reachability itself is
-	// immutable once published.
-	reachMu sync.Mutex
-	reach   *reachability
+	// immutable once published. ReachBuilds counts fixpoint constructions —
+	// it stays at 1 however many checks share the cache.
+	reachMu     sync.Mutex
+	reach       *reachability
+	ReachBuilds int
+
+	// stepPool recycles explicit-engine steppers (their comb-order slice and
+	// evaluation environment) across checks. Steppers are single-goroutine;
+	// the pool hands each concurrent check its own.
+	stepPool sync.Pool
 
 	// Statistics, written under statMu. Read them only between checks (no
 	// call in flight) or via Snapshot.
@@ -306,7 +328,11 @@ func (b *budget) slice(frac float64) *budget {
 // solve runs one budgeted SAT call, charging the pool for the propagations
 // consumed. An Unknown verdict comes back with the mapped taxonomy error.
 func (b *budget) solve(s *sat.Solver, assumps ...sat.Lit) (sat.Status, error) {
+	// Reset per-call limits first: a Session reuses one solver across many
+	// budgets, and a stale MaxPropagations from a previous budgeted check
+	// would silently cap an unbudgeted one.
 	s.Deadline = b.deadline
+	s.MaxPropagations = 0
 	if b.workLeft != nil {
 		if *b.workLeft <= 0 {
 			return sat.Unknown, fmt.Errorf("%w: work pool drained", ErrBudgetExceeded)
@@ -337,12 +363,18 @@ func (c *Checker) Check(a *assertion.Assertion) (*Result, error) {
 // degrades along proved -> bounded -> unknown and the cause is recorded in
 // Result.Cause, so callers always receive a usable (if weaker) answer.
 func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result, error) {
+	return c.checkWith(ctx, a, c.dispatch)
+}
+
+// checkWith wraps one check with statistics accounting and the budget
+// envelope; dispatch is either the stateless engine router or a Session's.
+func (c *Checker) checkWith(ctx context.Context, a *assertion.Assertion, dispatch func(*budget, *assertion.Assertion) (*Result, error)) (*Result, error) {
 	start := time.Now()
 	c.statMu.Lock()
 	c.Checks++
 	c.statMu.Unlock()
 	b := c.newBudget(ctx)
-	res, err := c.dispatch(b, a)
+	res, err := dispatch(b, a)
 	if err != nil {
 		if !IsBudget(err) {
 			return nil, err
@@ -369,6 +401,13 @@ func (c *Checker) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result
 // dispatch routes the check to an engine, degrading explicit-state to SAT
 // when the explicit slice of the budget runs out.
 func (c *Checker) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
+	return c.dispatchVia(b, a, c.checkCombinational, c.checkSAT)
+}
+
+// dispatchVia is dispatch with the SAT-based engines supplied by the caller,
+// so a Session can route to its persistent solvers while keeping the engine
+// selection and degradation policy identical to the stateless path.
+func (c *Checker) dispatchVia(b *budget, a *assertion.Assertion, combFn, satFn func(*budget, *assertion.Assertion) (*Result, error)) (*Result, error) {
 	// The explicit engine pins input bits already fixed by the antecedent,
 	// so only the remaining free bits need enumeration. Its work is
 	// (reachable states) x 2^freeBits window simulations; gate on the
@@ -377,13 +416,13 @@ func (c *Checker) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
 	explicitWork := c.d.StateBits() + freeBits
 	switch {
 	case len(c.d.Registers()) == 0:
-		return c.checkCombinational(b, a)
+		return combFn(b, a)
 	case c.ExplicitOK && explicitWork <= c.opts.MaxExplicitBits:
 		// The explicit engine gets half the remaining budget; if that slice
 		// is exhausted the SAT engine inherits what is left.
 		res, err := c.checkExplicit(b.slice(0.5), a)
 		if err != nil && IsBudget(err) {
-			res, err = c.checkSAT(b, a)
+			res, err = satFn(b, a)
 			// A decisive SAT verdict is as good as the explicit one would
 			// have been; only a weaker outcome counts as degraded.
 			if res != nil && (res.Status == StatusBounded || res.Status == StatusUnknown) {
@@ -395,7 +434,7 @@ func (c *Checker) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
 		}
 		return res, err
 	default:
-		return c.checkSAT(b, a)
+		return satFn(b, a)
 	}
 }
 
@@ -439,16 +478,16 @@ func propVal(p assertion.Prop, sig *rtl.Signal, v uint64) uint64 {
 
 func (c *Checker) checkCombinational(b *budget, a *assertion.Assertion) (*Result, error) {
 	s := sat.New()
-	u := cnf.NewUnroller(s, c.d)
+	u := c.newUnroller(s)
 	u.AddFrame()
-	assumps, err := windowAssumptions(u, c.d, a, 0)
+	assumps, err := windowAssumptions(u, c.d, a, 0, nil)
 	if err != nil {
 		return nil, err
 	}
 	st, cause := b.solve(s, assumps...)
 	switch st {
 	case sat.Sat:
-		ctx := sim.Stimulus{u.InputModel(0)}
+		ctx := c.canonicalCtx(b, s, u, assumps, a, 1)
 		return &Result{Status: StatusFalsified, Ctx: ctx, Method: "sat-comb", Depth: 1}, nil
 	case sat.Unsat:
 		return &Result{Status: StatusProved, Method: "sat-comb", Depth: 1}, nil
@@ -464,29 +503,78 @@ func (c *Checker) checkCombinational(b *budget, a *assertion.Assertion) (*Result
 
 // windowAssumptions encodes ant(t0) ∧ ¬cons(t0) as assumption literals for a
 // window starting at frame t0 (all frames must be materialized).
-func windowAssumptions(u *cnf.Unroller, d *rtl.Design, a *assertion.Assertion, t0 int) ([]sat.Lit, error) {
+func windowAssumptions(u *cnf.Unroller, d *rtl.Design, a *assertion.Assertion, t0 int, pc propCache) ([]sat.Lit, error) {
 	var assumps []sat.Lit
 	for _, p := range a.Antecedent {
-		e, err := propExpr(d, p)
+		l, err := propLit(u, d, p, t0+p.Offset, pc)
 		if err != nil {
 			return nil, err
 		}
-		vec, err := u.EncodeExpr(e, t0+p.Offset)
-		if err != nil {
-			return nil, err
-		}
-		assumps = append(assumps, vec[0])
+		assumps = append(assumps, l)
 	}
-	ce, err := propExpr(d, a.Consequent)
+	cl, err := propLit(u, d, a.Consequent, t0+a.Consequent.Offset, pc)
 	if err != nil {
 		return nil, err
 	}
-	cvec, err := u.EncodeExpr(ce, t0+a.Consequent.Offset)
-	if err != nil {
-		return nil, err
-	}
-	assumps = append(assumps, cvec[0].Neg())
+	assumps = append(assumps, cl.Neg())
 	return assumps, nil
+}
+
+// propCache memoizes the literal of "proposition p holds at frame t" for one
+// unroller. Encoding a proposition builds a fresh equality gadget (aux
+// variables plus clauses) each time, which is fine for a throwaway solver but
+// leaks formula growth into a persistent session that re-checks propositions
+// at the same frames across many properties. The cache is keyed by the
+// proposition's value shape and frame, so two structurally equal propositions
+// share one gadget. A nil propCache disables memoization (the stateless
+// paths' unrollers die with the check anyway).
+type propCache map[propKey]sat.Lit
+
+type propKey struct {
+	sig string
+	bit int
+	val uint64
+	t   int
+}
+
+// propLit encodes (or recalls) the single-literal truth of p at frame t.
+func propLit(u *cnf.Unroller, d *rtl.Design, p assertion.Prop, t int, pc propCache) (sat.Lit, error) {
+	k := propKey{sig: p.Signal, bit: p.Bit, val: p.Value, t: t}
+	if l, ok := pc[k]; ok {
+		return l, nil
+	}
+	e, err := propExpr(d, p)
+	if err != nil {
+		return 0, err
+	}
+	vec, err := u.EncodeExpr(e, t)
+	if err != nil {
+		return 0, err
+	}
+	if pc != nil {
+		pc[k] = vec[0]
+	}
+	return vec[0], nil
+}
+
+// windowClause encodes "the property holds at the window starting at t0" as
+// the clause ¬ant(t0) ∨ cons(t0): the induction engines add it as a (possibly
+// activation-guarded) clause.
+func windowClause(u *cnf.Unroller, d *rtl.Design, a *assertion.Assertion, t0 int, pc propCache) ([]sat.Lit, error) {
+	lits := make([]sat.Lit, 0, len(a.Antecedent)+2)
+	for _, p := range a.Antecedent {
+		l, err := propLit(u, d, p, t0+p.Offset, pc)
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, l.Neg())
+	}
+	cl, err := propLit(u, d, a.Consequent, t0+a.Consequent.Offset, pc)
+	if err != nil {
+		return nil, err
+	}
+	lits = append(lits, cl)
+	return lits, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -529,6 +617,17 @@ func newStepper(d *rtl.Design) (*stepper, error) {
 		regs: d.Registers(), ins: d.Inputs(),
 	}, nil
 }
+
+// getStepper hands out a pooled stepper (or builds one). Return it with
+// putStepper when the check is done; the comb order and env map are reused.
+func (c *Checker) getStepper() (*stepper, error) {
+	if v := c.stepPool.Get(); v != nil {
+		return v.(*stepper), nil
+	}
+	return newStepper(c.d)
+}
+
+func (c *Checker) putStepper(st *stepper) { c.stepPool.Put(st) }
 
 // settle loads state and inputs, evaluates combinational logic, and returns
 // the environment for the cycle plus the next state vector.
@@ -601,11 +700,12 @@ func (c *Checker) computeReach(b *budget) (*reachability, error) {
 	if c.explicitErr != nil {
 		return nil, c.explicitErr
 	}
-	st, err := newStepper(c.d)
+	st, err := c.getStepper()
 	if err != nil {
 		c.explicitErr = err
 		return nil, err
 	}
+	defer c.putStepper(st)
 	r := &reachability{
 		regs:   c.d.Registers(),
 		inputs: c.d.Inputs(),
@@ -642,6 +742,7 @@ func (c *Checker) computeReach(b *budget) (*reachability, error) {
 		}
 	}
 	c.reach = r
+	c.ReachBuilds++
 	return r, nil
 }
 
@@ -714,10 +815,11 @@ func (c *Checker) checkExplicit(b *budget, a *assertion.Assertion) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	st, err := newStepper(c.d)
+	st, err := c.getStepper()
 	if err != nil {
 		return nil, err
 	}
+	defer c.putStepper(st)
 	coff := a.Consequent.Offset
 	frames := coff + 1
 
@@ -868,7 +970,7 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 	// BMC gets 60% of the remaining wall budget; induction inherits the rest.
 	bmcBudget := b.slice(0.6)
 	s := sat.New()
-	u := cnf.NewUnroller(s, c.d)
+	u := c.newUnroller(s)
 	for i := 0; i < minFrames; i++ {
 		u.AddFrame()
 	}
@@ -889,16 +991,13 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 			u.AddFrame()
 		}
 		t0 := depth - minFrames // newest window start
-		assumps, err := windowAssumptions(u, c.d, a, t0)
+		assumps, err := windowAssumptions(u, c.d, a, t0, nil)
 		if err != nil {
 			return nil, err
 		}
 		st, cause := bmcBudget.solve(s, assumps...)
 		if st == sat.Sat {
-			ctx := make(sim.Stimulus, 0, depth)
-			for f := 0; f < depth; f++ {
-				ctx = append(ctx, u.InputModel(f))
-			}
+			ctx := c.canonicalCtx(bmcBudget, s, u, assumps, a, depth)
 			return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
 		}
 		if st == sat.Unknown && cause != nil {
@@ -931,37 +1030,20 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 func (c *Checker) inductionStep(b *budget, a *assertion.Assertion, k int) (proved bool, cause, err error) {
 	coff := a.Consequent.Offset
 	s := sat.New()
-	u := cnf.NewUnroller(s, c.d)
+	u := c.newUnroller(s)
 	frames := k + coff + 1
 	for i := 0; i < frames; i++ {
 		u.AddFrame()
 	}
 	// Assume property at windows 0..k-1: (ant -> cons) as clauses.
 	for t0 := 0; t0 < k; t0++ {
-		lits := make([]sat.Lit, 0, len(a.Antecedent)+1)
-		for _, p := range a.Antecedent {
-			e, err := propExpr(c.d, p)
-			if err != nil {
-				return false, nil, err
-			}
-			vec, err := u.EncodeExpr(e, t0+p.Offset)
-			if err != nil {
-				return false, nil, err
-			}
-			lits = append(lits, vec[0].Neg())
-		}
-		ce, err := propExpr(c.d, a.Consequent)
+		lits, err := windowClause(u, c.d, a, t0, nil)
 		if err != nil {
 			return false, nil, err
 		}
-		cvec, err := u.EncodeExpr(ce, t0+coff)
-		if err != nil {
-			return false, nil, err
-		}
-		lits = append(lits, cvec[0])
 		s.AddClause(lits...)
 	}
-	assumps, err := windowAssumptions(u, c.d, a, k)
+	assumps, err := windowAssumptions(u, c.d, a, k, nil)
 	if err != nil {
 		return false, nil, err
 	}

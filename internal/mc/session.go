@@ -1,0 +1,402 @@
+// Incremental model checking: a Session keeps persistent SAT solvers and CNF
+// unrollings alive across checks against one design, so the transition
+// relation is encoded (and its learned clauses earned) once instead of per
+// assertion. Two solver states are maintained:
+//
+//   - bmc: the reset-constrained unrolling shared by every bounded check.
+//     Properties are pure assumption sets (ant ∧ ¬cons window literals), so
+//     nothing has to be retracted between checks — dropping the assumptions
+//     is the retraction.
+//   - ind: the free-initial-state unrolling for k-induction. The "property
+//     holds at windows 0..k-1" hypotheses are real clauses, so each checked
+//     assertion gets a fresh activation literal act: every hypothesis clause
+//     carries ¬act, the step query assumes act, and retiring the assertion is
+//     the unit clause ¬act (the hypotheses become inert tautologies).
+//
+// Both states only ever grow: frames are appended monotonically, and extra
+// frames cannot change the satisfiability of a window query because the
+// transition functions are total (every added frame is definitional). Learned
+// clauses are implied by the clause database alone, so they remain sound
+// across properties — that retention is where the speedup comes from.
+//
+// # Determinism
+//
+// Counterexamples from a persistent solver would depend on solver history
+// (which assertions were checked before this one), breaking both the
+// fresh-vs-incremental equivalence and -j1 ≡ -jN artifact determinism. Both
+// paths therefore canonicalize every counterexample (canonicalCtx): the model
+// is minimized to the lexicographically smallest assignment of the
+// assertion's cone-of-influence input bits, which is a property of the
+// formula, not of the search that found a first model. Verdict statuses are
+// history-independent already: the first SAT depth of the BMC ladder and the
+// first UNSAT k of induction are truths about the encoded formulas.
+//
+// A Session is single-goroutine, like the solvers it owns; the core engine
+// keeps a pool of Sessions and checks out one per in-flight check.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/cnf"
+	"goldmine/internal/cone"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+	"goldmine/internal/sim"
+)
+
+// satState is one persistent solver + unrolling pair.
+type satState struct {
+	s *sat.Solver
+	u *cnf.Unroller
+	// pc memoizes proposition gadgets per frame so re-checking structurally
+	// equal propositions (ubiquitous across a mined suite) reuses literals
+	// instead of growing the persistent formula.
+	pc propCache
+}
+
+// Session is an incremental checking context over one Checker. It reuses the
+// Checker's options, statistics, and explicit-state caches; only the
+// SAT-based engines gain persistent state. Not safe for concurrent use —
+// one Session per goroutine (see the package comment of sat).
+type Session struct {
+	c   *Checker
+	bmc *satState // reset-constrained; properties are assumption-only
+	ind *satState // free initial state; properties under activation literals
+
+	// Activations counts properties encoded into the induction state (each
+	// consumed one activation literal); Reuses counts checks answered by the
+	// persistent states. Advisory, single-goroutine like the Session.
+	Activations int
+	Reuses      int
+}
+
+// NewSession creates an incremental checking context. The underlying solver
+// states are built lazily on first use and rebuilt transparently if a check
+// panics mid-encode (the Session falls back to the stateless path for that
+// check and starts clean on the next).
+func (c *Checker) NewSession() *Session { return &Session{c: c} }
+
+// Checker returns the Session's underlying (shared, stateless) checker.
+func (s *Session) Checker() *Checker { return s.c }
+
+// Check decides the assertion using the persistent solver states.
+func (s *Session) Check(a *assertion.Assertion) (*Result, error) {
+	return s.CheckCtx(context.Background(), a)
+}
+
+// CheckCtx is Checker.CheckCtx routed through the Session's persistent SAT
+// states. Verdicts, counterexamples, and the degradation ladder are identical
+// to the stateless path (enforced by the equivalence tests); only the work to
+// produce them shrinks.
+func (s *Session) CheckCtx(ctx context.Context, a *assertion.Assertion) (*Result, error) {
+	return s.c.checkWith(ctx, a, s.dispatch)
+}
+
+func (s *Session) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
+	res, err := s.c.dispatchVia(b, a, s.checkCombinational, s.checkSAT)
+	if err != nil && errors.Is(err, ErrEngineInternal) {
+		// The persistent state misbehaved and was discarded; decide this
+		// check on the stateless path so one fault costs one rebuild, not a
+		// wrong verdict.
+		return s.c.dispatchVia(b, a, s.c.checkCombinational, s.c.checkSAT)
+	}
+	return res, err
+}
+
+// guard runs fn with the session's panic barrier: a panic inside the
+// persistent-state engines discards both states (they may hold half-encoded
+// clauses) and surfaces as ErrEngineInternal so dispatch can fall back.
+func (s *Session) guard(fn func() (*Result, error)) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.bmc, s.ind = nil, nil
+			res, err = nil, fmt.Errorf("%w: session engine panic: %v", ErrEngineInternal, r)
+		}
+	}()
+	return fn()
+}
+
+func (s *Session) bmcState() *satState {
+	if s.bmc == nil {
+		sol := sat.New()
+		u := s.c.newUnroller(sol)
+		u.InitZero()
+		s.bmc = &satState{s: sol, u: u, pc: propCache{}}
+	} else {
+		s.Reuses++
+	}
+	return s.bmc
+}
+
+func (s *Session) indState() *satState {
+	if s.ind == nil {
+		sol := sat.New()
+		s.ind = &satState{s: sol, u: s.c.newUnroller(sol), pc: propCache{}}
+	}
+	return s.ind
+}
+
+// checkCombinational is the single-frame SAT check against the persistent
+// bmc state (InitZero is a no-op without registers).
+func (s *Session) checkCombinational(b *budget, a *assertion.Assertion) (*Result, error) {
+	return s.guard(func() (*Result, error) {
+		st := s.bmcState()
+		assumps, err := windowAssumptions(st.u, s.c.d, a, 0, st.pc)
+		if err != nil {
+			return nil, err
+		}
+		verdict, cause := b.solve(st.s, assumps...)
+		switch verdict {
+		case sat.Sat:
+			ctx := s.c.canonicalCtx(b, st.s, st.u, assumps, a, 1)
+			return &Result{Status: StatusFalsified, Ctx: ctx, Method: "sat-comb", Depth: 1}, nil
+		case sat.Unsat:
+			return &Result{Status: StatusProved, Method: "sat-comb", Depth: 1}, nil
+		default:
+			if cause != nil {
+				return &Result{Status: StatusUnknown, Method: "sat-comb", Depth: 1, Degraded: true, Cause: cause}, nil
+			}
+			return &Result{Status: StatusBounded, Method: "sat-comb", Depth: 1}, nil
+		}
+	})
+}
+
+// checkSAT is the BMC + k-induction ladder of Checker.checkSAT against the
+// persistent states. The control flow (budget slices, degradation points,
+// method strings, depths) mirrors the stateless path exactly.
+func (s *Session) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
+	return s.guard(func() (*Result, error) {
+		c := s.c
+		coff := a.Consequent.Offset
+		minFrames := coff + 1
+
+		bmcBudget := b.slice(0.6)
+		st := s.bmcState()
+		maxDepth := c.opts.MaxBMCDepth
+		if maxDepth < minFrames {
+			maxDepth = minFrames
+		}
+		bounded := func(lastOK int, cause error) (*Result, error) {
+			if lastOK < minFrames {
+				return nil, cause
+			}
+			return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: lastOK, Degraded: true, Cause: cause}, nil
+		}
+		for depth := minFrames; depth <= maxDepth; depth++ {
+			for st.u.Frames() < depth {
+				st.u.AddFrame()
+			}
+			assumps, err := windowAssumptions(st.u, c.d, a, depth-minFrames, st.pc)
+			if err != nil {
+				return nil, err
+			}
+			verdict, cause := bmcBudget.solve(st.s, assumps...)
+			if verdict == sat.Sat {
+				ctx := c.canonicalCtx(bmcBudget, st.s, st.u, assumps, a, depth)
+				return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
+			}
+			if verdict == sat.Unknown && cause != nil {
+				return bounded(depth-1, cause)
+			}
+		}
+
+		// k-induction against the persistent free-init state. This check's
+		// hypothesis clauses are guarded by a fresh activation literal, which
+		// is retired (unit ¬act) on every exit path below.
+		is := s.indState()
+		act := sat.Lit(is.s.NewVar())
+		s.Activations++
+		defer func() {
+			// Retire this property's hypothesis clauses, then physically drop
+			// them (and any learnt clause subsumed by ¬act) from the clause DB
+			// and watch lists: retired clauses are permanently satisfied, but
+			// until simplified they tax every later propagation on the shared
+			// solver.
+			is.s.AddClause(act.Neg())
+			is.s.Simplify()
+		}()
+		hyp := 0 // hypothesis windows encoded so far for this act
+		for k := 1; k <= c.opts.MaxInduction; k++ {
+			frames := k + coff + 1
+			for is.u.Frames() < frames {
+				is.u.AddFrame()
+			}
+			for ; hyp < k; hyp++ {
+				lits, err := windowClause(is.u, c.d, a, hyp, is.pc)
+				if err != nil {
+					return nil, err
+				}
+				is.s.AddClause(append(lits, act.Neg())...)
+			}
+			assumps, err := windowAssumptions(is.u, c.d, a, k, is.pc)
+			if err != nil {
+				return nil, err
+			}
+			verdict, cause := b.solve(is.s, append([]sat.Lit{act}, assumps...)...)
+			if cause != nil {
+				return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: maxDepth, Degraded: true, Cause: cause}, nil
+			}
+			if verdict == sat.Unsat {
+				return &Result{Status: StatusProved, Method: fmt.Sprintf("k-induction(k=%d)", k), Depth: k}, nil
+			}
+		}
+		return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: maxDepth}, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Canonical counterexamples
+// ---------------------------------------------------------------------------
+
+// coneInputs returns the primary inputs in the union of the sequential cones
+// of every signal the assertion references, sorted by name. Only these bits
+// can influence the assertion, so a counterexample is fully described by
+// their values.
+func (c *Checker) coneInputs(a *assertion.Assertion) []*rtl.Signal {
+	seen := map[*rtl.Signal]bool{}
+	add := func(name string) {
+		sig := c.d.Signal(name)
+		if sig == nil {
+			return
+		}
+		for s := range cone.Of(c.d, sig) {
+			seen[s] = true
+		}
+	}
+	for _, p := range a.Antecedent {
+		add(p.Signal)
+	}
+	add(a.Consequent.Signal)
+	return cone.Inputs(c.d, seen)
+}
+
+// canonicalCtx turns the current satisfying model into the canonical
+// counterexample: the lexicographically smallest assignment of the
+// assertion's cone input bits (frame-major, inputs by name, bits LSB first)
+// that still satisfies the violation query in base. The result is a property
+// of the formula, so the fresh and incremental paths — and every solver
+// history — produce byte-identical stimuli.
+//
+// Minimization is model-guided: bits already 0 in the current model are fixed
+// for free, and each 1-bit costs at most one (cheap, heavily-assumed) solve.
+// Before falling back to per-bit probes, each fresh model gets one batch
+// probe that tries to zero every remaining 1-bit at once — lex-min
+// counterexamples are mostly zeros, so the common case collapses to a single
+// solve. A batch Sat answer is exactly the lex-min tail (the all-zero
+// continuation is minimal by definition); a batch Unsat answer reveals
+// nothing about individual bits, so the loop resumes per-bit probing and the
+// result is unchanged either way.
+// If the budget dies mid-minimization the remaining bits keep the values of
+// the last full model, which still satisfies base plus everything fixed so
+// far — the stimulus stays a genuine counterexample, merely non-canonical
+// (the same wall-clock caveat as every other budget degradation).
+//
+// Must be called immediately after a Sat verdict on s, while the model is
+// readable.
+func (c *Checker) canonicalCtx(b *budget, s *sat.Solver, u *cnf.Unroller, base []sat.Lit, a *assertion.Assertion, depth int) sim.Stimulus {
+	ins := c.coneInputs(a)
+	type ctxBit struct {
+		lit   sat.Lit
+		frame int
+		sig   *rtl.Signal
+		bit   int
+		enc   bool // materialized in the unrolling (otherwise free, canonical 0)
+	}
+	var bits []ctxBit
+	for t := 0; t < depth; t++ {
+		for _, in := range ins {
+			vec, ok := u.InputVecAt(t, in)
+			for bi := 0; bi < in.Width; bi++ {
+				cb := ctxBit{frame: t, sig: in, bit: bi, enc: ok}
+				if ok {
+					cb.lit = vec[bi]
+				}
+				bits = append(bits, cb)
+			}
+		}
+	}
+
+	// Snapshot the current model before any probe solve destroys it.
+	vals := make([]bool, len(bits))
+	for i, cb := range bits {
+		if cb.enc {
+			vals[i] = s.ValueLit(cb.lit)
+		}
+	}
+
+	fixed := make([]sat.Lit, 0, len(base)+len(bits))
+	fixed = append(fixed, base...)
+	batch := true // one batch-zero attempt per model snapshot
+	for i, cb := range bits {
+		if !cb.enc {
+			continue // unconstrained: already at its canonical 0
+		}
+		if !vals[i] {
+			// The current model witnesses satisfiability with this bit 0.
+			fixed = append(fixed, cb.lit.Neg())
+			continue
+		}
+		if batch {
+			batch = false
+			probe := append(fixed[:len(fixed):len(fixed)], cb.lit.Neg())
+			for j := i + 1; j < len(bits); j++ {
+				if bits[j].enc && vals[j] {
+					probe = append(probe, bits[j].lit.Neg())
+				}
+			}
+			verdict, cause := b.solve(s, probe...)
+			if verdict == sat.Unknown || cause != nil {
+				break
+			}
+			if verdict == sat.Sat {
+				// Every remaining 1-bit zeroes at once: the lex-min tail.
+				fixed = append(fixed, cb.lit.Neg())
+				vals[i] = false
+				for j := i + 1; j < len(bits); j++ {
+					if bits[j].enc {
+						vals[j] = s.ValueLit(bits[j].lit)
+					}
+				}
+				continue
+			}
+			// Batch Unsat: no per-bit information — probe this bit alone.
+		}
+		probe := append(fixed[:len(fixed):len(fixed)], cb.lit.Neg())
+		verdict, cause := b.solve(s, probe...)
+		if verdict == sat.Unknown || cause != nil {
+			// Budget died: keep the last model's values for the rest.
+			break
+		}
+		if verdict == sat.Sat {
+			fixed = append(fixed, cb.lit.Neg())
+			vals[i] = false
+			for j := i + 1; j < len(bits); j++ {
+				if bits[j].enc {
+					vals[j] = s.ValueLit(bits[j].lit)
+				}
+			}
+			batch = true // fresh model: a batch attempt may pay off again
+		} else {
+			fixed = append(fixed, cb.lit) // 0 impossible: the bit is 1
+		}
+	}
+
+	ctx := make(sim.Stimulus, depth)
+	for t := range ctx {
+		iv := sim.InputVec{}
+		for _, in := range ins {
+			iv[in.Name] = 0
+		}
+		ctx[t] = iv
+	}
+	for i, cb := range bits {
+		if vals[i] {
+			ctx[cb.frame][cb.sig.Name] |= 1 << uint(cb.bit)
+		}
+	}
+	return ctx
+}

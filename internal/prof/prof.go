@@ -1,0 +1,58 @@
+// Package prof wires runtime/pprof CPU and heap profiling into the
+// command-line tools.
+//
+// The CLIs exit through os.Exit on both the error and the interrupt (exit
+// code 2) paths, which skips deferred calls, so Start returns an explicit
+// stop function the caller must invoke before every exit point. stop is
+// idempotent: defer it for the normal return path and call it again right
+// before os.Exit without double-writing the profiles.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile dump to
+// memPath when the returned stop function runs. Either path may be empty to
+// disable that profile; with both empty, stop is a no-op. On error every
+// resource already acquired is released before returning.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "prof: mem profile:", err)
+					return
+				}
+				defer f.Close()
+				// Bring the heap statistics up to date so the profile shows
+				// live objects, not whatever the last background GC saw.
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "prof: mem profile:", err)
+				}
+			}
+		})
+	}, nil
+}

@@ -1,0 +1,71 @@
+package sat
+
+import "testing"
+
+// phpClauses returns the pigeonhole instance PHP(p, h) as DIMACS-style
+// clauses, so benchmarks can replay the same formula into many solvers.
+func phpClauses(pigeons, holes int) [][]Lit {
+	var cnf [][]Lit
+	lit := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		var c []Lit
+		for h := 0; h < holes; h++ {
+			c = append(c, lit(p, h))
+		}
+		cnf = append(cnf, c)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				cnf = append(cnf, []Lit{-lit(p1, h), -lit(p2, h)})
+			}
+		}
+	}
+	return cnf
+}
+
+// BenchmarkSolverReuse measures the incremental pattern the model checker's
+// Session relies on: one persistent solver answering a stream of queries
+// under changing assumptions. PHP(8,8) is satisfiable (a perfect matching);
+// assuming pigeon 0 into a different hole each call invalidates the saved
+// model, so every iteration runs real propagate/analyze work against warm
+// watcher lists and scratch buffers.
+func BenchmarkSolverReuse(b *testing.B) {
+	const n = 8
+	s := New()
+	for _, c := range phpClauses(n, n) {
+		if _, err := s.AddClause(c...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		force := Lit(0*n + i%n + 1) // pigeon 0 in hole i%n
+		if st := s.Solve(force); st != Sat {
+			b.Fatalf("Solve = %v, want Sat", st)
+		}
+	}
+}
+
+// BenchmarkSolverFresh is the baseline BenchmarkSolverReuse is compared
+// against: the same query stream but a brand-new solver (re-adding every
+// clause) per call, as the pre-Session checker did.
+func BenchmarkSolverFresh(b *testing.B) {
+	const n = 8
+	cnf := phpClauses(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, c := range cnf {
+			if _, err := s.AddClause(c...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		force := Lit(0*n + i%n + 1)
+		if st := s.Solve(force); st != Sat {
+			b.Fatalf("Solve = %v, want Sat", st)
+		}
+	}
+}

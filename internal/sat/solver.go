@@ -98,12 +98,11 @@ type watcher struct {
 }
 
 type varData struct {
-	assign   lbool
-	level    int
-	reason   *clause
-	activity float64
-	phase    bool // saved phase: last assigned polarity
-	seen     bool
+	assign lbool
+	level  int
+	reason *clause
+	phase  bool // saved phase: last assigned polarity
+	seen   bool
 }
 
 // Status is the solver verdict.
@@ -129,14 +128,28 @@ func (s Status) String() string {
 
 // Solver is an incremental CDCL SAT solver.
 type Solver struct {
-	vars    []varData // index 1..n
-	clauses []*clause
-	learnts []*clause
-	watches map[ilit][]watcher
+	vars []varData // index 1..n
+	// activity is EVSIDS variable activity, kept out of varData in a dense
+	// slice of its own: the decision heap's comparisons are the hottest
+	// random-access pattern in the solver, and packing the activities
+	// together keeps them cache-resident.
+	activity []float64 // index 1..n, parallel to vars
+	clauses  []*clause
+	learnts  []*clause
+	// watches is indexed by internal literal (2v / 2v+1): a flat slice
+	// instead of a map keeps the unit-propagation inner loop free of hashing
+	// and map-growth allocations (it is the hottest path of the checker).
+	watches [][]watcher
 
 	trail    []ilit
 	trailLim []int
 	qhead    int
+
+	// analyze/minimize scratch buffers, reused across conflicts so clause
+	// learning allocates only the final learnt clause (exact-sized), not the
+	// append-grown intermediates.
+	learntBuf  []ilit
+	cleanupBuf []int
 
 	varInc   float64
 	claInc   float64
@@ -181,13 +194,14 @@ const pollInterval = 2048
 // New creates an empty solver.
 func New() *Solver {
 	s := &Solver{
-		watches:  map[ilit][]watcher{},
 		varInc:   1,
 		claInc:   1,
 		varDecay: 0.95,
 		claDecay: 0.999,
 	}
 	s.vars = make([]varData, 1) // index 0 unused
+	s.activity = make([]float64, 1)
+	s.watches = make([][]watcher, 2) // ilits 0,1 unused
 	s.order = newActivityHeap(s)
 	return s
 }
@@ -195,6 +209,8 @@ func New() *Solver {
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	s.vars = append(s.vars, varData{})
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
 	v := len(s.vars) - 1
 	s.order.push(v)
 	return v
@@ -363,14 +379,16 @@ func (s *Solver) propagate() *clause {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
-// (asserting literal first) and the backjump level.
+// (asserting literal first) and the backjump level. The returned slice aliases
+// an internal scratch buffer valid until the next analyze call — callers copy
+// it when they keep the clause.
 func (s *Solver) analyze(conflict *clause) ([]ilit, int) {
-	learnt := []ilit{0} // slot 0 for the asserting literal
+	learnt := append(s.learntBuf[:0], 0) // slot 0 for the asserting literal
 	counter := 0
 	var p ilit
 	idx := len(s.trail) - 1
 	c := conflict
-	var cleanup []int
+	cleanup := s.cleanupBuf[:0]
 
 	for {
 		if c.learnt {
@@ -432,6 +450,8 @@ func (s *Solver) analyze(conflict *clause) ([]ilit, int) {
 	for _, v := range cleanup {
 		s.vars[v].seen = false
 	}
+	s.learntBuf = learnt[:0]
+	s.cleanupBuf = cleanup[:0]
 	return learnt, bj
 }
 
@@ -458,10 +478,10 @@ func (s *Solver) redundant(q ilit) bool {
 }
 
 func (s *Solver) bumpVar(v int) {
-	s.vars[v].activity += s.varInc
-	if s.vars[v].activity > 1e100 {
-		for i := 1; i < len(s.vars); i++ {
-			s.vars[i].activity *= 1e-100
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i < len(s.activity); i++ {
+			s.activity[i] *= 1e-100
 		}
 		s.varInc *= 1e-100
 	}
@@ -483,6 +503,21 @@ func (s *Solver) backjump(level int) {
 		return
 	}
 	limit := s.trailLim[level]
+	if level == 0 && len(s.trail)-limit > 64 {
+		// Full restarts between incremental solves undo nearly the whole
+		// trail; rebuilding the order heap in one O(V) pass beats pushing
+		// each variable back individually.
+		for i := len(s.trail) - 1; i >= limit; i-- {
+			vd := &s.vars[s.trail[i].vix()]
+			vd.assign = lUndef
+			vd.reason = nil
+		}
+		s.trail = s.trail[:limit]
+		s.trailLim = s.trailLim[:0]
+		s.qhead = len(s.trail)
+		s.order.rebuild()
+		return
+	}
 	for i := len(s.trail) - 1; i >= limit; i-- {
 		il := s.trail[i]
 		vd := &s.vars[il.vix()]
@@ -510,6 +545,63 @@ func (s *Solver) pickBranch() ilit {
 			return ilit(2*v + 1)
 		}
 	}
+}
+
+// Simplify removes clauses permanently satisfied at decision level 0 from the
+// clause database and the watch lists. It exists for incremental use:
+// retiring a property's activation literal (adding the unit clause ¬act)
+// satisfies every clause guarded by act forever, yet those clauses would keep
+// absorbing watch-list traffic on every later propagation. Simplify reclaims
+// that bandwidth without changing the formula's models. Reason clauses of the
+// level-0 trail are kept so implication records stay intact.
+func (s *Solver) Simplify() {
+	if s.unsat {
+		return
+	}
+	s.backjump(0)
+	if c := s.propagate(); c != nil {
+		s.unsat = true
+		return
+	}
+	filter := func(cs []*clause) []*clause {
+		kept := cs[:0]
+		for _, c := range cs {
+			if s.satisfiedAtZero(c) && !s.locked(c) {
+				s.unwatch(c)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		return kept
+	}
+	s.clauses = filter(s.clauses)
+	s.learnts = filter(s.learnts)
+}
+
+// unwatch removes c's two watcher entries. The watch invariant guarantees a
+// live clause is watched exactly on lits[0] and lits[1], so two targeted
+// list edits replace a sweep over every watch list.
+func (s *Solver) unwatch(c *clause) {
+	for i := 0; i < 2; i++ {
+		key := c.lits[i].neg()
+		ws := s.watches[key]
+		for j := range ws {
+			if ws[j].c == c {
+				s.watches[key] = append(ws[:j], ws[j+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// satisfiedAtZero reports whether a clause holds under the level-0 trail alone.
+func (s *Solver) satisfiedAtZero(c *clause) bool {
+	for _, il := range c.lits {
+		if s.value(il) == lTrue && s.vars[il.vix()].level == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // reduceDB removes half of the least active learnt clauses.
@@ -669,7 +761,10 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *int64) Stat
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+				// analyze returns scratch: copy exactly once, exact-sized.
+				lits := make([]ilit, len(learnt))
+				copy(lits, learnt)
+				c := &clause{lits: lits, learnt: true, activity: s.claInc}
 				s.learnts = append(s.learnts, c)
 				s.Learned++
 				s.watch(c)
@@ -706,6 +801,14 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *int64) Stat
 			}
 		}
 
+		// Full-assignment check by trail length before consulting the heap:
+		// at a Sat verdict the heap is full of stale (already assigned)
+		// entries, and popping them all just to find it empty costs
+		// O(V log V) per solve — the dominant cost of incremental sessions,
+		// whose solvers hold many more variables than any single query uses.
+		if len(s.trail) == len(s.vars)-1 {
+			return Sat
+		}
 		next := s.pickBranch()
 		if next == 0 {
 			return Sat // all variables assigned
@@ -747,17 +850,20 @@ func (s *Solver) String() string {
 // ---------------------------------------------------------------------------
 
 type activityHeap struct {
-	s       *Solver
-	heap    []int
-	indices map[int]int
+	s    *Solver
+	heap []int
+	// indices[v] is v's position in heap, or -1 when absent. A flat slice
+	// instead of a map: pickBranch pops and re-pushes variables on every
+	// decision/backjump, and map hashing dominated that path in profiles.
+	indices []int
 }
 
 func newActivityHeap(s *Solver) *activityHeap {
-	return &activityHeap{s: s, indices: map[int]int{}}
+	return &activityHeap{s: s}
 }
 
 func (h *activityHeap) less(i, j int) bool {
-	return h.s.vars[h.heap[i]].activity > h.s.vars[h.heap[j]].activity
+	return h.s.activity[h.heap[i]] > h.s.activity[h.heap[j]]
 }
 
 func (h *activityHeap) swap(i, j int) {
@@ -797,7 +903,10 @@ func (h *activityHeap) down(i int) {
 }
 
 func (h *activityHeap) push(v int) {
-	if _, in := h.indices[v]; in {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
 		return
 	}
 	h.heap = append(h.heap, v)
@@ -813,17 +922,38 @@ func (h *activityHeap) pop() (int, bool) {
 	last := len(h.heap) - 1
 	h.swap(0, last)
 	h.heap = h.heap[:last]
-	delete(h.indices, v)
+	h.indices[v] = -1
 	if last > 0 {
 		h.down(0)
 	}
 	return v, true
 }
 
+// rebuild reloads the heap with every unassigned variable and restores heap
+// order bottom-up. Floyd's heapify is O(V) against O(V log V) for pushing
+// variables back one at a time, and reloading also drops stale entries for
+// assigned variables so the next solve's pops never sift dead wood.
+func (h *activityHeap) rebuild() {
+	h.heap = h.heap[:0]
+	for len(h.indices) < len(h.s.vars) {
+		h.indices = append(h.indices, -1)
+	}
+	for v := 1; v < len(h.s.vars); v++ {
+		if h.s.vars[v].assign == lUndef {
+			h.indices[v] = len(h.heap)
+			h.heap = append(h.heap, v)
+		} else {
+			h.indices[v] = -1
+		}
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 func (h *activityHeap) update(v int) {
-	if i, in := h.indices[v]; in {
-		h.up(i)
+	if len(h.indices) > v && h.indices[v] >= 0 {
+		h.up(h.indices[v])
 		h.down(h.indices[v])
-		_ = i
 	}
 }

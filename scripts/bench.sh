@@ -6,12 +6,20 @@
 # Fields per design: seq_ms / par_ms / warm_ms wall times, speedup
 # (seq/par; bounded by the host's core count — ~1x on a single-CPU machine),
 # cache hit rates, and the -j1 ≡ -jN determinism check.
+#
+# Also writes BENCH_mc.json (override with $2): fresh-checker vs persistent
+# mc.Session wall times over mined assertion suites, per-design speedups, and
+# the fresh ≡ session verdict/counterexample equality check.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sched.json}"
+out2="${2:-BENCH_mc.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
 echo "bench: wrote $out (workers=$jobs)"
+
+go run ./cmd/experiments -mc-bench "$out2"
+echo "bench: wrote $out2"

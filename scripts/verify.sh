@@ -41,4 +41,25 @@ if ! diff "$tmpbin/j1.art" "$tmpbin/j4.art"; then
 fi
 echo "smoke: -j 4 artifacts identical to -j 1 ($(cat "$tmpbin/sched.txt"))"
 
+echo "== cross-check: incremental sessions match the stateless checker (race) =="
+# Every bundled design, race-enabled binary, with the incremental session +
+# cone-of-influence path diffed against the stateless full-encode path.
+# Verdicts and counterexamples must be byte-identical; only the total: wall
+# clock line may differ. -max-iter 8 bounds the refinement loop so the sweep
+# stays a few minutes under the race detector (both modes use the same bound,
+# so the comparison is unaffected).
+go build -race -o "$tmpbin/goldmine_race" ./cmd/goldmine
+for d in $("$tmpbin/goldmine" -list | while read -r name _; do echo "$name"; done); do
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -incremental=false -coi=false >"$tmpbin/fresh.txt"
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 >"$tmpbin/incr.txt"
+    grep -v '^total:' "$tmpbin/fresh.txt" >"$tmpbin/fresh.art"
+    grep -v '^total:' "$tmpbin/incr.txt" >"$tmpbin/incr.art"
+    if ! diff "$tmpbin/fresh.art" "$tmpbin/incr.art" >/dev/null; then
+        echo "cross-check: FAILED ($d: incremental artifacts differ from stateless)" >&2
+        diff "$tmpbin/fresh.art" "$tmpbin/incr.art" | head >&2
+        exit 1
+    fi
+    echo "cross-check: $d OK"
+done
+
 echo "verify: OK"
