@@ -9,6 +9,7 @@ package goldmine
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"goldmine/internal/sched"
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
+	"goldmine/internal/telemetry"
 	"goldmine/internal/trace"
 )
 
@@ -183,7 +185,7 @@ func BenchmarkRefinementLoop(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := eng.MineOutputByName("gnt0", 0, nil)
+		res, err := eng.MineOutputByName(context.Background(), "gnt0", 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +211,7 @@ func BenchmarkRefinementLoopBudgeted(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := eng.MineOutputByName("gnt0", 0, nil)
+		res, err := eng.MineOutputByName(context.Background(), "gnt0", 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -324,7 +326,7 @@ func benchMine(b *testing.B, benchName, output string, bit int, cfg core.Config,
 			b.Fatal(err)
 		}
 		sig := d.Signal(output)
-		if _, err := eng.MineOutput(sig, bit, nil); err != nil {
+		if _, err := eng.MineOutput(context.Background(), sig, bit, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -417,7 +419,7 @@ func BenchmarkMineAllParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := eng.MineAll(nil); err != nil {
+				if _, err := eng.MineAll(context.Background(), nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -461,7 +463,7 @@ func BenchmarkVerdictCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := warm.MineAll(seed); err != nil {
+		if _, err := warm.MineAll(context.Background(), seed); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -470,7 +472,62 @@ func BenchmarkVerdictCache(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := eng.MineAll(seed); err != nil {
+			if _, err := eng.MineAll(context.Background(), seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMineAllTelemetry measures the observability layer's cost on a full
+// mining run of the fetch stage (the design whose checks exercise every span
+// kind: BMC frames, induction steps, SAT solves, context canonicalization).
+// "off" is the nil-tracer fast path — structurally identical code, every
+// telemetry call a nil-receiver no-op; "metrics" keeps counters/histograms
+// without a journal; "journal" additionally streams JSONL to a discarding
+// sink. Metrics-only should sit within noise of "off"; the full journal
+// costs in proportion to event volume (see BENCH_telemetry.json for the
+// scripted measurement and DESIGN.md §4.4 for the envelope).
+func BenchmarkMineAllTelemetry(b *testing.B) {
+	bench, err := designs.Get("fetch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := bench.Design()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mineRun := func(b *testing.B, tr func() *telemetry.Tracer) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			eng, err := core.NewOptions().Window(bench.Window).Telemetry(tr()).Engine(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.MineAll(context.Background(), bench.Directed()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		mineRun(b, func() *telemetry.Tracer { return nil })
+	})
+	b.Run("metrics", func(b *testing.B) {
+		mineRun(b, func() *telemetry.Tracer {
+			return telemetry.New(telemetry.NewRegistry(), nil)
+		})
+	})
+	b.Run("journal", func(b *testing.B) {
+		var tracers []*telemetry.Tracer
+		mineRun(b, func() *telemetry.Tracer {
+			t := telemetry.New(telemetry.NewRegistry(),
+				telemetry.NewJournal(io.Discard, telemetry.DefaultJournalBuffer))
+			tracers = append(tracers, t)
+			return t
+		})
+		b.StopTimer()
+		for _, t := range tracers {
+			if err := t.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}

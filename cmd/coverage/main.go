@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +62,7 @@ func run(design string, cycles int, seed int64, withGoldmine, listUncovered bool
 		for _, name := range b.KeyOutputs {
 			sig := d.Signal(name)
 			for bit := 0; bit < sig.Width; bit++ {
-				res, err := eng.MineOutput(sig, bit, seedStim)
+				res, err := eng.MineOutput(context.Background(), sig, bit, seedStim)
 				if err != nil {
 					return err
 				}

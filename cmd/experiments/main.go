@@ -24,6 +24,7 @@ import (
 
 	"goldmine/internal/experiments"
 	"goldmine/internal/prof"
+	"goldmine/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; tables are identical for any value)")
 		schedBench = flag.String("sched-bench", "", "run the scheduler benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		mcBench    = flag.String("mc-bench", "", "run the incremental model-checking benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		telBench   = flag.String("telemetry-bench", "", "run the telemetry overhead benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		telOut     = flag.String("telemetry", "", "write a JSONL telemetry journal of the whole run to this file")
+		metrics    = flag.Bool("metrics-summary", false, "print the aggregated metrics snapshot as JSON to stderr on exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -62,6 +66,42 @@ func main() {
 	experiments.CheckTimeout = *checkTO
 	experiments.Workers = *workers
 
+	// os.Exit skips defers, so the telemetry flush (like the profile stop)
+	// runs explicitly on the error and interrupt exit paths too.
+	flushTel := func() {}
+	if *telOut != "" || *metrics {
+		var j *telemetry.Journal
+		if *telOut != "" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				fail("experiments: %v", err)
+			}
+			j = telemetry.NewJournal(f, telemetry.DefaultJournalBuffer)
+		}
+		tel := telemetry.New(telemetry.NewRegistry(), j)
+		experiments.Telemetry = tel
+		flushed := false
+		flushTel = func() {
+			if flushed {
+				return
+			}
+			flushed = true
+			tel.EmitSnapshot()
+			if err := tel.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+			if *metrics {
+				_ = tel.Registry().Snapshot().WriteJSON(os.Stderr)
+			}
+		}
+		defer flushTel()
+		prevFail := fail
+		fail = func(format string, args ...any) {
+			flushTel()
+			prevFail(format, args...)
+		}
+	}
+
 	benchTo := func(path string, run func(io.Writer) error, what string) {
 		var out io.Writer = os.Stdout
 		if path != "-" {
@@ -82,6 +122,10 @@ func main() {
 	}
 	if *mcBench != "" {
 		benchTo(*mcBench, experiments.MCBench, "mc-bench")
+		return
+	}
+	if *telBench != "" {
+		benchTo(*telBench, experiments.TelemetryBench, "telemetry-bench")
 		return
 	}
 
@@ -130,12 +174,18 @@ func main() {
 			fmt.Printf("(%s completed in %.2fs)\n\n", e.Name, time.Since(start).Seconds())
 			completed++
 		case <-ctx.Done():
+			// The abandoned goroutine's open spans will never End, so the
+			// journal records the abandonment; telcheck reads this event and
+			// demotes the resulting missing-parent links to warnings.
+			experiments.Telemetry.Event("run.abandoned",
+				telemetry.String("experiment", e.Name))
 			fmt.Fprintf(os.Stderr, "experiments: %s abandoned after %.2fs\n", e.Name, time.Since(start).Seconds())
 		}
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "experiments: interrupted — %d/%d experiments completed (tables above are final)\n",
 			completed, len(targets))
+		flushTel()
 		stopProf()
 		os.Exit(2)
 	}

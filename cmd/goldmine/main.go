@@ -30,6 +30,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
+	"goldmine/internal/telemetry"
 )
 
 // errInterrupted reports a run cut short by SIGINT/SIGTERM or -timeout. The
@@ -59,6 +60,8 @@ func main() {
 		schedOut = flag.Bool("sched-stats", false, "print scheduler/cache telemetry to stderr (advisory, non-deterministic)")
 		incr     = flag.Bool("incremental", true, "reuse persistent SAT solver sessions across checks (verdicts and counterexamples are identical either way)")
 		coi      = flag.Bool("coi", true, "cone-of-influence CNF reduction: encode only the logic each assertion can observe")
+		telOut   = flag.String("telemetry", "", "write a JSONL telemetry journal (spans, events, final metrics snapshot) to this file")
+		metrics  = flag.Bool("metrics-summary", false, "print the metrics snapshot (counters, gauges, histograms) to stderr on exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -93,6 +96,8 @@ func main() {
 		batched: *batched, fullCtx: *full, printTree: *tree,
 		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
 		incremental: *incr, coi: *coi,
+		telemetry: *telOut, metricsSummary: *metrics,
+		timeout: *timeout,
 	}
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "goldmine:", err)
@@ -112,14 +117,59 @@ type runOpts struct {
 	seed, format         string
 	maxIter              int
 	checkTO              time.Duration
+	timeout              time.Duration
 	workers              int
 	batched, fullCtx     bool
 	printTree, reduce    bool
 	minimize, schedOut   bool
 	incremental, coi     bool
+	telemetry            string
+	metricsSummary       bool
+}
+
+// validate rejects contradictory or out-of-range flag combinations up front,
+// with errors that name the flags, instead of letting a bad knob surface as a
+// confusing mining result (or be silently ignored) deep in the run.
+func (o runOpts) validate() error {
+	switch {
+	case o.design != "" && o.file != "":
+		return fmt.Errorf("-design and -file are mutually exclusive; pass one")
+	case o.design == "" && o.file == "":
+		return fmt.Errorf("need -design or -file (use -list for benchmarks)")
+	}
+	if o.bit >= 0 && o.output == "" {
+		return fmt.Errorf("-bit %d needs -output to name the signal it indexes", o.bit)
+	}
+	if o.window < -1 {
+		return fmt.Errorf("-window must be >= 0 (or omitted for the benchmark default), got %d", o.window)
+	}
+	if o.maxIter < 1 {
+		return fmt.Errorf("-max-iter must be >= 1, got %d", o.maxIter)
+	}
+	if o.workers < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", o.workers)
+	}
+	if o.checkTO < 0 {
+		return fmt.Errorf("-check-timeout must be >= 0, got %v", o.checkTO)
+	}
+	if o.timeout > 0 && o.checkTO > o.timeout {
+		return fmt.Errorf("-check-timeout %v exceeds -timeout %v: the per-check budget could never fire", o.checkTO, o.timeout)
+	}
+	switch o.format {
+	case "ltl", "sva", "psl":
+	default:
+		return fmt.Errorf("-format must be ltl, sva or psl, got %q", o.format)
+	}
+	if o.telemetry != "" && o.telemetry == o.file {
+		return fmt.Errorf("-telemetry would overwrite the -file design source %q", o.telemetry)
+	}
+	return nil
 }
 
 func run(ctx context.Context, o runOpts) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
 	var d *rtl.Design
 	var bench *designs.Benchmark
 	var err error
@@ -146,18 +196,34 @@ func run(ctx context.Context, o runOpts) error {
 		return fmt.Errorf("need -design or -file (use -list for benchmarks)")
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.MaxIterations = o.maxIter
-	cfg.BatchedChecks = o.batched
-	cfg.AddFullCtxTrace = o.fullCtx
-	cfg.Workers = o.workers
-	cfg.Incremental = o.incremental
-	cfg.MC.CoI = o.coi
-	cfg.MC.CheckTimeout = o.checkTO
+	// The flags map 1:1 onto the builder's setters; Build (inside Engine)
+	// rejects anything validate above missed at the library level.
+	copts := core.NewOptions().
+		MaxIterations(o.maxIter).
+		Batched(o.batched).
+		FullCtxTrace(o.fullCtx).
+		Workers(o.workers).
+		Incremental(o.incremental).
+		CoI(o.coi).
+		CheckTimeout(o.checkTO)
 	if o.window >= 0 {
-		cfg.Window = o.window
+		copts.Window(o.window)
 	} else if bench != nil {
-		cfg.Window = bench.Window
+		copts.Window(bench.Window)
+	}
+
+	var tel *telemetry.Tracer
+	if o.telemetry != "" || o.metricsSummary {
+		var j *telemetry.Journal
+		if o.telemetry != "" {
+			f, err := os.Create(o.telemetry)
+			if err != nil {
+				return err
+			}
+			j = telemetry.NewJournal(f, telemetry.DefaultJournalBuffer)
+		}
+		tel = telemetry.New(telemetry.NewRegistry(), j)
+		copts.Telemetry(tel)
 	}
 
 	stim, err := seedStimulus(d, bench, o.seed)
@@ -165,9 +231,23 @@ func run(ctx context.Context, o runOpts) error {
 		return err
 	}
 
-	eng, err := core.NewEngine(d, cfg)
+	eng, err := copts.Engine(d)
 	if err != nil {
 		return err
+	}
+	if tel != nil {
+		// The journal ends with a full metrics snapshot plus the accounting
+		// trailer; the optional summary goes to stderr so the artifacts on
+		// stdout stay byte-identical with telemetry on or off.
+		defer func() {
+			tel.EmitSnapshot()
+			if err := tel.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "goldmine:", err)
+			}
+			if o.metricsSummary {
+				_ = tel.Registry().Snapshot().WriteJSON(os.Stderr)
+			}
+		}()
 	}
 
 	var targets []core.Target
@@ -195,7 +275,7 @@ func run(ctx context.Context, o runOpts) error {
 	// Mine every target (in parallel for -j > 1), then print in target order:
 	// the output below is byte-identical for any -j value. On SIGINT/-timeout
 	// the engine drains cleanly and everything mined so far is still flushed.
-	all, err := eng.MineTargetsCtx(ctx, targets, stim)
+	all, err := eng.MineTargets(ctx, targets, stim)
 	if err != nil {
 		return err
 	}

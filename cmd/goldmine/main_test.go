@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
 )
 
 func TestRunDesign(t *testing.T) {
@@ -106,5 +110,97 @@ func TestStimString(t *testing.T) {
 	s := stimString(sim.Stimulus{{"a": 1, "b": 0}, {}})
 	if s == "" {
 		t.Error("empty stim string")
+	}
+}
+
+// TestValidateFlags covers the contradictory-flag rejection added with the
+// Options builder: each bad combination must be refused up front with a
+// message naming the offending flag, before any design is loaded.
+func TestValidateFlags(t *testing.T) {
+	ok := runOpts{
+		design: "arbiter2", bit: -1, window: -1,
+		seed: "directed", format: "ltl", maxIter: 8, workers: 1,
+	}
+	if err := ok.validate(); err != nil {
+		t.Fatalf("valid opts rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*runOpts)
+		want string
+	}{
+		{"design and file", func(o *runOpts) { o.file = "x.v" }, "mutually exclusive"},
+		{"neither design nor file", func(o *runOpts) { o.design = "" }, "-design or -file"},
+		{"bit without output", func(o *runOpts) { o.bit = 2 }, "-bit"},
+		{"negative window", func(o *runOpts) { o.window = -2 }, "-window"},
+		{"zero max-iter", func(o *runOpts) { o.maxIter = 0 }, "-max-iter"},
+		{"zero workers", func(o *runOpts) { o.workers = 0 }, "-j"},
+		{"negative check timeout", func(o *runOpts) { o.checkTO = -time.Second }, "-check-timeout"},
+		{"check timeout above timeout", func(o *runOpts) {
+			o.timeout = time.Second
+			o.checkTO = 2 * time.Second
+		}, "exceeds -timeout"},
+		{"unknown format", func(o *runOpts) { o.format = "uvm" }, "-format"},
+		{"telemetry clobbers source", func(o *runOpts) {
+			o.design, o.file = "", "d.v"
+			o.telemetry = "d.v"
+		}, "-telemetry"},
+	}
+	for _, tc := range cases {
+		o := ok
+		tc.mut(&o)
+		err := o.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunTelemetryJournal runs a full mine with -telemetry and checks the
+// journal is complete: parseable JSONL, a close trailer, and at least one
+// span from each refinement-loop layer the design exercises.
+func TestRunTelemetryJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	o := runOpts{
+		design: "arbiter2", bit: -1, window: -1,
+		seed: "directed", format: "ltl", maxIter: 8, workers: 1,
+		incremental: true, coi: true, telemetry: path,
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has only %d lines", len(lines))
+	}
+	seen := map[string]bool{}
+	var last telemetry.JSONEvent
+	for i, ln := range lines {
+		var e telemetry.JSONEvent
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d unparseable: %v", i+1, err)
+		}
+		seen[e.Kind+":"+e.Name] = true
+		last = e
+	}
+	if last.Kind != telemetry.KindClose {
+		t.Fatalf("journal does not end with the close trailer (got %q)", last.Kind)
+	}
+	for _, want := range []string{
+		"span:mine.run", "span:mine.output", "span:mine.iteration",
+		"span:mc.check", "span:sched.cache_probe", "span:sim.run",
+		"snapshot:metrics",
+	} {
+		if !seen[want] {
+			t.Errorf("journal lacks %s", want)
+		}
 	}
 }

@@ -1,0 +1,216 @@
+// Command telcheck validates a goldmine telemetry journal (the JSONL file
+// written by goldmine -telemetry / experiments -telemetry).
+//
+// Usage:
+//
+//	telcheck [-require mine.run,mc.check,...] [journal.jsonl]
+//
+// With no file argument the journal is read from stdin. telcheck verifies
+// that every line parses as a journal record with a known kind, that span
+// identifiers are unique and every span's parent resolves to another span in
+// the journal with the child's interval nested inside the parent's, and that
+// the file ends with the close trailer whose written count matches the lines
+// actually present. Each -require name must appear as at least one span or
+// event. On success it prints a per-name summary and exits 0; any violation
+// is reported to stderr and exits 1.
+//
+// A journal recorded under backpressure may have dropped events (the trailer
+// says how many); parent links into dropped spans are then reported as
+// warnings rather than failures, since the loss is accounted for. The same
+// demotion applies when the journal carries a "run.abandoned" event: the
+// producer cut a stalled experiment loose, so that experiment's open spans
+// were never flushed and their children legitimately lack parents.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"goldmine/internal/telemetry"
+)
+
+// tsSlackUS absorbs the microsecond truncation of wall-clock timestamps when
+// checking that a child span's interval nests inside its parent's.
+const tsSlackUS = 1000
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("telcheck", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	require := fs.String("require", "", "comma-separated span/event names that must each appear at least once")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	in := io.Reader(os.Stdin)
+	src := "<stdin>"
+	if fs.NArg() > 1 {
+		fmt.Fprintln(errw, "telcheck: at most one journal file")
+		return 1
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(errw, "telcheck:", err)
+			return 1
+		}
+		defer f.Close()
+		in, src = f, fs.Arg(0)
+	}
+
+	var (
+		spans     = map[uint64]telemetry.JSONEvent{}
+		seenNames = map[string]int{}
+		events    int
+		snapshots int
+		lines     int
+		abandoned int
+		trailer   *telemetry.JSONEvent
+		failures  int
+	)
+	bad := func(line int, format string, a ...any) {
+		fmt.Fprintf(errw, "telcheck: %s:%d: %s\n", src, line, fmt.Sprintf(format, a...))
+		failures++
+	}
+
+	sc := bufio.NewScanner(in)
+	// Snapshot lines carry the whole metrics dump on one line; give the
+	// scanner room well past the default 64 KiB token limit.
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		lines++
+		if trailer != nil {
+			bad(lines, "record after the close trailer")
+			trailer = nil // report once; keep validating the rest
+		}
+		var e telemetry.JSONEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			bad(lines, "unparseable line: %v", err)
+			continue
+		}
+		switch e.Kind {
+		case telemetry.KindSpan:
+			if e.Span == 0 {
+				bad(lines, "span record without a span id")
+				continue
+			}
+			if _, dup := spans[e.Span]; dup {
+				bad(lines, "duplicate span id %d", e.Span)
+				continue
+			}
+			spans[e.Span] = e
+			seenNames[e.Name]++
+		case telemetry.KindEvent:
+			events++
+			seenNames[e.Name]++
+			if e.Name == "run.abandoned" {
+				abandoned++
+			}
+		case telemetry.KindSnapshot:
+			snapshots++
+		case telemetry.KindClose:
+			t := e
+			trailer = &t
+		default:
+			bad(lines, "unknown record kind %q", e.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(errw, "telcheck:", err)
+		return 1
+	}
+
+	dropped := int64(0)
+	if trailer == nil {
+		bad(lines, "journal has no close trailer (run cut short?)")
+	} else {
+		written := attrInt(trailer.Attrs, "written", -1)
+		dropped = attrInt(trailer.Attrs, "dropped", -1)
+		if written < 0 || dropped < 0 {
+			bad(lines, "close trailer lacks written/dropped accounting")
+		} else if int(written) != lines-1 {
+			bad(lines, "trailer says %d records written, file has %d", written, lines-1)
+		}
+	}
+
+	// Span-tree well-formedness: parents resolve, intervals nest. A parent
+	// lost to backpressure (trailer owns up to drops) or to an abandoned
+	// experiment (journal carries run.abandoned) is only a warning.
+	orphanWarnings := 0
+	for id, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		par, ok := spans[sp.Parent]
+		if !ok {
+			if dropped > 0 || abandoned > 0 {
+				orphanWarnings++
+				continue
+			}
+			bad(lines, "span %d (%s) references missing parent %d", id, sp.Name, sp.Parent)
+			continue
+		}
+		cs, ce := sp.TS, sp.TS+sp.DurUS
+		ps, pe := par.TS, par.TS+par.DurUS
+		if cs < ps-tsSlackUS || ce > pe+tsSlackUS {
+			bad(lines, "span %d (%s) [%d,%d] extends outside parent %d (%s) [%d,%d]",
+				id, sp.Name, cs, ce, sp.Parent, par.Name, ps, pe)
+		}
+	}
+
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && seenNames[name] == 0 {
+				bad(lines, "required name %q never appears", name)
+			}
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(errw, "telcheck: %s: %d failure(s)\n", src, failures)
+		return 1
+	}
+
+	names := make([]string, 0, len(seenNames))
+	for n := range seenNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "telcheck: %s OK — %d records: %d spans, %d events, %d snapshot(s), %d dropped",
+		src, lines, len(spans), events, snapshots, dropped)
+	if orphanWarnings > 0 {
+		fmt.Fprintf(out, " (%d parent link(s) lost to drops/abandonment)", orphanWarnings)
+	}
+	fmt.Fprintln(out)
+	for _, n := range names {
+		fmt.Fprintf(out, "  %-24s %d\n", n, seenNames[n])
+	}
+	return 0
+}
+
+// attrInt reads a numeric attribute from a decoded attrs map (JSON numbers
+// arrive as float64).
+func attrInt(attrs map[string]any, key string, def int64) int64 {
+	v, ok := attrs[key]
+	if !ok {
+		return def
+	}
+	switch n := v.(type) {
+	case float64:
+		return int64(n)
+	case int64:
+		return n
+	default:
+		return def
+	}
+}

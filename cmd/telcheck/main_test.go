@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldmine/internal/telemetry"
+)
+
+// journalFile records a real tracer session to a temp file and returns its
+// path: a root span with two children, one point event, a snapshot, and the
+// close trailer.
+func journalFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f, 64)
+	tr := telemetry.New(telemetry.NewRegistry(), j)
+	root := tr.Root("mine.run")
+	c1 := root.Child("mine.output")
+	c1.Child("mc.check").End()
+	c1.End()
+	root.End()
+	tr.Event("sched.steal", telemetry.Int("task", 3))
+	tr.EmitSnapshot()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTelcheckValid(t *testing.T) {
+	path := journalFile(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-require", "mine.run,mc.check,sched.steal", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "OK") || !strings.Contains(out.String(), "3 spans") {
+		t.Errorf("unexpected summary: %s", out.String())
+	}
+}
+
+func TestTelcheckMissingRequired(t *testing.T) {
+	path := journalFile(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-require", "sat.solve", path}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "sat.solve") {
+		t.Errorf("stderr does not name the missing span: %s", errw.String())
+	}
+}
+
+func TestTelcheckTruncatedJournal(t *testing.T) {
+	path := journalFile(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	trunc := filepath.Join(t.TempDir(), "trunc.jsonl")
+	if err := os.WriteFile(trunc, append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{trunc}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 for a journal without its trailer", code)
+	}
+	if !strings.Contains(errw.String(), "trailer") {
+		t.Errorf("stderr does not mention the trailer: %s", errw.String())
+	}
+}
+
+func TestTelcheckOrphanSpan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "orphan.jsonl")
+	content := `{"ts_us":100,"kind":"span","name":"child","span":2,"parent":9,"dur_us":5}
+{"ts_us":200,"kind":"close","attrs":{"written":1,"dropped":0}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{path}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 for an orphan span with zero drops", code)
+	}
+	if !strings.Contains(errw.String(), "missing parent") {
+		t.Errorf("stderr does not report the orphan: %s", errw.String())
+	}
+}
+
+func TestTelcheckAbandonedRunOrphans(t *testing.T) {
+	// When the producer cut a stalled experiment loose (run.abandoned event),
+	// spans whose parents never flushed are warnings, not failures.
+	path := filepath.Join(t.TempDir(), "abandoned.jsonl")
+	content := `{"ts_us":100,"kind":"span","name":"child","span":2,"parent":9,"dur_us":5}
+{"ts_us":150,"kind":"event","name":"run.abandoned","attrs":{"experiment":"fig13"}}
+{"ts_us":200,"kind":"close","attrs":{"written":2,"dropped":0}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, want 0 for orphans in an abandoned run: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "parent link(s) lost") {
+		t.Errorf("stdout does not note the demoted orphan: %s", out.String())
+	}
+}
+
+func TestTelcheckBadNesting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nest.jsonl")
+	// Child interval [100, 99100] extends far past parent [50, 10050].
+	content := `{"ts_us":100,"kind":"span","name":"child","span":2,"parent":1,"dur_us":99000}
+{"ts_us":50,"kind":"span","name":"root","span":1,"dur_us":10000}
+{"ts_us":200,"kind":"close","attrs":{"written":2,"dropped":0}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{path}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d, want 1 for a child escaping its parent's interval", code)
+	}
+	if !strings.Contains(errw.String(), "outside parent") {
+		t.Errorf("stderr does not report the nesting violation: %s", errw.String())
+	}
+}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -37,7 +39,7 @@ func main() {
 	fmt.Printf("design: %s, mining window %d, directed seed of %d cycles\n\n",
 		design.Name, cfg.Window, len(seed))
 
-	res, err := engine.MineOutputByName("gnt0", 0, seed)
+	res, err := engine.MineOutputByName(context.Background(), "gnt0", 0, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

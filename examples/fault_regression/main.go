@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -38,7 +40,7 @@ func main() {
 
 	seed := stimgen.Random(design, 64, 5, 2)
 	fmt.Println("mining regression assertions for fetch.valid ...")
-	res, err := engine.MineOutputByName("valid", 0, seed)
+	res, err := engine.MineOutputByName(context.Background(), "valid", 0, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -53,7 +55,7 @@ func main() {
 		for _, out := range b.KeyOutputs {
 			sig := d.Signal(out)
 			for bit := 0; bit < sig.Width; bit++ {
-				res, err := eng.MineOutput(sig, bit, seed)
+				res, err := eng.MineOutput(context.Background(), sig, bit, seed)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -33,7 +35,7 @@ func main() {
 
 	// Zero-pattern start: the miner begins from "busy is always 0" and lets
 	// counterexamples discover the design's behaviour.
-	res, err := engine.MineOutputByName("busy", 0, nil)
+	res, err := engine.MineOutputByName(context.Background(), "busy", 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -42,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := engine.MineOutputByName("gnt", 0, nil)
+		res, err := engine.MineOutputByName(context.Background(), "gnt", 0, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,8 @@ package goldmine
 //     assertion it was generated for (ctx means ctx).
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -87,7 +89,7 @@ func mineBenchmark(t *testing.T, name string, outputs []string, maxIter int) (*r
 			t.Fatalf("%s: no output %s", name, out)
 		}
 		for bit := 0; bit < sig.Width; bit++ {
-			res, err := eng.MineOutput(sig, bit, seed)
+			res, err := eng.MineOutput(context.Background(), sig, bit, seed)
 			if err != nil {
 				t.Fatalf("%s.%s[%d]: %v", name, out, bit, err)
 			}

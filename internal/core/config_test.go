@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/sim"
@@ -10,7 +12,7 @@ func TestBatchedChecksConverges(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.BatchedChecks = true
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,14 +29,14 @@ func TestBatchedMatchesImmediateVerdicts(t *testing.T) {
 	// proved assertion from one mode must hold in the other mode's run
 	// (cross-validated through the model checker).
 	imm := mustEngine(t, arbiterSrc, DefaultConfig())
-	resImm, err := imm.MineOutputByName("gnt0", 0, paperSeed())
+	resImm, err := imm.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgB := DefaultConfig()
 	cfgB.BatchedChecks = true
 	bat := mustEngine(t, arbiterSrc, cfgB)
-	resBat, err := bat.MineOutputByName("gnt0", 0, paperSeed())
+	resBat, err := bat.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestSignalConeStillConverges(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SignalCone = true
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +71,14 @@ module m(input clk, input [7:0] bus, input en, output reg y);
 endmodule`
 	bitCfg := DefaultConfig()
 	eBit := mustEngine(t, src, bitCfg)
-	resBit, err := eBit.MineOutputByName("y", 0, nil)
+	resBit, err := eBit.MineOutputByName(context.Background(), "y", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sigCfg := DefaultConfig()
 	sigCfg.SignalCone = true
 	eSig := mustEngine(t, src, sigCfg)
-	resSig, err := eSig.MineOutputByName("y", 0, nil)
+	resSig, err := eSig.MineOutputByName(context.Background(), "y", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestMaxChecksCapsRefinement(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxChecks = 2
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestMaxIterationsCap(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxIterations = 1
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestWindowZeroOnSequentialDesign(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Window = 0
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestWindowZeroOnSequentialDesign(t *testing.T) {
 
 func TestSuiteAggregation(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineAll(paperSeed())
+	res, err := e.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+// Deprecated context-free entry points, kept for one release while callers
+// migrate to the context-first Engine methods. Each is a thin wrapper that
+// supplies context.Background(); none add behaviour. They are package-level
+// functions (not methods) so `Engine` itself exposes exactly one way to run
+// each operation.
+package core
+
+import (
+	"context"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// MineOutputBackground mines one output bit without cancellation.
+//
+// Deprecated: use Engine.MineOutput with a context.
+func MineOutputBackground(e *Engine, out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
+	return e.MineOutput(context.Background(), out, bit, seed)
+}
+
+// MineAllBackground mines every output bit without cancellation.
+//
+// Deprecated: use Engine.MineAll with a context.
+func MineAllBackground(e *Engine, seed sim.Stimulus) (*Result, error) {
+	return e.MineAll(context.Background(), seed)
+}
+
+// MineTargetsBackground mines the given targets without cancellation.
+//
+// Deprecated: use Engine.MineTargets with a context.
+func MineTargetsBackground(e *Engine, targets []Target, seed sim.Stimulus) (*Result, error) {
+	return e.MineTargets(context.Background(), targets, seed)
+}
+
+// MineOutputByNameBackground mines one named output bit without cancellation.
+//
+// Deprecated: use Engine.MineOutputByName with a context.
+func MineOutputByNameBackground(e *Engine, name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
+	return e.MineOutputByName(context.Background(), name, bit, seed)
+}

@@ -39,6 +39,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sched"
 	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
 	"goldmine/internal/trace"
 )
 
@@ -407,6 +408,19 @@ type Engine struct {
 	// mining jobs. A check that panics simply never returns its session —
 	// the possibly-corrupt state is dropped, not repooled.
 	sessions chan *mc.Session
+	// tel routes the refinement loop's telemetry (spans per output /
+	// iteration / phase, mine.* counters). Nil when disabled: every
+	// instrumentation site below is a nil-safe no-op, so the disabled path
+	// costs one branch per phase, not per event. Set via SetTelemetry and
+	// shared by every fork.
+	tel *telemetry.Tracer
+	mtr coreMetrics
+}
+
+// coreMetrics caches the mine.* counters so hot-loop accounting is an atomic
+// add, not a registry lookup. Zero value (all nil) = disabled.
+type coreMetrics struct {
+	outputs, iterations, candidates, ctxFound, proved *telemetry.Counter
 }
 
 // NewEngine creates an engine (shared model-checker reachability and verdict
@@ -441,6 +455,31 @@ func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// SetTelemetry wires the engine — and transitively the model checker, SAT
+// solvers, and simulator — into a tracer. Call it once, before mining starts
+// (the wiring is not synchronized against in-flight checks); a nil tracer
+// leaves telemetry disabled at the one-branch nil fast path. Forked engines
+// inherit the wiring. Telemetry never alters mining artifacts: the journal is
+// a side channel and the -j1 ≡ -jN determinism contract is unaffected.
+func (e *Engine) SetTelemetry(tr *telemetry.Tracer) {
+	e.tel = tr
+	e.Checker.SetTelemetry(tr)
+	if tr == nil {
+		e.mtr = coreMetrics{}
+		e.sim.Cycles = nil
+		return
+	}
+	reg := tr.Registry()
+	e.mtr = coreMetrics{
+		outputs:    reg.Counter("mine.outputs"),
+		iterations: reg.Counter("mine.iterations"),
+		candidates: reg.Counter("mine.candidates"),
+		ctxFound:   reg.Counter("mine.ctx_found"),
+		proved:     reg.Counter("mine.proved"),
+	}
+	e.sim.Cycles = reg.Counter("sim.cycles")
+}
+
 // getSession checks a pooled incremental session out (or warms a new one up).
 func (e *Engine) getSession() *mc.Session {
 	select {
@@ -470,6 +509,7 @@ func (e *Engine) fork() (*Engine, error) {
 	}
 	fe := *e
 	fe.sim = s
+	fe.sim.Cycles = e.sim.Cycles
 	return &fe, nil
 }
 
@@ -534,6 +574,8 @@ func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate)
 			co.eerr = engineFault(fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r))
 		}
 	}()
+	ctx, psp := e.tel.StartSpan(ctx, "sched.cache_probe")
+	defer psp.End()
 	v, outcome, err := e.cache.Check(ctx, e.cacheKey(cand.Assertion), func() (*mc.Result, error) {
 		// The fault-injection override always wins; otherwise prefer an
 		// incremental session when the engine keeps a pool. A panicking
@@ -548,6 +590,7 @@ func (e *Engine) safeCheck(ctx context.Context, out string, cand mine.Candidate)
 		return e.formalChecker().CheckCtx(ctx, cand.Assertion)
 	})
 	co.outcome = outcome
+	psp.Annotate(telemetry.String("outcome", outcome.String()))
 	if err != nil {
 		if errors.Is(err, mc.ErrCanceled) {
 			// Cancelled while waiting on a shared in-flight check: report it
@@ -620,18 +663,19 @@ func safeAddRows(t *mine.Tree, rows []int) (err error) {
 	return t.AddRows(rows)
 }
 
-// MineOutput runs counterexample-guided refinement for one bit of an output.
-// The seed stimulus may be empty (the zero-pattern limit study of Section
-// 7.2: mining starts from the single assertion "output always 0").
-func (e *Engine) MineOutput(out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
-	return e.MineOutputCtx(context.Background(), out, bit, seed)
-}
-
-// MineOutputCtx is MineOutput under a context and the configured deadlines.
-// Cancellation and deadline expiry are not errors: the loop stops at the next
-// boundary and returns the partial result with Interrupted set.
-func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
+// MineOutput runs counterexample-guided refinement for one bit of an output
+// under a context and the configured deadlines. The seed stimulus may be empty
+// (the zero-pattern limit study of Section 7.2: mining starts from the single
+// assertion "output always 0"). Cancellation and deadline expiry are not
+// errors: the loop stops at the next boundary and returns the partial result
+// with Interrupted set. Use context.Background() when no cancellation is
+// needed.
+func (e *Engine) MineOutput(ctx context.Context, out *rtl.Signal, bit int, seed sim.Stimulus) (*OutputResult, error) {
 	start := time.Now()
+	ctx, osp := e.tel.StartSpan(ctx, "mine.output",
+		telemetry.String("output", out.Name), telemetry.Int("bit", int64(bit)))
+	defer osp.End()
+	e.mtr.outputs.Inc()
 	if e.Cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.Cfg.Timeout)
@@ -646,7 +690,9 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 		return nil, err
 	}
 	if len(seed) > 0 {
+		ssp := osp.Child("sim.run", telemetry.Int("cycles", int64(len(seed))))
 		tr, err := e.sim.Run(seed)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -654,7 +700,9 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 			return nil, err
 		}
 	}
+	bsp := osp.Child("mine.tree_update", telemetry.String("op", "build"))
 	tree := mine.Build(ds)
+	bsp.End()
 	res := &OutputResult{Output: out.Name, Bit: bit, Tree: tree}
 
 	maxIter := e.Cfg.MaxIterations
@@ -684,10 +732,19 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 		if e.Cfg.IterationTimeout > 0 {
 			itCtx, itCancel = context.WithTimeout(ctx, e.Cfg.IterationTimeout)
 		}
+		isp := osp.Child("mine.iteration", telemetry.Int("iter", int64(it)))
+		// Checks issued this iteration hang their spans off the iteration:
+		// the span rides the context through the cache into the checker.
+		itCtx = telemetry.WithSpan(itCtx, isp)
+		e.mtr.iterations.Inc()
+		csp := isp.Child("mine.candidates")
 		cands := tree.Candidates()
+		csp.End(telemetry.Int("count", int64(len(cands))))
+		e.mtr.candidates.Add(int64(len(cands)))
 		st := IterationStats{Iteration: it, Candidates: len(cands)}
 		if len(cands) == 0 {
 			itCancel()
+			isp.End()
 			break
 		}
 		var batchedRows []int
@@ -726,11 +783,15 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 					res.Bounded++
 				}
 				st.NewProved++
+				e.mtr.proved.Inc()
 			case mc.StatusFalsified:
 				// Ctx_simulation: concrete values for every cone signal. The
 				// counterexample only counts once it replays cleanly — a
 				// malformed trace from a faulty engine must not pollute the
 				// validation suite.
+				fsp := isp.Child("mine.ctx_feedback", telemetry.Int("cycles", int64(len(verdict.Ctx))))
+				defer fsp.End()
+				e.mtr.ctxFound.Inc()
 				ctxTrace, err := e.safeCtxSim(verdict.Ctx)
 				if err != nil {
 					fault(&st, node, rec, &EngineError{
@@ -771,13 +832,18 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 				st.NewCtx++
 				if e.Cfg.BatchedChecks {
 					batchedRows = append(batchedRows, newRows...)
-				} else if err := safeAddRows(tree, newRows); err != nil {
-					res.Errors = append(res.Errors, &EngineError{
-						Stage: StageTreeUpdate, Output: out.Name,
-						Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
-						Cause: err,
-					})
-					st.Faults++
+				} else {
+					tsp := isp.Child("mine.tree_update", telemetry.Int("rows", int64(len(newRows))))
+					err := safeAddRows(tree, newRows)
+					tsp.End()
+					if err != nil {
+						res.Errors = append(res.Errors, &EngineError{
+							Stage: StageTreeUpdate, Output: out.Name,
+							Assertion: cand.Assertion, Leaf: leafKey(cand.Leaf),
+							Cause: err,
+						})
+						st.Faults++
+					}
 				}
 			case mc.StatusUnknown:
 				if itCtx.Err() != nil && (verdict.Cause == nil || mc.IsBudget(verdict.Cause)) {
@@ -851,7 +917,10 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 		}
 		itCancel()
 		if len(batchedRows) > 0 {
-			if err := safeAddRows(tree, batchedRows); err != nil {
+			tsp := isp.Child("mine.tree_update", telemetry.Int("rows", int64(len(batchedRows))))
+			err := safeAddRows(tree, batchedRows)
+			tsp.End()
+			if err != nil {
 				res.Errors = append(res.Errors, &EngineError{
 					Stage: StageTreeUpdate, Output: out.Name, Cause: err,
 				})
@@ -863,6 +932,11 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 		ts := tree.Stats()
 		st.TreeLeaves, st.TreeNodes = ts.Leaves, ts.Nodes
 		res.Iterations = append(res.Iterations, st)
+		isp.End(
+			telemetry.Int("proved", int64(st.NewProved)),
+			telemetry.Int("ctx", int64(st.NewCtx)),
+			telemetry.Int("unknown", int64(st.NewUnknown)),
+		)
 		if res.Interrupted || tree.Converged() {
 			break
 		}
@@ -873,23 +947,24 @@ func (e *Engine) MineOutputCtx(ctx context.Context, out *rtl.Signal, bit int, se
 	res.Converged = tree.Converged() && !res.Interrupted
 	res.StuckLeafs = tree.Stats().StuckLeaves
 	res.Elapsed = time.Since(start)
+	osp.Annotate(
+		telemetry.Bool("converged", res.Converged),
+		telemetry.Bool("interrupted", res.Interrupted),
+		telemetry.Int("proved", int64(len(res.Proved))),
+		telemetry.Int("ctx", int64(len(res.Ctx))),
+	)
 	return res, nil
 }
 
-// MineAll mines every bit of every design output with a shared seed.
-func (e *Engine) MineAll(seed sim.Stimulus) (*Result, error) {
-	return e.MineAllCtx(context.Background(), seed)
-}
-
-// MineAllCtx mines every output bit under a context. On cancellation or
-// deadline it stops between (or inside) outputs and returns the partial
-// result with Interrupted set rather than an error.
-func (e *Engine) MineAllCtx(ctx context.Context, seed sim.Stimulus) (*Result, error) {
-	return e.MineTargetsCtx(ctx, e.Targets(), seed)
+// MineAll mines every bit of every design output with a shared seed under a
+// context. On cancellation or deadline it stops between (or inside) outputs
+// and returns the partial result with Interrupted set rather than an error.
+func (e *Engine) MineAll(ctx context.Context, seed sim.Stimulus) (*Result, error) {
+	return e.MineTargets(ctx, e.Targets(), seed)
 }
 
 // Target names one output bit to mine: one independent job of a
-// MineTargetsCtx run.
+// MineTargets run.
 type Target struct {
 	Output *rtl.Signal
 	Bit    int
@@ -907,7 +982,7 @@ func (e *Engine) Targets() []Target {
 	return ts
 }
 
-// mineOutputSafe is MineOutputCtx behind a whole-job recover barrier: a panic
+// mineOutputSafe is MineOutput behind a whole-job recover barrier: a panic
 // that escapes every per-check barrier (a hostile checker corrupting engine
 // state, a bug in the miner itself) degrades only this output — the result is
 // replaced by a single StageWorker fault record — and never takes down the
@@ -926,18 +1001,21 @@ func (e *Engine) mineOutputSafe(ctx context.Context, out *rtl.Signal, bit int, s
 			}}}
 		}
 	}()
-	return e.MineOutputCtx(ctx, out, bit, seed)
+	return e.MineOutput(ctx, out, bit, seed)
 }
 
-// MineTargetsCtx mines the given output bits under a context. With
+// MineTargets mines the given output bits under a context. With
 // Cfg.Workers > 1 the jobs are spread over a work-stealing pool (each job on a
 // forked engine with its own simulator); results are merged positionally, so
 // the mining artifacts are identical for any Workers value. On cancellation
 // or deadline the pool drains cleanly: jobs never started are excluded from
 // Outputs, running jobs stop at their next boundary and contribute their
 // partial results, and Interrupted is set.
-func (e *Engine) MineTargetsCtx(ctx context.Context, targets []Target, seed sim.Stimulus) (*Result, error) {
+func (e *Engine) MineTargets(ctx context.Context, targets []Target, seed sim.Stimulus) (*Result, error) {
 	start := time.Now()
+	ctx, rsp := e.tel.StartSpan(ctx, "mine.run",
+		telemetry.String("design", e.D.Name), telemetry.Int("targets", int64(len(targets))))
+	defer rsp.End()
 	res := &Result{Design: e.D, Seed: seed}
 	cacheBefore := e.cache.Stats()
 	workers := e.Cfg.Workers
@@ -1033,14 +1111,8 @@ func (e *Engine) finishSched(res *Result, ss *SchedStats, before sched.CacheStat
 	res.Sched = ss
 }
 
-// MineOutputByName is a convenience wrapper resolving the output by name.
-func (e *Engine) MineOutputByName(name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
-	return e.MineOutputByNameCtx(context.Background(), name, bit, seed)
-}
-
-// MineOutputByNameCtx resolves the output by name and mines it under a
-// context.
-func (e *Engine) MineOutputByNameCtx(ctx context.Context, name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
+// MineOutputByName resolves the output by name and mines it under a context.
+func (e *Engine) MineOutputByName(ctx context.Context, name string, bit int, seed sim.Stimulus) (*OutputResult, error) {
 	out := e.D.Signal(name)
 	if out == nil {
 		return nil, fmt.Errorf("no signal %q in design %s", name, e.D.Name)
@@ -1048,5 +1120,5 @@ func (e *Engine) MineOutputByNameCtx(ctx context.Context, name string, bit int, 
 	if out.Kind != rtl.SigOutput && !out.IsState {
 		return nil, fmt.Errorf("signal %q is not an output or register", name)
 	}
-	return e.MineOutputCtx(ctx, out, bit, seed)
+	return e.MineOutput(ctx, out, bit, seed)
 }

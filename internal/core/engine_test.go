@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -48,7 +50,7 @@ func paperSeed() sim.Stimulus {
 
 func TestArbiterConvergence(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestArbiterZeroSeed(t *testing.T) {
 	// Section 7.2: start from no patterns; the first candidate is
 	// "gnt0 always 0", which is falsified, and refinement proceeds.
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestArbiterZeroSeed(t *testing.T) {
 func TestMonotonicCoverage(t *testing.T) {
 	// The paper: coverage increases monotonically with iterations.
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestMonotonicCoverage(t *testing.T) {
 
 func TestInputSpaceCoverageClosesTo100(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestProvedAssertionsHoldOnRandomSimulation(t *testing.T) {
 	// Theorem-2 flavored property check: proven assertions can never be
 	// violated by any simulation run.
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +180,7 @@ func TestProvedAssertionsHoldOnRandomSimulation(t *testing.T) {
 
 func TestCtxPatternsAreReplayable(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestCtxPatternsAreReplayable(t *testing.T) {
 
 func TestMineAllOutputs(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineAll(paperSeed())
+	res, err := e.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +221,7 @@ module cex(input a, b, c, output z);
   assign z = (a & b) | (~a & c);
 endmodule`
 	e := mustEngine(t, src, DefaultConfig())
-	res, err := e.MineOutputByName("z", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "z", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func TestFullCtxTraceMode(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AddFullCtxTrace = true
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +256,7 @@ func TestWindowExtensionHappens(t *testing.T) {
 	// The paper's third iteration requires gnt0(t-1): the dataset must end up
 	// extended for the arbiter with window 1.
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,17 +280,17 @@ func TestWindowExtensionHappens(t *testing.T) {
 
 func TestMineOutputErrors(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	if _, err := e.MineOutputByName("nosuch", 0, nil); err == nil {
+	if _, err := e.MineOutputByName(context.Background(), "nosuch", 0, nil); err == nil {
 		t.Error("unknown output should error")
 	}
-	if _, err := e.MineOutputByName("req0", 0, nil); err == nil {
+	if _, err := e.MineOutputByName(context.Background(), "req0", 0, nil); err == nil {
 		t.Error("input as output should error")
 	}
 }
 
 func TestIterationStatsRecorded(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

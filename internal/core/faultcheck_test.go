@@ -76,7 +76,7 @@ func TestFaultInjectionPartialResults(t *testing.T) {
 	var err error
 	go func() {
 		defer close(done)
-		res, err = e.MineOutputByName("gnt0", 0, paperSeed())
+		res, err = e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	}()
 	select {
 	case <-done:
@@ -160,7 +160,7 @@ func TestHardErrorIsolated(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
 	h := &hostileChecker{real: e.Checker, errOn: 2}
 	e.SetChecker(h)
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatalf("hard checker error escaped the barrier: %v", err)
 	}
@@ -191,7 +191,7 @@ func TestOverallDeadlineFlushesPartial(t *testing.T) {
 			Degraded: true, Cause: mc.ErrBudgetExceeded}, nil
 	}))
 	start := time.Now()
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestMineAllCancelledContext(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := e.MineAllCtx(ctx, paperSeed())
+	res, err := e.MineAll(ctx, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestPerCheckBudgetMarksLeavesStuck(t *testing.T) {
 	cfg.MC.MaxStateBits = 0 // force SAT
 	cfg.MC.MaxWork = 1
 	e := mustEngine(t, arbiterSrc, cfg)
-	res, err := e.MineOutputByName("gnt0", 0, paperSeed())
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}

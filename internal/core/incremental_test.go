@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/designs"
@@ -39,7 +41,7 @@ func mineIncr(t *testing.T, name string, incremental, satOnly bool, workers, max
 	if b.Directed != nil {
 		seed = b.Directed()
 	}
-	res, err := eng.MineAll(seed)
+	res, err := eng.MineAll(context.Background(), seed)
 	if err != nil {
 		t.Fatal(err)
 	}

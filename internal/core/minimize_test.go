@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/sim"
@@ -8,7 +10,7 @@ import (
 
 func TestMinimizeCtxShrinks(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestMinimizeCtxShrinks(t *testing.T) {
 
 func TestMinimizeCtxZeroesIrrelevantInputs(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func TestMinimizeCtxZeroesIrrelevantInputs(t *testing.T) {
 
 func TestMinimizeCtxErrors(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
-	res, err := e.MineOutputByName("gnt0", 0, nil)
+	res, err := e.MineOutputByName(context.Background(), "gnt0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

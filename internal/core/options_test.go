@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"goldmine/internal/designs"
+	"goldmine/internal/telemetry"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	cfg, err := NewOptions().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	if cfg.Window != want.Window || cfg.MaxIterations != want.MaxIterations ||
+		cfg.MaxChecks != want.MaxChecks || cfg.MC != want.MC {
+		t.Fatalf("bare Build() diverges from DefaultConfig: %+v vs %+v", cfg, want)
+	}
+}
+
+func TestOptionsSetters(t *testing.T) {
+	cfg, err := NewOptions().
+		Window(3).
+		MaxIterations(7).
+		MaxChecks(11).
+		Workers(4).
+		Batched(true).
+		FullCtxTrace(true).
+		SignalCone(true).
+		Incremental(true).
+		CoI(true).
+		Timeout(time.Minute).
+		IterationTimeout(time.Second).
+		CheckTimeout(time.Millisecond).
+		MaxWork(99).
+		BMCDepth(5).
+		Induction(6).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Window != 3 || cfg.MaxIterations != 7 || cfg.MaxChecks != 11 ||
+		cfg.Workers != 4 || !cfg.BatchedChecks || !cfg.AddFullCtxTrace ||
+		!cfg.SignalCone || !cfg.Incremental || !cfg.MC.CoI ||
+		cfg.Timeout != time.Minute || cfg.IterationTimeout != time.Second ||
+		cfg.MC.CheckTimeout != time.Millisecond || cfg.MC.MaxWork != 99 ||
+		cfg.MC.MaxBMCDepth != 5 || cfg.MC.MaxInduction != 6 {
+		t.Fatalf("setters lost values: %+v", cfg)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    *Options
+		want []string
+	}{
+		{"negative window", NewOptions().Window(-1), []string{"window"}},
+		{"negative iterations", NewOptions().MaxIterations(-2), []string{"max iterations"}},
+		{"negative workers", NewOptions().Workers(-1), []string{"workers"}},
+		{"zero BMC depth", NewOptions().BMCDepth(0), []string{"BMC depth"}},
+		{"negative timeout", NewOptions().Timeout(-time.Second), []string{"timeouts"}},
+		{"iteration budget above overall", NewOptions().Timeout(time.Second).IterationTimeout(time.Minute),
+			[]string{"iteration timeout"}},
+		{"check budget above iteration", NewOptions().IterationTimeout(time.Second).CheckTimeout(time.Minute),
+			[]string{"check timeout"}},
+		{"all violations reported at once", NewOptions().Window(-1).Workers(-1).BMCDepth(0),
+			[]string{"window", "workers", "BMC depth"}},
+	}
+	for _, tc := range cases {
+		_, err := tc.o.Build()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, w)
+			}
+		}
+	}
+}
+
+// TestOptionsEngineTelemetry checks the builder's Engine wires the tracer:
+// counters and span histograms accumulate during mining, and the tracer never
+// contaminates the Config (cache-key fingerprints must not see it).
+func TestOptionsEngineTelemetry(t *testing.T) {
+	b, err := designs.Get("arbiter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.New(reg, nil)
+	eng, err := NewOptions().Window(b.Window).Telemetry(tr).Engine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MineOutputByName(context.Background(), "gnt0", 0, b.Directed()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["mine.outputs"] != 1 {
+		t.Errorf("mine.outputs = %d, want 1", snap.Counters["mine.outputs"])
+	}
+	if snap.Counters["mine.iterations"] == 0 {
+		t.Error("mine.iterations never incremented")
+	}
+	if snap.Counters["mc.checks"] == 0 {
+		t.Error("mc.checks never incremented")
+	}
+	if _, ok := snap.Histograms["mine.output.us"]; !ok {
+		t.Error("no mine.output.us span histogram")
+	}
+}

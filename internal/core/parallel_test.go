@@ -40,7 +40,7 @@ func mineBench(t *testing.T, name string, workers, maxIter int, batched bool) (*
 	if b.Directed != nil {
 		seed = b.Directed()
 	}
-	res, err := eng.MineAll(seed)
+	res, err := eng.MineAll(context.Background(), seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +90,11 @@ func TestCacheHitsOnRemine(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 4
 	e := mustEngine(t, arbiterSrc, cfg)
-	first, err := e.MineAll(paperSeed())
+	first, err := e.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := e.MineAll(paperSeed())
+	second, err := e.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,12 +123,12 @@ func TestCacheSharedAcrossEngines(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cache = cache
 	e1 := mustEngine(t, arbiterSrc, cfg)
-	r1, err := e1.MineAll(paperSeed())
+	r1, err := e1.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
 	e2 := mustEngine(t, arbiterSrc, cfg)
-	r2, err := e2.MineAll(paperSeed())
+	r2, err := e2.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +147,13 @@ func TestCacheKeyIncludesOptions(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cache = cache
 	e1 := mustEngine(t, arbiterSrc, cfg)
-	if _, err := e1.MineAll(paperSeed()); err != nil {
+	if _, err := e1.MineAll(context.Background(), paperSeed()); err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := cfg
 	cfg2.MC.MaxBMCDepth++
 	e2 := mustEngine(t, arbiterSrc, cfg2)
-	r2, err := e2.MineAll(paperSeed())
+	r2, err := e2.MineAll(context.Background(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCacheKeyIncludesOptions(t *testing.T) {
 func TestWorkerPanicIsolation(t *testing.T) {
 	e := mustEngine(t, arbiterSrc, DefaultConfig())
 	e.sim = nil // any seeded mining run now nil-derefs before the first check
-	res, err := e.MineTargetsCtx(context.Background(), e.Targets(), paperSeed())
+	res, err := e.MineTargets(context.Background(), e.Targets(), paperSeed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestParallelCancellationDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	eng.SetChecker(&cancelChecker{real: eng.Checker, cancel: cancel, after: 5})
-	res, err := eng.MineTargetsCtx(ctx, eng.Targets(), b.Directed())
+	res, err := eng.MineTargets(ctx, eng.Targets(), b.Directed())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package designs
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/core"
@@ -100,7 +102,7 @@ func TestPipelineMining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.MineOutputByName("dec_valid", 0, nil)
+	res, err := eng.MineOutputByName(context.Background(), "dec_valid", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

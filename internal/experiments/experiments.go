@@ -19,6 +19,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sched"
 	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
 )
 
 // Table is a rendered experiment result.
@@ -81,6 +82,11 @@ var CheckTimeout time.Duration
 // cmd/experiments -j). The tables are identical for any value; only wall time
 // changes.
 var Workers int
+
+// Telemetry, when non-nil, wires every engine the experiments create into one
+// shared tracer (from cmd/experiments -telemetry / -metrics-summary). Tables
+// are unaffected; the journal and counters are observational only.
+var Telemetry *telemetry.Tracer
 
 // sharedCache is one verdict cache spanning every engine the experiments
 // create. Cache keys carry design and option fingerprints, so re-mining the
@@ -159,6 +165,9 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 	if err != nil {
 		return nil, err
 	}
+	if Telemetry != nil {
+		eng.SetTelemetry(Telemetry)
+	}
 	mr := &moduleRun{Bench: b, Design: d, Engine: eng, Seed: seed}
 	outs := targets
 	if outs == nil {
@@ -192,7 +201,7 @@ func mineModuleCfg(b *designs.Benchmark, seed sim.Stimulus, maxIter int, targets
 	}
 	// One scheduler run over every target bit: parallel when Workers > 1,
 	// with results merged back in target order.
-	res, err := eng.MineTargetsCtx(context.Background(), tgts, seed)
+	res, err := eng.MineTargets(context.Background(), tgts, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@
 package experiments
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"io"
@@ -91,7 +93,7 @@ func MCAssertionSuite(name string, maxIter int) (*rtl.Design, []*assertion.Asser
 	if b.Directed != nil {
 		seed = b.Directed()
 	}
-	res, err := eng.MineAll(seed)
+	res, err := eng.MineAll(context.Background(), seed)
 	if err != nil {
 		return nil, nil, err
 	}

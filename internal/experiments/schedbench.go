@@ -5,6 +5,8 @@
 package experiments
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"io"
@@ -71,7 +73,7 @@ func schedBenchRun(b *designs.Benchmark, seed sim.Stimulus, workers int, cache *
 		return nil, 0, err
 	}
 	start := time.Now()
-	res, err := eng.MineAll(seed)
+	res, err := eng.MineAll(context.Background(), seed)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -43,6 +43,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sat"
 	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
 )
 
 // Status is the verdict for an assertion.
@@ -201,6 +202,53 @@ type Checker struct {
 	// checks whose verdict was weakened (but not voided) by budget pressure.
 	Unknowns int
 	Degraded int
+
+	// Telemetry (optional, set once before checks start via SetTelemetry):
+	// per-check spans parented on the caller's context span, degradation
+	// outcome counters, and the solver statistics hookup handed to every
+	// solver this checker (or its Sessions) builds. All nil when disabled —
+	// the instrumentation sites are nil-safe no-ops.
+	tel  *telemetry.Tracer
+	satC *sat.SolveCounters
+	mtr  mcMetrics
+}
+
+// mcMetrics caches the mc.* counters so the per-check accounting is atomic
+// adds, not registry lookups. The zero value (all nil) is the disabled state.
+type mcMetrics struct {
+	checks, proved, falsified, bounded, unknown, degraded *telemetry.Counter
+	explicitSims                                          *telemetry.Counter
+}
+
+// SetTelemetry wires the checker (and every Session created from it) into a
+// tracer: per-check "mc.check" spans carrying the degradation-ladder outcome,
+// mc.* verdict counters, and sat.* solver counters. Must be called before any
+// check is issued; a nil tracer leaves telemetry disabled.
+func (c *Checker) SetTelemetry(tr *telemetry.Tracer) {
+	c.tel = tr
+	if tr == nil {
+		c.satC = nil
+		c.mtr = mcMetrics{}
+		return
+	}
+	reg := tr.Registry()
+	c.satC = sat.NewSolveCounters(reg)
+	c.mtr = mcMetrics{
+		checks:       reg.Counter("mc.checks"),
+		proved:       reg.Counter("mc.proved"),
+		falsified:    reg.Counter("mc.falsified"),
+		bounded:      reg.Counter("mc.bounded"),
+		unknown:      reg.Counter("mc.unknown"),
+		degraded:     reg.Counter("mc.degraded"),
+		explicitSims: reg.Counter("mc.explicit_window_sims"),
+	}
+}
+
+// newSolver builds a SAT solver with the checker's telemetry hookup.
+func (c *Checker) newSolver() *sat.Solver {
+	s := sat.New()
+	s.Counters = c.satC
+	return s
 }
 
 // Stats is a consistent snapshot of the checker counters.
@@ -247,6 +295,25 @@ type budget struct {
 	deadline time.Time // zero = none
 	workLeft *int64    // nil = unlimited; shared across engines of one check
 	ticks    int64     // tick counter rate-limiting clock/context polls
+	// sp is the enclosing "mc.check" span; solve() and the engines hang their
+	// phase spans off it. Nil when telemetry is disabled (or quieted for the
+	// counterexample-minimization probe storm, see quiet).
+	sp *telemetry.Span
+}
+
+// span opens a telemetry child span of the check span (nil-safe).
+func (b *budget) span(name string, attrs ...telemetry.Attr) *telemetry.Span {
+	return b.sp.Child(name, attrs...)
+}
+
+// quiet returns a view of the budget that emits no per-solve spans. The
+// counterexample canonicalization loop issues hundreds of micro-solves per
+// falsification; journaling each would cost more than the solves. The
+// context, deadline, and work pool are shared (the pointer aliases).
+func (b *budget) quiet() *budget {
+	nb := *b
+	nb.sp = nil
+	return &nb
 }
 
 // newBudget derives the envelope for one check from the options and context.
@@ -340,7 +407,12 @@ func (b *budget) solve(s *sat.Solver, assumps ...sat.Lit) (sat.Status, error) {
 		s.MaxPropagations = *b.workLeft
 	}
 	before := s.Propagations
+	sp := b.span("sat.solve")
 	st := s.SolveCtx(b.ctx, assumps...)
+	sp.End(
+		telemetry.String("result", st.String()),
+		telemetry.Int("props", s.Propagations-before),
+	)
 	b.charge(s.Propagations - before)
 	if st == sat.Unknown {
 		if cause := s.StopCause(); cause != nil {
@@ -373,10 +445,17 @@ func (c *Checker) checkWith(ctx context.Context, a *assertion.Assertion, dispatc
 	c.statMu.Lock()
 	c.Checks++
 	c.statMu.Unlock()
+	c.mtr.checks.Inc()
 	b := c.newBudget(ctx)
+	var sp *telemetry.Span
+	if c.tel != nil {
+		_, sp = c.tel.StartSpan(ctx, "mc.check", telemetry.String("assertion", a.String()))
+		b.sp = sp
+	}
 	res, err := dispatch(b, a)
 	if err != nil {
 		if !IsBudget(err) {
+			sp.End(telemetry.String("error", err.Error()))
 			return nil, err
 		}
 		// Budget died before any engine could make a claim.
@@ -395,6 +474,28 @@ func (c *Checker) checkWith(ctx context.Context, a *assertion.Assertion, dispatc
 		c.Degraded++
 	}
 	c.statMu.Unlock()
+	if sp != nil {
+		sp.End(
+			telemetry.String("status", res.Status.String()),
+			telemetry.String("method", res.Method),
+			telemetry.Int("depth", int64(res.Depth)),
+			telemetry.Bool("degraded", res.Degraded),
+		)
+		// Degradation-ladder outcome counters.
+		switch res.Status {
+		case StatusProved:
+			c.mtr.proved.Inc()
+		case StatusFalsified:
+			c.mtr.falsified.Inc()
+		case StatusBounded:
+			c.mtr.bounded.Inc()
+		default:
+			c.mtr.unknown.Inc()
+		}
+		if res.Degraded {
+			c.mtr.degraded.Inc()
+		}
+	}
 	return res, nil
 }
 
@@ -420,7 +521,9 @@ func (c *Checker) dispatchVia(b *budget, a *assertion.Assertion, combFn, satFn f
 	case c.ExplicitOK && explicitWork <= c.opts.MaxExplicitBits:
 		// The explicit engine gets half the remaining budget; if that slice
 		// is exhausted the SAT engine inherits what is left.
+		esp := b.span("mc.explicit", telemetry.Int("free_bits", int64(freeBits)))
 		res, err := c.checkExplicit(b.slice(0.5), a)
+		esp.End(telemetry.Bool("fell_back", err != nil && IsBudget(err)))
 		if err != nil && IsBudget(err) {
 			res, err = satFn(b, a)
 			// A decisive SAT verdict is as good as the explicit one would
@@ -477,7 +580,7 @@ func propVal(p assertion.Prop, sig *rtl.Signal, v uint64) uint64 {
 // ---------------------------------------------------------------------------
 
 func (c *Checker) checkCombinational(b *budget, a *assertion.Assertion) (*Result, error) {
-	s := sat.New()
+	s := c.newSolver()
 	u := c.newUnroller(s)
 	u.AddFrame()
 	assumps, err := windowAssumptions(u, c.d, a, 0, nil)
@@ -881,9 +984,12 @@ func (c *Checker) checkExplicit(b *budget, a *assertion.Assertion) (*Result, err
 		ivs[f] = make([]uint64, len(r.inputs))
 	}
 	poll := b != nil && b.active()
+	var sims int64
+	defer func() { c.mtr.explicitSims.Add(sims) }()
 	for _, sk := range r.order {
 		startState := r.states[sk]
 		for seq := uint64(0); seq < seqTotal; seq++ {
+			sims++
 			if poll {
 				if err := b.tick(); err != nil {
 					return nil, err
@@ -969,7 +1075,7 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 	// Bounded model checking from reset, incremental in the unroll depth.
 	// BMC gets 60% of the remaining wall budget; induction inherits the rest.
 	bmcBudget := b.slice(0.6)
-	s := sat.New()
+	s := c.newSolver()
 	u := c.newUnroller(s)
 	for i := 0; i < minFrames; i++ {
 		u.AddFrame()
@@ -987,15 +1093,20 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 		return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: lastOK, Degraded: true, Cause: cause}, nil
 	}
 	for depth := minFrames; depth <= maxDepth; depth++ {
+		fsp := b.span("mc.bmc_frame", telemetry.Int("depth", int64(depth)))
 		for u.Frames() < depth {
 			u.AddFrame()
 		}
 		t0 := depth - minFrames // newest window start
 		assumps, err := windowAssumptions(u, c.d, a, t0, nil)
 		if err != nil {
+			fsp.End(telemetry.String("result", "error"))
 			return nil, err
 		}
+		bmcBudget.sp = fsp // nest this frame's sat.solve under the frame span
 		st, cause := bmcBudget.solve(s, assumps...)
+		bmcBudget.sp = b.sp
+		fsp.End(telemetry.String("result", st.String()))
 		if st == sat.Sat {
 			ctx := c.canonicalCtx(bmcBudget, s, u, assumps, a, depth)
 			return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
@@ -1008,7 +1119,11 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 	// k-induction: base case is the BMC above. Step: from an arbitrary state,
 	// if the property holds for k consecutive windows it holds for the next.
 	for k := 1; k <= c.opts.MaxInduction; k++ {
-		proved, cause, err := c.inductionStep(b, a, k)
+		ksp := b.span("mc.induction_step", telemetry.Int("k", int64(k)))
+		kb := *b
+		kb.sp = ksp
+		proved, cause, err := c.inductionStep(&kb, a, k)
+		ksp.End(telemetry.Bool("proved", proved))
 		if err != nil {
 			return nil, err
 		}
@@ -1029,7 +1144,7 @@ func (c *Checker) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 // a budget interruption (the step is then undecided, not failed).
 func (c *Checker) inductionStep(b *budget, a *assertion.Assertion, k int) (proved bool, cause, err error) {
 	coff := a.Consequent.Offset
-	s := sat.New()
+	s := c.newSolver()
 	u := c.newUnroller(s)
 	frames := k + coff + 1
 	for i := 0; i < frames; i++ {

@@ -46,6 +46,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sat"
 	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
 )
 
 // satState is one persistent solver + unrolling pair.
@@ -122,7 +123,7 @@ func (s *Session) guard(fn func() (*Result, error)) (res *Result, err error) {
 
 func (s *Session) bmcState() *satState {
 	if s.bmc == nil {
-		sol := sat.New()
+		sol := s.c.newSolver()
 		u := s.c.newUnroller(sol)
 		u.InitZero()
 		s.bmc = &satState{s: sol, u: u, pc: propCache{}}
@@ -134,7 +135,7 @@ func (s *Session) bmcState() *satState {
 
 func (s *Session) indState() *satState {
 	if s.ind == nil {
-		sol := sat.New()
+		sol := s.c.newSolver()
 		s.ind = &satState{s: sol, u: s.c.newUnroller(sol), pc: propCache{}}
 	}
 	return s.ind
@@ -187,14 +188,19 @@ func (s *Session) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 			return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: lastOK, Degraded: true, Cause: cause}, nil
 		}
 		for depth := minFrames; depth <= maxDepth; depth++ {
+			fsp := b.span("mc.bmc_frame", telemetry.Int("depth", int64(depth)))
 			for st.u.Frames() < depth {
 				st.u.AddFrame()
 			}
 			assumps, err := windowAssumptions(st.u, c.d, a, depth-minFrames, st.pc)
 			if err != nil {
+				fsp.End(telemetry.String("result", "error"))
 				return nil, err
 			}
+			bmcBudget.sp = fsp
 			verdict, cause := bmcBudget.solve(st.s, assumps...)
+			bmcBudget.sp = b.sp
+			fsp.End(telemetry.String("result", verdict.String()))
 			if verdict == sat.Sat {
 				ctx := c.canonicalCtx(bmcBudget, st.s, st.u, assumps, a, depth)
 				return &Result{Status: StatusFalsified, Ctx: ctx, Method: "bmc", Depth: depth}, nil
@@ -236,7 +242,11 @@ func (s *Session) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			verdict, cause := b.solve(is.s, append([]sat.Lit{act}, assumps...)...)
+			ksp := b.span("mc.induction_step", telemetry.Int("k", int64(k)))
+			kb := *b
+			kb.sp = ksp
+			verdict, cause := kb.solve(is.s, append([]sat.Lit{act}, assumps...)...)
+			ksp.End(telemetry.Bool("proved", verdict == sat.Unsat))
 			if cause != nil {
 				return &Result{Status: StatusBounded, Method: "bmc-bounded", Depth: maxDepth, Degraded: true, Cause: cause}, nil
 			}
@@ -298,6 +308,12 @@ func (c *Checker) coneInputs(a *assertion.Assertion) []*rtl.Signal {
 // Must be called immediately after a Sat verdict on s, while the model is
 // readable.
 func (c *Checker) canonicalCtx(b *budget, s *sat.Solver, u *cnf.Unroller, base []sat.Lit, a *assertion.Assertion, depth int) sim.Stimulus {
+	// One span for the whole minimization; the probe storm below runs on a
+	// quieted budget so its micro-solves do not each journal a sat.solve line
+	// (they still hit the sat.* counters via the solver hookup).
+	csp := b.span("mc.ctx_canon", telemetry.Int("depth", int64(depth)))
+	defer csp.End()
+	b = b.quiet()
 	ins := c.coneInputs(a)
 	type ctxBit struct {
 		lit   sat.Lit

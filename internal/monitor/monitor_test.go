@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/assertion"
@@ -28,7 +30,7 @@ func arbiterSuite(t *testing.T) (*rtl.Design, []*assertion.Assertion) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.MineAll(b.Directed())
+	res, err := eng.MineAll(context.Background(), b.Directed())
 	if err != nil {
 		t.Fatal(err)
 	}

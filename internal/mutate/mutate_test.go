@@ -1,6 +1,8 @@
 package mutate
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/assertion"
@@ -94,7 +96,7 @@ func TestCampaignDetectsFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.MineAll(nil)
+	res, err := e.MineAll(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestStuckAtDifferentPolaritiesDiffer(t *testing.T) {
 	// generally detected by different numbers of assertions.
 	d := mustDesign(t, arbiterSrc)
 	e, _ := core.NewEngine(d, core.DefaultConfig())
-	res, err := e.MineAll(nil)
+	res, err := e.MineAll(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestStuckAtDifferentPolaritiesDiffer(t *testing.T) {
 func TestWholeAssertionSuiteStillProvesOnCleanDesign(t *testing.T) {
 	d := mustDesign(t, arbiterSrc)
 	e, _ := core.NewEngine(d, core.DefaultConfig())
-	res, err := e.MineAll(nil)
+	res, err := e.MineAll(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

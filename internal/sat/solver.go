@@ -167,6 +167,12 @@ type Solver struct {
 	Learned      int64
 	Restarts     int64
 
+	// Counters, when non-nil, receives the deltas of the solver's search
+	// statistics (and one solve tick) at the end of every Solve/SolveCtx call.
+	// The aggregation is delta-based and paid once per solve, so the search
+	// loop itself carries no telemetry cost.
+	Counters *SolveCounters
+
 	// MaxConflicts bounds one Solve call; <= 0 means unlimited.
 	MaxConflicts int64
 	// MaxPropagations bounds one Solve call; <= 0 means unlimited. Unlike
@@ -662,6 +668,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // pollInterval propagations and aborts the search with Unknown, leaving the
 // context's error available via StopCause.
 func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
+	if s.Counters != nil {
+		defer s.Counters.observe(s)()
+	}
 	if s.unsat {
 		return Unsat
 	}

@@ -13,6 +13,7 @@ import (
 
 	"goldmine/internal/mc"
 	"goldmine/internal/rtl"
+	"goldmine/internal/telemetry"
 )
 
 // ErrCheckPanicked is the error waiters of a single-flight check observe when
@@ -156,6 +157,11 @@ func (c *VerdictCache) Check(ctx context.Context, key string, compute func() (*m
 		default: // in flight: wait for the leader
 			c.shared++
 			c.mu.Unlock()
+			// A deduplicated concurrent check: advisory, like steals.
+			if tr := telemetry.ContextTracer(ctx); tr != nil {
+				tr.Event("sched.dedup")
+				tr.Registry().Counter("sched.dedups").Inc()
+			}
 			select {
 			case <-e.done:
 				res, err := e.result()

@@ -35,6 +35,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"goldmine/internal/telemetry"
 )
 
 // Task is one independent unit of schedulable work. ID is the caller's merge
@@ -148,6 +150,12 @@ func RunTasks(ctx context.Context, workers int, tasks []Task, onPanic func(Task,
 		}()
 		if theft {
 			atomic.AddInt64(&stolen, 1)
+			// Advisory journal event: which worker steals which task is a
+			// benign race, so steals are telemetry, never artifacts.
+			if tr := telemetry.ContextTracer(ctx); tr != nil {
+				tr.Event("sched.steal", telemetry.Int("task", int64(t.ID)))
+				tr.Registry().Counter("sched.steals").Inc()
+			}
 		}
 		t.Run(ctx)
 	}

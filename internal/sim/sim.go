@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"goldmine/internal/rtl"
+	"goldmine/internal/telemetry"
 )
 
 // InputVec assigns values to (a subset of) the design's data inputs for one
@@ -111,6 +112,9 @@ type Simulator struct {
 	// observers are invoked once per cycle after combinational settling.
 	observers []func(env rtl.Env)
 	cycle     int
+	// Cycles, when set, counts every simulated cycle into a telemetry
+	// counter (shared across simulators; a nil counter no-ops).
+	Cycles *telemetry.Counter
 }
 
 // New creates a simulator in the reset state (all registers zero).
@@ -201,6 +205,7 @@ func (s *Simulator) Step(in InputVec, trace *Trace) error {
 		s.vals[reg] = v
 	}
 	s.cycle++
+	s.Cycles.Inc()
 	return nil
 }
 

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer mints spans and point events, routing them to a Journal and keeping
+// per-kind counters in a Registry. A nil *Tracer is the disabled state:
+// every method no-ops and returns nil, so instrumented code never branches on
+// "is telemetry on".
+type Tracer struct {
+	reg *Registry
+	j   *Journal
+	ids atomic.Uint64
+	// known holds the duration histograms for the fixed span taxonomy,
+	// resolved once at construction — a plain read-only map, so the common
+	// Span.End pays a non-synchronized lookup. durs catches names outside
+	// the taxonomy (lock-free after first use).
+	known map[string]*Histogram
+	durs  sync.Map // span name -> *Histogram
+}
+
+// knownSpanNames is the span taxonomy of DESIGN.md §4.4. Tracer construction
+// pre-resolves their histograms so the End hot path avoids even the sync.Map
+// read; a name outside this list still works, just marginally slower.
+var knownSpanNames = []string{
+	"mine.run", "mine.output", "mine.iteration", "mine.candidates",
+	"mine.tree_update", "mine.ctx_feedback", "sim.run", "sched.cache_probe",
+	"mc.check", "mc.explicit", "mc.bmc_frame", "mc.induction_step",
+	"mc.ctx_canon", "sat.solve",
+}
+
+// New creates a tracer over a registry and an optional journal. Either may be
+// nil: a nil journal keeps metrics-only telemetry (spans still update
+// duration histograms), a nil registry keeps journal-only telemetry.
+func New(reg *Registry, j *Journal) *Tracer {
+	t := &Tracer{reg: reg, j: j}
+	if reg != nil {
+		t.known = make(map[string]*Histogram, len(knownSpanNames))
+		for _, n := range knownSpanNames {
+			t.known[n] = reg.Histogram(n + ".us")
+		}
+	}
+	return t
+}
+
+// Registry returns the tracer's metrics registry (nil-safe).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Journal returns the tracer's journal (nil-safe, may be nil).
+func (t *Tracer) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.j
+}
+
+// Close flushes and closes the tracer's journal, if any.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	return t.j.Close()
+}
+
+// Span is one timed phase of work. Spans form a tree via Parent IDs; ending a
+// span emits exactly one KindSpan journal line and one observation in the
+// "<name>.us" duration histogram. A nil *Span is inert.
+//
+// End recycles the Span through a pool (tracing-heavy designs end tens of
+// thousands of spans per second), so the hard contract is: End at most once,
+// and no Child/Annotate/ID calls after End. Every instrumented site in this
+// repo is structurally exactly-once (error-path Ends return immediately;
+// loop-exit Ends leave the loop).
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// spanPool recycles Span structs between End and the next newSpan.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// Event emits a point event (KindEvent) with no duration.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil || t.j == nil {
+		return
+	}
+	t.j.Emit(Event{TS: time.Now(), Kind: KindEvent, Name: name, Attrs: attrs})
+}
+
+// Root starts a span with no parent.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	return t.newSpan(0, name, attrs)
+}
+
+// StartSpan starts a span whose parent is the span carried by ctx (a root
+// span when ctx carries none) and returns a context carrying the new span.
+// The common instrumentation idiom:
+//
+//	ctx, sp := tracer.StartSpan(ctx, "mc.check")
+//	defer sp.End()
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	if p := FromContext(ctx); p != nil {
+		parent = p.id
+	}
+	sp := t.newSpan(parent, name, attrs)
+	return WithSpan(ctx, sp), sp
+}
+
+func (t *Tracer) newSpan(parent uint64, name string, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := spanPool.Get().(*Span)
+	*sp = Span{
+		tr:     t,
+		id:     t.ids.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	return sp
+}
+
+// Child starts a sub-span. Nil-safe: a child of a nil span is nil.
+func (sp *Span) Child(name string, attrs ...Attr) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr.newSpan(sp.id, name, attrs)
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (sp *Span) ID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+// Annotate appends attributes to be emitted when the span ends.
+func (sp *Span) Annotate(attrs ...Attr) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, attrs...)
+}
+
+// End closes the span: one journal line, one histogram observation. Extra
+// attributes are appended to those given at start. End on a nil span no-ops;
+// End must be called at most once, and the span must not be used afterwards
+// (it is recycled — see the Span contract above).
+func (sp *Span) End(attrs ...Attr) {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.ended = true
+	dur := time.Since(sp.start)
+	if len(attrs) > 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
+	tr := sp.tr
+	if tr.j != nil {
+		// The attrs slice rides along to the drain goroutine; ownership
+		// transfers with the event, so the recycled Span drops it.
+		tr.j.Emit(Event{
+			TS:     sp.start,
+			Kind:   KindSpan,
+			Name:   sp.name,
+			Span:   sp.id,
+			Parent: sp.parent,
+			Dur:    dur,
+			Attrs:  sp.attrs,
+		})
+	}
+	name := sp.name
+	*sp = Span{ended: true}
+	spanPool.Put(sp)
+	tr.spanHist(name).ObserveDuration(dur)
+}
+
+// spanHist returns the cached duration histogram for a span name.
+func (t *Tracer) spanHist(name string) *Histogram {
+	if t.reg == nil {
+		return nil
+	}
+	if h, ok := t.known[name]; ok {
+		return h
+	}
+	if h, ok := t.durs.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h := t.reg.Histogram(name + ".us")
+	t.durs.Store(name, h)
+	return h
+}
+
+// EmitSnapshot writes the current metrics snapshot into the journal as a
+// KindSnapshot record (used by the CLIs right before closing the journal).
+func (t *Tracer) EmitSnapshot() {
+	if t == nil || t.j == nil {
+		return
+	}
+	t.j.Emit(Event{TS: time.Now(), Kind: KindSnapshot, Name: "metrics", Data: t.reg.Snapshot()})
+}
+
+// ---------------------------------------------------------------------------
+// Context propagation
+// ---------------------------------------------------------------------------
+
+type ctxKey struct{}
+
+// WithSpan returns a context carrying sp; a nil span returns ctx unchanged.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// ContextTracer returns the tracer of the span carried by ctx, or nil. It
+// lets leaf subsystems (the scheduler, the verdict cache) emit events without
+// holding their own tracer reference.
+func ContextTracer(ctx context.Context) *Tracer {
+	if sp := FromContext(ctx); sp != nil {
+		return sp.tr
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	h := r.Histogram("a.hist")
+	for _, v := range []int64{0, 1, 3, 100, -5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["a.hist"]
+	if hs.Count != 5 || hs.Max != 100 || hs.Sum != 104 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+	if s.Counters["a.count"] != 4 || s.Gauges["a.gauge"] != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["a.count"] != 4 {
+		t.Fatalf("round-tripped snapshot = %+v", round)
+	}
+}
+
+// TestNilSafety drives every instrumentation entry point through nil
+// receivers — the disabled fast path every subsystem relies on.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	var j *Journal
+	reg.Counter("x").Add(1)
+	reg.Gauge("x").Set(1)
+	reg.Histogram("x").Observe(1)
+	if got := reg.Snapshot(); got.Counters != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if reg.Names() != nil {
+		t.Fatal("nil registry names not empty")
+	}
+	j.Emit(Event{})
+	if j.Dropped() != 0 || j.Written() != 0 {
+		t.Fatal("nil journal counts nonzero")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, sp := tr.StartSpan(context.Background(), "noop")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.Annotate(Int("k", 1))
+	sp.End()
+	if sp.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	tr.Event("e")
+	tr.EmitSnapshot()
+	if tr.Registry() != nil || tr.Journal() != nil {
+		t.Fatal("nil tracer exposes components")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ContextTracer(context.Background()) != nil {
+		t.Fatal("empty context has a tracer")
+	}
+}
+
+func decodeLines(t *testing.T, data []byte) []JSONEvent {
+	t.Helper()
+	var out []JSONEvent
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var je JSONEvent
+		if err := json.Unmarshal([]byte(line), &je); err != nil {
+			t.Fatalf("journal line %q does not parse: %v", line, err)
+		}
+		out = append(out, je)
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf, 64)
+	tr := New(NewRegistry(), j)
+	root := tr.Root("run", String("design", "arbiter2"))
+	child := root.Child("phase", Int("iter", 1))
+	child.End(Bool("ok", true))
+	root.End()
+	tr.Event("steal", Int("task", 3))
+	tr.Registry().Counter("sat.propagations").Add(42)
+	tr.EmitSnapshot()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := decodeLines(t, buf.Bytes())
+	if len(evs) != 5 {
+		t.Fatalf("got %d journal lines, want 5", len(evs))
+	}
+	byKind := map[string][]JSONEvent{}
+	spans := map[uint64]JSONEvent{}
+	for _, e := range evs {
+		byKind[e.Kind] = append(byKind[e.Kind], e)
+		if e.Kind == KindSpan {
+			spans[e.Span] = e
+		}
+	}
+	if len(byKind[KindSpan]) != 2 || len(byKind[KindEvent]) != 1 ||
+		len(byKind[KindSnapshot]) != 1 || len(byKind[KindClose]) != 1 {
+		t.Fatalf("kind distribution wrong: %+v", byKind)
+	}
+	// Span-tree well-formedness: every non-zero parent resolves to a span,
+	// and the parent's interval encloses the child's start.
+	for _, e := range byKind[KindSpan] {
+		if e.Parent == 0 {
+			continue
+		}
+		p, ok := spans[e.Parent]
+		if !ok {
+			t.Fatalf("span %d has unknown parent %d", e.Span, e.Parent)
+		}
+		if e.TS < p.TS || e.TS > p.TS+p.DurUS+1 {
+			t.Fatalf("child span %d starts outside parent %d's interval", e.Span, e.Parent)
+		}
+	}
+	ch := byKind[KindSpan][0]
+	if ch.Name != "phase" || ch.Attrs["iter"] != float64(1) || ch.Attrs["ok"] != float64(1) {
+		t.Fatalf("child span attrs wrong: %+v", ch)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(*byKind[KindSnapshot][0].Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sat.propagations"] != 42 {
+		t.Fatalf("snapshot counters = %+v", snap.Counters)
+	}
+	if snap.Histograms["phase.us"].Count != 1 {
+		t.Fatalf("span duration histogram missing: %+v", snap.Histograms)
+	}
+	cl := byKind[KindClose][0]
+	if cl.Attrs["written"] != float64(4) || cl.Attrs["dropped"] != float64(0) {
+		t.Fatalf("trailer accounting wrong: %+v", cl.Attrs)
+	}
+}
+
+// slowWriter blocks every write until released, forcing the journal buffer to
+// back up.
+type slowWriter struct {
+	release chan struct{}
+	mu      sync.Mutex
+	buf     bytes.Buffer
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func TestJournalDropAccounting(t *testing.T) {
+	w := &slowWriter{release: make(chan struct{})}
+	j := NewJournal(w, 2)
+	// The writer goroutine is stalled; the buffer holds 2 events (plus up to
+	// one pulled into the stalled Write). Emit far more than fit.
+	const emits = 100
+	for i := 0; i < emits; i++ {
+		j.Emit(Event{TS: time.Now(), Kind: KindEvent, Name: "e", Attrs: []Attr{Int("i", int64(i))}})
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("tiny buffer under a stalled writer dropped nothing")
+	}
+	close(w.release) // let the writer drain
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	data := append([]byte(nil), w.buf.Bytes()...)
+	w.mu.Unlock()
+	evs := decodeLines(t, data)
+	var trailer *JSONEvent
+	written, dropped := int64(0), int64(0)
+	for i := range evs {
+		if evs[i].Kind == KindClose {
+			trailer = &evs[i]
+		} else {
+			written++
+		}
+	}
+	if trailer == nil {
+		t.Fatal("no close trailer")
+	}
+	dropped = int64(trailer.Attrs["dropped"].(float64))
+	if int64(trailer.Attrs["written"].(float64)) != written {
+		t.Fatalf("trailer written=%v, but %d lines on disk", trailer.Attrs["written"], written)
+	}
+	if written+dropped != emits {
+		t.Fatalf("written %d + dropped %d != emitted %d", written, dropped, emits)
+	}
+	// Emits after Close must not panic and must be counted.
+	before := j.Dropped()
+	j.Emit(Event{Kind: KindEvent, Name: "late"})
+	if j.Dropped() != before+1 {
+		t.Fatal("post-close emit not counted as dropped")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartSpanParenting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewRegistry(), NewJournal(&buf, 16))
+	ctx := context.Background()
+	ctx, root := tr.StartSpan(ctx, "root")
+	ctx2, child := tr.StartSpan(ctx, "child")
+	if FromContext(ctx2) != child || FromContext(ctx) != root {
+		t.Fatal("context span propagation broken")
+	}
+	if ContextTracer(ctx2) != tr {
+		t.Fatal("ContextTracer lost the tracer")
+	}
+	child.End()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeLines(t, buf.Bytes())
+	var rootID uint64
+	for _, e := range evs {
+		if e.Kind == KindSpan && e.Name == "root" {
+			rootID = e.Span
+		}
+	}
+	for _, e := range evs {
+		if e.Kind == KindSpan && e.Name == "child" && e.Parent != rootID {
+			t.Fatalf("child parent = %d, want %d", e.Parent, rootID)
+		}
+	}
+}
+
+// TestAppendEventMatchesWire pins the drain goroutine's hand-rolled encoder
+// against the reference JSONEvent marshaling: for events covering every field
+// and the string-escaping edge cases, both encodings must decode to the same
+// record.
+func TestAppendEventMatchesWire(t *testing.T) {
+	events := []Event{
+		{TS: time.UnixMicro(123456), Kind: KindEvent, Name: "sched.steal"},
+		{
+			TS: time.UnixMicro(-5), Kind: KindSpan, Name: "mc.check",
+			Span: 7, Parent: 3, Dur: 1500 * time.Microsecond,
+			Attrs: []Attr{
+				String("assertion", `a && "b" \ <c>`+"\n\t\r\x01"),
+				Int("depth", -42),
+				Bool("degraded", true),
+				String("unicode", "héllo — 世界"),
+				String("empty", ""),
+			},
+		},
+		{TS: time.UnixMicro(99), Kind: KindSnapshot, Name: "metrics",
+			Data: map[string]int{"a": 1}},
+	}
+	for i, e := range events {
+		got, err := appendEvent(nil, &e)
+		if err != nil {
+			t.Fatalf("event %d: appendEvent: %v", i, err)
+		}
+		ref, err := e.wire()
+		if err != nil {
+			t.Fatalf("event %d: wire: %v", i, err)
+		}
+		want, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gj, wj JSONEvent
+		if err := json.Unmarshal(got, &gj); err != nil {
+			t.Fatalf("event %d: hand encoding unparseable: %v\n%s", i, err, got)
+		}
+		if err := json.Unmarshal(want, &wj); err != nil {
+			t.Fatal(err)
+		}
+		gd, wd := gj.Data, wj.Data
+		gj.Data, wj.Data = nil, nil
+		if !reflect.DeepEqual(gj, wj) {
+			t.Errorf("event %d: decoded records differ:\nhand: %+v\nref:  %+v", i, gj, wj)
+		}
+		if (gd == nil) != (wd == nil) {
+			t.Errorf("event %d: data presence differs", i)
+		} else if gd != nil && string(*gd) != string(*wd) {
+			t.Errorf("event %d: data differs: %s vs %s", i, *gd, *wd)
+		}
+	}
+}

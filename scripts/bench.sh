@@ -10,12 +10,19 @@
 # Also writes BENCH_mc.json (override with $2): fresh-checker vs persistent
 # mc.Session wall times over mined assertion suites, per-design speedups, and
 # the fresh ≡ session verdict/counterexample equality check.
+#
+# Also writes BENCH_telemetry.json (override with $3): full mining runs with
+# the observability layer off vs on (JSONL journal to a discarding sink),
+# per-design overhead percentages, journal volume/drop accounting, and the
+# span taxonomy observed. Overhead scales with journal event volume; see
+# DESIGN.md section 4.4 for the measured envelope.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sched.json}"
 out2="${2:-BENCH_mc.json}"
+out3="${3:-BENCH_telemetry.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
@@ -23,3 +30,6 @@ echo "bench: wrote $out (workers=$jobs)"
 
 go run ./cmd/experiments -mc-bench "$out2"
 echo "bench: wrote $out2"
+
+go run ./cmd/experiments -telemetry-bench "$out3"
+echo "bench: wrote $out3"

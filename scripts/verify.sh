@@ -41,6 +41,29 @@ if ! diff "$tmpbin/j1.art" "$tmpbin/j4.art"; then
 fi
 echo "smoke: -j 4 artifacts identical to -j 1 ($(cat "$tmpbin/sched.txt"))"
 
+echo "== smoke: telemetry journal is well-formed and covers every phase =="
+# Mine the fetch stage with the JSONL journal on: telcheck re-parses every
+# line, checks span-tree well-formedness (parents resolve, intervals nest)
+# and the close trailer, and requires at least one span from each layer of
+# the refinement loop — mining, simulation, scheduling, model checking, SAT.
+go build -o "$tmpbin/telcheck" ./cmd/telcheck
+"$tmpbin/goldmine" -design fetch -max-iter 6 -telemetry "$tmpbin/tel.jsonl" >/dev/null
+"$tmpbin/telcheck" \
+    -require mine.run,mine.output,mine.iteration,mine.candidates,mine.tree_update,sim.run,sched.cache_probe,mc.check,mc.bmc_frame,mc.induction_step,sat.solve \
+    "$tmpbin/tel.jsonl"
+
+echo "== smoke: telemetry does not perturb artifacts (-j1 ≡ -j4, journal on) =="
+"$tmpbin/goldmine" -design arbiter4 -j 1 -telemetry "$tmpbin/t1.jsonl" >"$tmpbin/t1.txt"
+"$tmpbin/goldmine" -design arbiter4 -j 4 -telemetry "$tmpbin/t4.jsonl" >"$tmpbin/t4.txt"
+grep -v '^total:' "$tmpbin/t1.txt" >"$tmpbin/t1.art"
+grep -v '^total:' "$tmpbin/t4.txt" >"$tmpbin/t4.art"
+if ! diff "$tmpbin/t1.art" "$tmpbin/t4.art"; then
+    echo "smoke: FAILED (artifacts differ across -j with telemetry enabled)" >&2
+    exit 1
+fi
+"$tmpbin/telcheck" "$tmpbin/t4.jsonl" >/dev/null
+echo "smoke: telemetry-enabled artifacts identical across worker counts"
+
 echo "== cross-check: incremental sessions match the stateless checker (race) =="
 # Every bundled design, race-enabled binary, with the incremental session +
 # cone-of-influence path diffed against the stateless full-encode path.

@@ -10,6 +10,8 @@ package goldmine
 // every reachable input.
 
 import (
+	"context"
+
 	"testing"
 
 	"goldmine/internal/core"
@@ -37,7 +39,7 @@ func TestTheorem2Combinational(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, outName := range []string{"z", "w"} {
-		res, err := eng.MineOutputByName(outName, 0, nil)
+		res, err := eng.MineOutputByName(context.Background(), outName, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +86,7 @@ func TestTheorem2Sequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.MineOutputByName("gnt0", 0, b.Directed())
+	res, err := eng.MineOutputByName(context.Background(), "gnt0", 0, b.Directed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func TestTheorem1Bound(t *testing.T) {
 		for _, out := range b.KeyOutputs {
 			sig := d.Signal(out)
 			for bit := 0; bit < sig.Width; bit++ {
-				res, err := eng.MineOutput(sig, bit, nil)
+				res, err := eng.MineOutput(context.Background(), sig, bit, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -161,7 +163,7 @@ func TestFinalTreeOnlyReachableStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.MineOutputByName("gnt1", 0, b.Directed())
+	res, err := eng.MineOutputByName(context.Background(), "gnt1", 0, b.Directed())
 	if err != nil {
 		t.Fatal(err)
 	}
