@@ -37,6 +37,7 @@ func main() {
 		schedBench = flag.String("sched-bench", "", "run the scheduler benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		mcBench    = flag.String("mc-bench", "", "run the incremental model-checking benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		telBench   = flag.String("telemetry-bench", "", "run the telemetry overhead benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		simBench   = flag.String("sim-bench", "", "run the compiled/batched simulation benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		telOut     = flag.String("telemetry", "", "write a JSONL telemetry journal of the whole run to this file")
 		metrics    = flag.Bool("metrics-summary", false, "print the aggregated metrics snapshot as JSON to stderr on exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -126,6 +127,10 @@ func main() {
 	}
 	if *telBench != "" {
 		benchTo(*telBench, experiments.TelemetryBench, "telemetry-bench")
+		return
+	}
+	if *simBench != "" {
+		benchTo(*simBench, experiments.SimBench, "sim-bench")
 		return
 	}
 

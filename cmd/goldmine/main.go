@@ -59,6 +59,7 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; results are identical for any value)")
 		schedOut = flag.Bool("sched-stats", false, "print scheduler/cache telemetry to stderr (advisory, non-deterministic)")
 		incr     = flag.Bool("incremental", true, "reuse persistent SAT solver sessions across checks (verdicts and counterexamples are identical either way)")
+		compiled = flag.Bool("compiled", true, "use the compiled instruction-tape simulator for seed and counterexample traces (artifacts are identical either way)")
 		coi      = flag.Bool("coi", true, "cone-of-influence CNF reduction: encode only the logic each assertion can observe")
 		telOut   = flag.String("telemetry", "", "write a JSONL telemetry journal (spans, events, final metrics snapshot) to this file")
 		metrics  = flag.Bool("metrics-summary", false, "print the metrics snapshot (counters, gauges, histograms) to stderr on exit")
@@ -95,7 +96,7 @@ func main() {
 		maxIter: *maxIter, checkTO: *checkTO, workers: *workers,
 		batched: *batched, fullCtx: *full, printTree: *tree,
 		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
-		incremental: *incr, coi: *coi,
+		incremental: *incr, coi: *coi, compiled: *compiled,
 		telemetry: *telOut, metricsSummary: *metrics,
 		timeout: *timeout,
 	}
@@ -123,6 +124,7 @@ type runOpts struct {
 	printTree, reduce    bool
 	minimize, schedOut   bool
 	incremental, coi     bool
+	compiled             bool
 	telemetry            string
 	metricsSummary       bool
 }
@@ -204,6 +206,7 @@ func run(ctx context.Context, o runOpts) error {
 		FullCtxTrace(o.fullCtx).
 		Workers(o.workers).
 		Incremental(o.incremental).
+		Compiled(o.compiled).
 		CoI(o.coi).
 		CheckTimeout(o.checkTO)
 	if o.window >= 0 {

@@ -18,6 +18,7 @@ import (
 	"goldmine/internal/designs"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
+	"goldmine/internal/simc"
 	"goldmine/internal/stimgen"
 )
 
@@ -30,15 +31,16 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random stimulus seed")
 		quiet  = flag.Bool("quiet", false, "suppress the trace, print only coverage")
 		vcd    = flag.String("vcd", "", "write the trace as a VCD file")
+		comp   = flag.Bool("compiled", true, "use the compiled instruction-tape simulator (trace, VCD and coverage are identical to the interpreter)")
 	)
 	flag.Parse()
-	if err := run(*design, *file, *cycles, *stim, *seed, *quiet, *vcd); err != nil {
+	if err := run(*design, *file, *cycles, *stim, *seed, *quiet, *vcd, *comp); err != nil {
 		fmt.Fprintln(os.Stderr, "rtlsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(design, file string, cycles int, stimSpec string, seed int64, quiet bool, vcdPath string) error {
+func run(design, file string, cycles int, stimSpec string, seed int64, quiet bool, vcdPath string, compiled bool) error {
 	var d *rtl.Design
 	var bench *designs.Benchmark
 	var err error
@@ -83,17 +85,31 @@ func run(design, file string, cycles int, stimSpec string, seed int64, quiet boo
 		return fmt.Errorf("bad -stim %q", stimSpec)
 	}
 
-	s, err := sim.New(d)
-	if err != nil {
-		return err
-	}
 	col := coverage.New(d)
-	s.Observe(col.Observe)
 	col.BeginRun()
 	trace := sim.NewTrace(d)
-	for _, iv := range stim {
-		if err := s.Step(iv, trace); err != nil {
+	if compiled {
+		p, err := simc.Compile(d)
+		if err != nil {
 			return err
+		}
+		m := simc.NewMachine(p)
+		m.Observe(col.Observe)
+		for _, iv := range stim {
+			if err := m.Step(iv, trace); err != nil {
+				return err
+			}
+		}
+	} else {
+		s, err := sim.New(d)
+		if err != nil {
+			return err
+		}
+		s.Observe(col.Observe)
+		for _, iv := range stim {
+			if err := s.Step(iv, trace); err != nil {
+				return err
+			}
 		}
 	}
 

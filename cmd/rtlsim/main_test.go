@@ -8,19 +8,19 @@ import (
 )
 
 func TestRunRandomQuiet(t *testing.T) {
-	if err := run("arbiter2", "", 10, "random", 1, true, ""); err != nil {
+	if err := run("arbiter2", "", 10, "random", 1, true, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDirectedWithTrace(t *testing.T) {
-	if err := run("arbiter2", "", 0, "directed", 1, false, ""); err != nil {
+	if err := run("arbiter2", "", 0, "directed", 1, false, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExhaustive(t *testing.T) {
-	if err := run("cex_small", "", 0, "exhaustive", 1, true, ""); err != nil {
+	if err := run("cex_small", "", 0, "exhaustive", 1, true, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,7 +28,7 @@ func TestRunExhaustive(t *testing.T) {
 func TestRunVCDOutput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wave.vcd")
-	if err := run("arbiter2", "", 8, "random", 3, true, path); err != nil {
+	if err := run("arbiter2", "", 8, "random", 3, true, path, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -44,22 +44,47 @@ func TestRunFileInput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "m.v")
 	os.WriteFile(path, []byte("module m(input a, output y); assign y = ~a; endmodule"), 0o644)
-	if err := run("", path, 4, "random", 1, true, ""); err != nil {
+	if err := run("", path, 4, "random", 1, true, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 10, "random", 1, true, ""); err == nil {
+	if err := run("", "", 10, "random", 1, true, "", true); err == nil {
 		t.Error("missing design should error")
 	}
-	if err := run("fetch", "", 10, "directed2", 1, true, ""); err == nil {
+	if err := run("fetch", "", 10, "directed2", 1, true, "", true); err == nil {
 		t.Error("bad stim spec should error")
 	}
-	if err := run("wb_stage", "", 10, "exhaustive", 1, true, ""); err == nil {
+	if err := run("wb_stage", "", 10, "exhaustive", 1, true, "", true); err == nil {
 		t.Error("wide exhaustive should error (24 input bits)")
 	}
-	if err := run("b01", "", 10, "directed", 1, true, ""); err == nil {
+	if err := run("b01", "", 10, "directed", 1, true, "", false); err == nil {
 		t.Error("design without directed test should error")
+	}
+}
+
+// TestRunVCDIdenticalAcrossEngines pins the rtlsim -compiled contract: the
+// VCD dump from the compiled engine is byte-identical to the interpreter's.
+func TestRunVCDIdenticalAcrossEngines(t *testing.T) {
+	dir := t.TempDir()
+	pi := filepath.Join(dir, "interp.vcd")
+	pc := filepath.Join(dir, "compiled.vcd")
+	if err := run("b06", "", 50, "random", 7, true, pi, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("b06", "", 50, "random", 7, true, pc, true); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("compiled VCD differs from interpreter VCD")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"goldmine/internal/rtl"
 	"goldmine/internal/sched"
 	"goldmine/internal/sim"
+	"goldmine/internal/simc"
 	"goldmine/internal/telemetry"
 	"goldmine/internal/trace"
 )
@@ -98,6 +99,14 @@ type Config struct {
 	// proved→bounded→unknown can depend on which session answered it
 	// (verdicts only ever weaken; they never flip). DefaultConfig enables it.
 	Incremental bool
+	// CompiledSim routes seed and counterexample simulation through the
+	// compiled instruction-tape engine (internal/simc) instead of the tree
+	// interpreter. The design is compiled once per engine (shared across
+	// forks); traces are bit-for-bit identical to the interpreter's, so every
+	// mining artifact — including Result.Canonical — is unchanged. If
+	// compilation fails the engine silently falls back to the interpreter.
+	// DefaultConfig enables it.
+	CompiledSim bool
 	// MC are the model checker limits.
 	MC mc.Options
 }
@@ -108,6 +117,7 @@ func DefaultConfig() Config {
 		Window:        1,
 		MaxIterations: 64,
 		Incremental:   true,
+		CompiledSim:   true,
 		MC:            mc.DefaultOptions(),
 	}
 }
@@ -390,6 +400,12 @@ type Engine struct {
 	Checker *mc.Checker
 	checker FormalChecker // overrides Checker when set (fault injection)
 	sim     *sim.Simulator
+	// compiled holds the once-compiled instruction-tape program, shared by
+	// every fork (compilation is per design, not per goroutine); machine is
+	// this engine's private executor over it (simc.Machine is
+	// single-goroutine, like sim.Simulator).
+	compiled *compiledSim
+	machine  *simc.Machine
 
 	// cache memoizes model-checker verdicts under canonical keys; shared by
 	// every fork of this engine (and across engines when Config.Cache is
@@ -446,6 +462,9 @@ func NewEngine(d *rtl.Design, cfg Config) (*Engine, error) {
 		cache:     cache,
 		keyPrefix: sched.DesignFingerprint(d) + "|" + sched.OptionsFingerprint(cfg.MC) + "|",
 		checkSem:  make(chan struct{}, lanes),
+	}
+	if cfg.CompiledSim {
+		e.compiled = &compiledSim{}
 	}
 	if cfg.Incremental {
 		// Capacity covers the worst-case concurrent checks (one per mining
@@ -510,7 +529,49 @@ func (e *Engine) fork() (*Engine, error) {
 	fe := *e
 	fe.sim = s
 	fe.sim.Cycles = e.sim.Cycles
+	fe.machine = nil // executors are single-goroutine; the program is shared
 	return &fe, nil
+}
+
+// compiledSim is the fork-shared compile-once cell for the instruction-tape
+// simulator.
+type compiledSim struct {
+	once sync.Once
+	prog *simc.Program
+	err  error
+}
+
+// compiledMachine returns this engine's compiled executor, compiling the
+// shared program on first use (under a sim.compile span). Nil means the
+// compiled path is disabled or compilation failed — callers fall back to the
+// interpreter.
+func (e *Engine) compiledMachine(ctx context.Context) *simc.Machine {
+	if e.compiled == nil {
+		return nil
+	}
+	e.compiled.once.Do(func() {
+		_, sp := e.tel.StartSpan(ctx, "sim.compile", telemetry.String("design", e.D.Name))
+		e.compiled.prog, e.compiled.err = simc.Compile(e.D)
+		sp.End()
+	})
+	if e.compiled.err != nil {
+		return nil
+	}
+	if e.machine == nil {
+		e.machine = simc.NewMachine(e.compiled.prog)
+	}
+	e.machine.Cycles = e.sim.Cycles
+	return e.machine
+}
+
+// simulate runs a stimulus on the fastest available engine. Compiled and
+// interpreted traces are bit-for-bit identical (enforced by the differential
+// tests in internal/simc), so the choice never changes mining artifacts.
+func (e *Engine) simulate(ctx context.Context, stim sim.Stimulus) (*sim.Trace, error) {
+	if m := e.compiledMachine(ctx); m != nil {
+		return m.Run(stim)
+	}
+	return e.sim.Run(stim)
 }
 
 // SetChecker substitutes the formal checker — the fault-injection seam. A nil
@@ -643,14 +704,14 @@ func (e *Engine) runChecks(ctx context.Context, out string, dispatch []mine.Cand
 
 // safeCtxSim simulates a counterexample stimulus behind a recover barrier
 // (hostile checkers can return malformed traces that trip the simulator).
-func (e *Engine) safeCtxSim(stim sim.Stimulus) (tr *sim.Trace, err error) {
+func (e *Engine) safeCtxSim(ctx context.Context, stim sim.Stimulus) (tr *sim.Trace, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tr = nil
 			err = fmt.Errorf("%w: panic: %v", mc.ErrEngineInternal, r)
 		}
 	}()
-	return e.sim.Run(stim)
+	return e.simulate(ctx, stim)
 }
 
 // safeAddRows applies an incremental tree update behind a recover barrier.
@@ -691,7 +752,7 @@ func (e *Engine) MineOutput(ctx context.Context, out *rtl.Signal, bit int, seed 
 	}
 	if len(seed) > 0 {
 		ssp := osp.Child("sim.run", telemetry.Int("cycles", int64(len(seed))))
-		tr, err := e.sim.Run(seed)
+		tr, err := e.simulate(ctx, seed)
 		ssp.End()
 		if err != nil {
 			return nil, err
@@ -792,7 +853,7 @@ func (e *Engine) MineOutput(ctx context.Context, out *rtl.Signal, bit int, seed 
 				fsp := isp.Child("mine.ctx_feedback", telemetry.Int("cycles", int64(len(verdict.Ctx))))
 				defer fsp.End()
 				e.mtr.ctxFound.Inc()
-				ctxTrace, err := e.safeCtxSim(verdict.Ctx)
+				ctxTrace, err := e.safeCtxSim(ctx, verdict.Ctx)
 				if err != nil {
 					fault(&st, node, rec, &EngineError{
 						Stage: StageCtxSim, Output: out.Name,

@@ -12,6 +12,7 @@ import (
 
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
+	"goldmine/internal/simc"
 )
 
 // Collector accumulates coverage over one or more simulation runs.
@@ -126,6 +127,30 @@ func (c *Collector) RunSuite(suite []sim.Stimulus) error {
 		s.Reset()
 		for _, iv := range stim {
 			if err := s.Step(iv, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunSuiteCompiled is RunSuite on the compiled simulator: the design is
+// elaborated once into an instruction tape and every stimulus replays on the
+// same machine. Coverage observations are identical to RunSuite because the
+// observer hook fires at the same point (after combinational settling) over
+// an equivalent environment view.
+func (c *Collector) RunSuiteCompiled(suite []sim.Stimulus) error {
+	p, err := simc.Compile(c.d)
+	if err != nil {
+		return err
+	}
+	m := simc.NewMachine(p)
+	m.Observe(c.Observe)
+	for _, stim := range suite {
+		c.BeginRun()
+		m.Reset()
+		for _, iv := range stim {
+			if err := m.Step(iv, nil); err != nil {
 				return err
 			}
 		}

@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"goldmine/internal/designs"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
+	"goldmine/internal/stimgen"
 )
 
 const arbiterSrc = `
@@ -223,5 +225,42 @@ func TestUncoveredPointsShrink(t *testing.T) {
 	after := len(c.UncoveredPoints())
 	if after >= before {
 		t.Errorf("uncovered points did not shrink: %d -> %d", before, after)
+	}
+}
+
+func TestRunSuiteCompiledMatchesInterpreter(t *testing.T) {
+	// Identical coverage reports from the interpreter and the compiled
+	// machine over every bundled design: the observer hook must see the
+	// same settled environment either way.
+	for _, b := range designs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			d, err := b.Design()
+			if err != nil {
+				t.Fatal(err)
+			}
+			suite := stimgen.RandomLanes(d, 4, 150, 23, 2)
+			ci := New(d)
+			if err := ci.RunSuite(suite); err != nil {
+				t.Fatal(err)
+			}
+			cc := New(d)
+			if err := cc.RunSuiteCompiled(suite); err != nil {
+				t.Fatal(err)
+			}
+			ri, rc := ci.Report(), cc.Report()
+			if ri != rc {
+				t.Errorf("coverage diverges:\ninterpreter: %s\ncompiled:    %s", ri, rc)
+			}
+			ui, uc := ci.UncoveredPoints(), cc.UncoveredPoints()
+			if len(ui) != len(uc) {
+				t.Fatalf("uncovered point counts differ: %d vs %d", len(ui), len(uc))
+			}
+			for i := range ui {
+				if ui[i] != uc[i] {
+					t.Errorf("uncovered point %d: %q vs %q", i, ui[i], uc[i])
+				}
+			}
+		})
 	}
 }

@@ -127,6 +127,12 @@ func (m *Monitor) Observe(env rtl.Env) {
 	for i, sig := range m.sigs {
 		m.ring[slot][i] = env.Get(sig) & rtl.Mask(sig.Width)
 	}
+	m.advance()
+}
+
+// advance evaluates the assertion windows after a new cycle has been written
+// into the ring buffer at slot seen%depth.
+func (m *Monitor) advance() {
 	m.seen++
 	if m.seen < m.depth {
 		return // window not yet full
@@ -188,6 +194,36 @@ func (m *Monitor) VacuousCount() int {
 		}
 	}
 	return n
+}
+
+// RunTrace replays a recorded trace through the monitor without
+// re-simulating: each row is treated as one settled cycle. This is how
+// batched simulation output (64 lanes transposed back to individual traces)
+// feeds the regression monitors — the simulator has already run, only the
+// window evaluation remains. Trace values are stored raw (driver-width), so
+// they are masked to signal width here exactly as Observe masks live values.
+func (m *Monitor) RunTrace(tr *sim.Trace) error {
+	cols := make([]int, len(m.sigs))
+	for i, sig := range m.sigs {
+		c := tr.Column(sig.Name)
+		if c < 0 {
+			return fmt.Errorf("monitor: trace has no signal %q", sig.Name)
+		}
+		if tr.Signals[c].Width != sig.Width {
+			return fmt.Errorf("monitor: trace signal %s width %d, design width %d",
+				sig.Name, tr.Signals[c].Width, sig.Width)
+		}
+		cols[i] = c
+	}
+	m.BeginRun()
+	for _, row := range tr.Values {
+		slot := m.seen % m.depth
+		for i, sig := range m.sigs {
+			m.ring[slot][i] = row[cols[i]] & rtl.Mask(sig.Width)
+		}
+		m.advance()
+	}
+	return nil
 }
 
 // RunSuite resets and replays each stimulus with the monitor attached.

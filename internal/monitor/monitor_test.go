@@ -1,4 +1,4 @@
-package monitor
+package monitor_test
 
 import (
 	"context"
@@ -8,6 +8,7 @@ import (
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
 	"goldmine/internal/designs"
+	"goldmine/internal/monitor"
 	"goldmine/internal/mutate"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
@@ -39,7 +40,7 @@ func arbiterSuite(t *testing.T) (*rtl.Design, []*assertion.Assertion) {
 
 func TestMonitorCleanOnCorrectDesign(t *testing.T) {
 	d, suite := arbiterSuite(t)
-	m, err := New(d, suite)
+	m, err := monitor.New(d, suite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestMonitorCatchesInjectedFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(mutant, suite)
+	m, err := monitor.New(mutant, suite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ endmodule`)
 		Antecedent: []assertion.Prop{assertion.P("a", 0, 1, 1)},
 		Consequent: assertion.P("q", 1, 1, 1),
 	}
-	m, err := New(d, []*assertion.Assertion{a})
+	m, err := monitor.New(d, []*assertion.Assertion{a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ endmodule`)
 		Antecedent: []assertion.Prop{assertion.P("a", 0, 1, 1)},
 		Consequent: assertion.P("q", 1, 0, 1), // wrong: q follows a
 	}
-	m2, _ := New(d, []*assertion.Assertion{bad})
+	m2, _ := monitor.New(d, []*assertion.Assertion{bad})
 	if err := m2.RunSuite([]sim.Stimulus{{{"a": 1}, {"a": 0}}}); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestMonitorUnknownSignal(t *testing.T) {
 		Antecedent: []assertion.Prop{assertion.P("ghost", 0, 1, 1)},
 		Consequent: assertion.P("y", 0, 1, 1),
 	}
-	if _, err := New(d, []*assertion.Assertion{bad}); err == nil {
+	if _, err := monitor.New(d, []*assertion.Assertion{bad}); err == nil {
 		t.Error("unknown signal should error")
 	}
 }
@@ -143,7 +144,7 @@ func TestMonitorViolationCap(t *testing.T) {
 		Output:     "y",
 		Consequent: assertion.P("y", 0, 1, 1), // claims y always 1
 	}
-	m, _ := New(d, []*assertion.Assertion{alwaysWrong})
+	m, _ := monitor.New(d, []*assertion.Assertion{alwaysWrong})
 	m.MaxViolations = 3
 	var stim sim.Stimulus
 	for i := 0; i < 10; i++ {

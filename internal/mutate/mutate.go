@@ -9,7 +9,11 @@ import (
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/mc"
+	"goldmine/internal/monitor"
 	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/simc"
+	"goldmine/internal/telemetry"
 )
 
 // Fault is a stuck-at fault on a named signal. StuckAt1 false forces all bits
@@ -134,6 +138,78 @@ type Detection struct {
 	Total    int
 	// Detecting lists the indices of detecting assertions.
 	Detecting []int
+}
+
+// SimCampaign is the simulation flavor of Campaign: instead of re-checking
+// each assertion formally on a mutated design, it runs the stimulus on the
+// bit-parallel batch simulator with up to 64 stuck-at faults pinned into
+// separate lanes of one run, then replays each lane's trace through the
+// assertion monitors. An assertion detects a fault when it fires at least one
+// violation on that fault's lane. The design compiles once (all fault signals
+// declared forceable) and faults are re-pinned between 64-lane chunks, so a
+// whole campaign costs a handful of batched simulations regardless of the
+// fault-list length. tel may be nil; when set, each chunk records a sim.batch
+// span.
+func SimCampaign(d *rtl.Design, asserts []*assertion.Assertion, faults []Fault, stim sim.Stimulus, tel *telemetry.Tracer) ([]Detection, error) {
+	names := make([]string, 0, len(faults))
+	seen := map[string]bool{}
+	for _, f := range faults {
+		if d.Signal(f.Signal) == nil {
+			return nil, fmt.Errorf("mutate: no signal %q in %s", f.Signal, d.Name)
+		}
+		if !seen[f.Signal] {
+			seen[f.Signal] = true
+			names = append(names, f.Signal)
+		}
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{Forceable: names})
+	if err != nil {
+		return nil, err
+	}
+	m := simc.NewBatchMachine(p)
+	out := make([]Detection, 0, len(faults))
+	for off := 0; off < len(faults); off += simc.MaxLanes {
+		chunk := faults[off:min(off+simc.MaxLanes, len(faults))]
+		m.ClearForces()
+		lanes := make([]sim.Stimulus, len(chunk))
+		for l, f := range chunk {
+			var v uint64
+			if f.StuckAt1 {
+				v = ^uint64(0) // SetForce masks to the signal's width
+			}
+			if err := m.SetForce(l, f.Signal, v); err != nil {
+				return nil, err
+			}
+			lanes[l] = stim
+		}
+		sp := tel.Root("sim.batch",
+			telemetry.String("design", d.Name),
+			telemetry.Int("lanes", int64(len(chunk))),
+			telemetry.Int("cycles", int64(len(stim))))
+		traces, err := m.RunBatch(lanes)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		for l, f := range chunk {
+			mon, err := monitor.New(d, asserts)
+			if err != nil {
+				return nil, err
+			}
+			if err := mon.RunTrace(traces[l]); err != nil {
+				return nil, err
+			}
+			det := Detection{Fault: f, Total: len(asserts)}
+			for i, st := range mon.AssertionStats() {
+				if st.Violations > 0 {
+					det.Detected++
+					det.Detecting = append(det.Detecting, i)
+				}
+			}
+			out = append(out, det)
+		}
+	}
+	return out, nil
 }
 
 // Campaign checks every assertion against every fault, reproducing Table 2.

@@ -5,11 +5,15 @@ import (
 
 	"testing"
 
+	"reflect"
+
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
 	"goldmine/internal/mc"
+	"goldmine/internal/monitor"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
+	"goldmine/internal/stimgen"
 )
 
 const arbiterSrc = `
@@ -165,4 +169,143 @@ func TestWholeAssertionSuiteStillProvesOnCleanDesign(t *testing.T) {
 		}
 	}
 	_ = assertion.Assertion{} // keep import for clarity of the test's domain
+}
+
+// simAsserts mines the arbiter suite once for the simulation-campaign tests.
+func simAsserts(t *testing.T, d *rtl.Design) []*assertion.Assertion {
+	t.Helper()
+	e, err := core.NewEngine(d, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.MineAll(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asserts := res.Assertions()
+	if len(asserts) == 0 {
+		t.Fatal("no assertions mined")
+	}
+	return asserts
+}
+
+func TestSimCampaignMatchesScalarForce(t *testing.T) {
+	// The 64-lane batched campaign must report exactly the detections of a
+	// one-fault-at-a-time interpreter run with Simulator.Force.
+	d := mustDesign(t, arbiterSrc)
+	asserts := simAsserts(t, d)
+	faults := []Fault{
+		{Signal: "gnt0", StuckAt1: false},
+		{Signal: "gnt0", StuckAt1: true},
+		{Signal: "gnt1", StuckAt1: true},
+		{Signal: "req0", StuckAt1: false},
+		{Signal: "req1", StuckAt1: true},
+	}
+	stim := stimgen.Random(d, 400, 3, 2)
+	dets, err := SimCampaign(d, asserts, faults, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(faults) {
+		t.Fatalf("detections %d want %d", len(dets), len(faults))
+	}
+	for i, f := range faults {
+		s, err := sim.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v uint64
+		if f.StuckAt1 {
+			v = ^uint64(0)
+		}
+		if err := s.Force(f.Signal, v); err != nil {
+			t.Fatal(err)
+		}
+		mon, err := monitor.New(d, asserts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon.Attach(s)
+		if _, err := s.Run(stim); err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for ai, st := range mon.AssertionStats() {
+			if st.Violations > 0 {
+				want = append(want, ai)
+			}
+		}
+		if !reflect.DeepEqual(dets[i].Detecting, want) {
+			t.Errorf("%s: batched detecting %v, scalar force %v", f, dets[i].Detecting, want)
+		}
+		if dets[i].Detected != len(want) {
+			t.Errorf("%s: count %d want %d", f, dets[i].Detected, len(want))
+		}
+	}
+}
+
+func TestSimCampaignDetectsFaults(t *testing.T) {
+	// Register faults must be caught. (Input stuck-at faults can legitimately
+	// escape simulation monitors: the forced value is visible in the trace, so
+	// antecedents requiring the opposite polarity go vacuous — the formal
+	// Campaign, which rewrites only the reads, is the stronger detector there.)
+	d := mustDesign(t, arbiterSrc)
+	asserts := simAsserts(t, d)
+	faults := []Fault{
+		{Signal: "gnt0", StuckAt1: false},
+		{Signal: "gnt0", StuckAt1: true},
+		{Signal: "gnt1", StuckAt1: true},
+	}
+	dets, err := SimCampaign(d, asserts, faults, stimgen.Random(d, 500, 7, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range dets {
+		if det.Detected == 0 {
+			t.Errorf("%s not detected by any of %d assertions", det.Fault, det.Total)
+		}
+		if det.Detected != len(det.Detecting) {
+			t.Errorf("%s: count mismatch", det.Fault)
+		}
+	}
+}
+
+func TestSimCampaignChunksPast64Lanes(t *testing.T) {
+	// More faults than lanes: the campaign must split into 64-lane chunks and
+	// duplicate faults must produce identical detections.
+	d := mustDesign(t, arbiterSrc)
+	asserts := simAsserts(t, d)
+	base := []Fault{
+		{Signal: "gnt0", StuckAt1: false},
+		{Signal: "gnt0", StuckAt1: true},
+		{Signal: "gnt1", StuckAt1: false},
+		{Signal: "gnt1", StuckAt1: true},
+		{Signal: "req0", StuckAt1: true},
+		{Signal: "req1", StuckAt1: true},
+	}
+	var faults []Fault
+	for len(faults) < 70 {
+		faults = append(faults, base...)
+	}
+	dets, err := SimCampaign(d, asserts, faults, stimgen.Random(d, 200, 13, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(faults) {
+		t.Fatalf("detections %d want %d", len(dets), len(faults))
+	}
+	for i, det := range dets {
+		ref := dets[i%len(base)]
+		if !reflect.DeepEqual(det.Detecting, ref.Detecting) {
+			t.Errorf("fault %d (%s): chunked detection %v differs from first-chunk %v",
+				i, det.Fault, det.Detecting, ref.Detecting)
+		}
+	}
+}
+
+func TestSimCampaignUnknownSignal(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	if _, err := SimCampaign(d, nil, []Fault{{Signal: "ghost"}}, sim.Stimulus{{}}, nil); err == nil {
+		t.Error("unknown fault signal should error")
+	}
 }

@@ -1,6 +1,9 @@
 package rtl
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Env supplies current signal values during expression evaluation.
 type Env interface {
@@ -46,7 +49,7 @@ func Eval(e Expr, env Env) uint64 {
 			}
 			return 0
 		case OpRedXor:
-			return uint64(popcount(v) & 1)
+			return uint64(bits.OnesCount64(v) & 1)
 		}
 		panic(fmt.Sprintf("rtl.Eval: bad unary op %d", x.Op))
 
@@ -128,11 +131,3 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
-func popcount(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
-}

@@ -90,7 +90,11 @@ func (t *Trace) Value(c int, name string) (uint64, error) {
 }
 
 // Append adds the rows of other to t. Both traces must be over the same
-// design (same signal ordering).
+// elaboration of the same design: signal ordering, names and widths must all
+// agree. The width check matters because two elaborations of "the same"
+// module can legally disagree on a bus width (parameter overrides, fault
+// rewrites); silently merging such traces would feed the miner columns whose
+// bit semantics differ row to row.
 func (t *Trace) Append(other *Trace) error {
 	if len(t.Signals) != len(other.Signals) {
 		return fmt.Errorf("trace signal count mismatch: %d vs %d", len(t.Signals), len(other.Signals))
@@ -98,6 +102,10 @@ func (t *Trace) Append(other *Trace) error {
 	for i := range t.Signals {
 		if t.Signals[i].Name != other.Signals[i].Name {
 			return fmt.Errorf("trace signal mismatch at %d: %s vs %s", i, t.Signals[i].Name, other.Signals[i].Name)
+		}
+		if t.Signals[i].Width != other.Signals[i].Width {
+			return fmt.Errorf("trace signal %s width mismatch: %d vs %d (traces come from differently-elaborated designs)",
+				t.Signals[i].Name, t.Signals[i].Width, other.Signals[i].Width)
 		}
 	}
 	t.Values = append(t.Values, other.Values...)
@@ -109,6 +117,18 @@ type Simulator struct {
 	d     *rtl.Design
 	vals  rtl.MapEnv
 	order []*rtl.Signal
+	// inputs are the data inputs (clock excluded), precomputed so Step
+	// zeroes them directly instead of scanning every design signal.
+	inputs []*rtl.Signal
+	// nextSigs/nextBuf are the registers with next-state functions and a
+	// persistent evaluation buffer, so the clock edge reuses one slice
+	// instead of allocating a map per cycle.
+	nextSigs []*rtl.Signal
+	nextBuf  []uint64
+	// forces pins signals to constant values (stuck-at semantics for fault
+	// regression); forced is the deterministic application order.
+	forces map[*rtl.Signal]uint64
+	forced []*rtl.Signal
 	// observers are invoked once per cycle after combinational settling.
 	observers []func(env rtl.Env)
 	cycle     int
@@ -124,6 +144,12 @@ func New(d *rtl.Design) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{d: d, order: order, vals: rtl.MapEnv{}}
+	s.inputs = d.Inputs()
+	for reg := range d.Next {
+		s.nextSigs = append(s.nextSigs, reg)
+	}
+	sort.Slice(s.nextSigs, func(i, j int) bool { return s.nextSigs[i].Name < s.nextSigs[j].Name })
+	s.nextBuf = make([]uint64, len(s.nextSigs))
 	s.Reset()
 	return s, nil
 }
@@ -159,14 +185,58 @@ func (s *Simulator) Peek(name string) (uint64, error) {
 	return s.vals[sig] & rtl.Mask(sig.Width), nil
 }
 
+// Force pins a signal to a constant value (masked to the signal's width) from
+// the next settled cycle onward: readers and the recorded trace both see the
+// forced value, giving stuck-at semantics for fault regression. The clock
+// cannot be forced.
+func (s *Simulator) Force(name string, v uint64) error {
+	sig := s.d.Signal(name)
+	if sig == nil {
+		return fmt.Errorf("force targets unknown signal %q", name)
+	}
+	if sig.Name == s.d.Clock {
+		return fmt.Errorf("force targets clock %q", name)
+	}
+	if s.forces == nil {
+		s.forces = make(map[*rtl.Signal]uint64)
+	}
+	if _, ok := s.forces[sig]; !ok {
+		s.forced = append(s.forced, sig)
+	}
+	s.forces[sig] = v & rtl.Mask(sig.Width)
+	return nil
+}
+
+// Unforce releases a forced signal; unknown or unforced names are no-ops.
+func (s *Simulator) Unforce(name string) {
+	sig := s.d.Signal(name)
+	if sig == nil {
+		return
+	}
+	if _, ok := s.forces[sig]; !ok {
+		return
+	}
+	delete(s.forces, sig)
+	for i, f := range s.forced {
+		if f == sig {
+			s.forced = append(s.forced[:i], s.forced[i+1:]...)
+			break
+		}
+	}
+}
+
+// ClearForces releases all forced signals.
+func (s *Simulator) ClearForces() {
+	s.forces = nil
+	s.forced = nil
+}
+
 // Step applies one input vector, settles combinational logic, invokes
 // observers, records into trace (if non-nil), and advances the clock.
 func (s *Simulator) Step(in InputVec, trace *Trace) error {
 	// Zero all data inputs, then apply the vector (unassigned inputs are 0).
-	for _, sig := range s.d.Signals {
-		if sig.Kind == rtl.SigInput && sig.Name != s.d.Clock {
-			s.vals[sig] = 0
-		}
+	for _, sig := range s.inputs {
+		s.vals[sig] = 0
 	}
 	for name, v := range in {
 		sig := s.d.Signal(name)
@@ -181,9 +251,27 @@ func (s *Simulator) Step(in InputVec, trace *Trace) error {
 		}
 		s.vals[sig] = v & rtl.Mask(sig.Width)
 	}
-	// Settle combinational logic in dependency order.
-	for _, sig := range s.order {
-		s.vals[sig] = rtl.Eval(s.d.Comb[sig], s.vals)
+	if len(s.forces) == 0 {
+		// Fast path: no stuck-at overrides, settle in dependency order.
+		for _, sig := range s.order {
+			s.vals[sig] = rtl.Eval(s.d.Comb[sig], s.vals)
+		}
+	} else {
+		// Pin non-combinational signals (inputs, registers) before settling so
+		// downstream logic reads the forced value; combinational signals are
+		// pinned in place of their driver during the settle pass.
+		for _, sig := range s.forced {
+			if _, comb := s.d.Comb[sig]; !comb {
+				s.vals[sig] = s.forces[sig]
+			}
+		}
+		for _, sig := range s.order {
+			if fv, ok := s.forces[sig]; ok {
+				s.vals[sig] = fv
+				continue
+			}
+			s.vals[sig] = rtl.Eval(s.d.Comb[sig], s.vals)
+		}
 	}
 	// Observe and record the settled cycle.
 	for _, fn := range s.observers {
@@ -196,13 +284,12 @@ func (s *Simulator) Step(in InputVec, trace *Trace) error {
 		}
 		trace.Values = append(trace.Values, row)
 	}
-	// Clock edge: latch next state.
-	next := make(map[*rtl.Signal]uint64, len(s.d.Next))
-	for reg, e := range s.d.Next {
-		next[reg] = rtl.Eval(e, s.vals)
+	// Clock edge: latch next state (two-phase via the persistent buffer).
+	for i, reg := range s.nextSigs {
+		s.nextBuf[i] = rtl.Eval(s.d.Next[reg], s.vals)
 	}
-	for reg, v := range next {
-		s.vals[reg] = v
+	for i, reg := range s.nextSigs {
+		s.vals[reg] = s.nextBuf[i]
 	}
 	s.cycle++
 	s.Cycles.Inc()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"goldmine/internal/rtl"
@@ -152,6 +153,120 @@ func TestTraceAppendMismatch(t *testing.T) {
 	t2 := NewTrace(d2)
 	if err := t1.Append(t2); err == nil {
 		t.Error("mismatched append should error")
+	}
+}
+
+func TestTraceAppendWidthMismatch(t *testing.T) {
+	d1 := mustDesign(t, `module m(input [3:0] a, output [3:0] y); assign y = ~a; endmodule`)
+	d2 := mustDesign(t, `module m(input [7:0] a, output [7:0] y); assign y = ~a; endmodule`)
+	t1 := NewTrace(d1)
+	t2 := NewTrace(d2)
+	err := t1.Append(t2)
+	if err == nil {
+		t.Fatal("width-mismatched append should error")
+	}
+	if got := err.Error(); !strings.Contains(got, "width mismatch") || !strings.Contains(got, "a") {
+		t.Errorf("error %q should name the signal and the width mismatch", got)
+	}
+}
+
+func TestForceSemantics(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	// Forcing an input overrides the stimulus and is visible in the trace.
+	if err := s.Force("req0", 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(Stimulus{{}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if v, _ := tr.Value(c, "req0"); v != 1 {
+			t.Errorf("cycle %d: forced req0=%d want 1", c, v)
+		}
+	}
+	// req0 stuck at 1 with req1 low grants port 0 from cycle 1 on.
+	if v, _ := tr.Value(2, "gnt0"); v != 1 {
+		t.Errorf("gnt0=%d want 1 under stuck req0", v)
+	}
+	// Forcing a register pins it even against its next-state function.
+	if err := s.Force("gnt0", 0); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = s.Run(Stimulus{{}, {}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if v, _ := tr.Value(c, "gnt0"); v != 0 {
+			t.Errorf("cycle %d: forced gnt0=%d want 0", c, v)
+		}
+	}
+	// Unforce releases; ClearForces releases everything.
+	s.Unforce("gnt0")
+	tr, _ = s.Run(Stimulus{{}, {}, {}})
+	if v, _ := tr.Value(2, "gnt0"); v != 1 {
+		t.Errorf("after unforce gnt0=%d want 1 (req0 still stuck)", v)
+	}
+	s.ClearForces()
+	tr, _ = s.Run(Stimulus{{}, {}, {}})
+	if v, _ := tr.Value(2, "req0"); v != 0 {
+		t.Errorf("after clear req0=%d want 0", v)
+	}
+}
+
+func TestForceCombSignal(t *testing.T) {
+	d := mustDesign(t, `module m(input a, b, output y, z); wire w; assign w = a & b; assign y = w; assign z = ~w; endmodule`)
+	s, _ := New(d)
+	if err := s.Force("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(Stimulus{{"a": 0, "b": 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Value(0, "w"); v != 1 {
+		t.Errorf("forced w=%d want 1", v)
+	}
+	if v, _ := tr.Value(0, "y"); v != 1 {
+		t.Errorf("y=%d want 1 (reads forced w)", v)
+	}
+	if v, _ := tr.Value(0, "z"); v != 0 {
+		t.Errorf("z=%d want 0 (reads forced w)", v)
+	}
+}
+
+func TestForceErrors(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	if err := s.Force("nosuch", 1); err == nil {
+		t.Error("forcing unknown signal should error")
+	}
+	if err := s.Force("clk", 1); err == nil {
+		t.Error("forcing clock should error")
+	}
+	// Force masks to signal width.
+	if err := s.Force("req0", 0xff); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := s.Run(Stimulus{{}})
+	if v, _ := tr.Value(0, "req0"); v != 1 {
+		t.Errorf("forced value not masked: req0=%d", v)
+	}
+}
+
+func TestStepNoAllocs(t *testing.T) {
+	d := mustDesign(t, arbiter2Src)
+	s, _ := New(d)
+	in := InputVec{"req0": 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.Step(in, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f objects/cycle, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,314 @@
+package simc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"goldmine/internal/designs"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/simc"
+	"goldmine/internal/stimgen"
+)
+
+// TestBatchDifferentialAllDesigns packs 64 independent random lanes (of
+// varying lengths) per bundled design and requires every unpacked lane to
+// match the interpreter row-for-row.
+func TestBatchDifferentialAllDesigns(t *testing.T) {
+	for _, b := range designs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			d, err := b.Design()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := simc.CompileBatch(d, simc.BatchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sim.New(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			lanes := make([]sim.Stimulus, 64)
+			for l := range lanes {
+				cycles := 20 + rng.Intn(60) // deliberately ragged lane lengths
+				lanes[l] = stimgen.Random(d, cycles, int64(l*31+7), 2)
+			}
+			m := simc.NewBatchMachine(p)
+			traces, err := m.RunBatch(lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, got := range traces {
+				want, err := s.Run(lanes[l])
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalTraces(t, want, got, fmt.Sprintf("lane %d", l))
+			}
+		})
+	}
+}
+
+// TestBatchReuseAndDeterminism reruns the same packed stimulus on one machine
+// and on a second machine sharing the program; all runs must be identical.
+func TestBatchReuseAndDeterminism(t *testing.T) {
+	b, err := designs.Get("arbiter4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := make([]sim.Stimulus, 16)
+	for l := range lanes {
+		lanes[l] = stimgen.Random(d, 40, int64(l), 2)
+	}
+	m1 := simc.NewBatchMachine(p)
+	t1, err := m1.RunBatch(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m1.RunBatch(lanes) // same machine, after reset
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := simc.NewBatchMachine(p).RunBatch(lanes) // fresh machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range lanes {
+		equalTraces(t, t1[l], t2[l], fmt.Sprintf("rerun lane %d", l))
+		equalTraces(t, t1[l], t3[l], fmt.Sprintf("fresh machine lane %d", l))
+	}
+}
+
+// TestBatchForcedLanes pins stuck-at faults in individual lanes and compares
+// each lane against an interpreter with the equivalent Simulator.Force.
+func TestBatchForcedLanes(t *testing.T) {
+	for _, name := range []string{"arbiter2", "b01", "b09"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := designs.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := b.Design()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Force every non-clock signal somewhere: inputs, registers,
+			// wires — one fault per lane, alternating stuck-at-0/1, lane 0
+			// left fault-free as a control.
+			var names []string
+			for _, sig := range d.Signals {
+				if sig.Name != d.Clock {
+					names = append(names, sig.Name)
+				}
+			}
+			p, err := simc.CompileBatch(d, simc.BatchOptions{Forceable: names})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := simc.NewBatchMachine(p)
+			type fault struct {
+				name string
+				val  uint64
+			}
+			faults := map[int]fault{}
+			lane := 1
+			for i, n := range names {
+				if lane >= 64 {
+					break
+				}
+				var v uint64
+				if i%2 == 1 {
+					v = ^uint64(0) // masked to width by SetForce
+				}
+				if err := m.SetForce(lane, n, v); err != nil {
+					t.Fatal(err)
+				}
+				faults[lane] = fault{n, v}
+				lane++
+			}
+			stim := stimgen.Random(d, 80, 5, 2)
+			lanes := make([]sim.Stimulus, lane)
+			for l := range lanes {
+				lanes[l] = stim
+			}
+			traces, err := m.RunBatch(lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < lane; l++ {
+				s, err := sim.New(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f, ok := faults[l]; ok {
+					if err := s.Force(f.name, f.val); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := s.Run(stim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				what := "control lane"
+				if f, ok := faults[l]; ok {
+					what = fmt.Sprintf("lane %d forcing %s=%d", l, f.name, f.val&rtl.Mask(d.MustSignal(f.name).Width))
+				}
+				equalTraces(t, want, traces[l], what)
+			}
+		})
+	}
+}
+
+// TestBatchForceSharedExpression guards the hash-consing trap: forcing a wire
+// must not leak the forced value into an unrelated identical expression.
+func TestBatchForceSharedExpression(t *testing.T) {
+	src := `
+module m(input a, b, output y, z);
+  wire w;
+  assign w = a & b;
+  assign y = w;
+  assign z = (a & b) | w;
+endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{Forceable: []string{"w"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewBatchMachine(p)
+	if err := m.SetForce(1, "w", 1); err != nil {
+		t.Fatal(err)
+	}
+	stim := sim.Stimulus{{"a": 0, "b": 0}, {"a": 1, "b": 0}}
+	lanes := []sim.Stimulus{stim, stim}
+	traces, err := m.RunBatch(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 2; l++ {
+		s, _ := sim.New(d)
+		if l == 1 {
+			if err := s.Force("w", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := s.Run(stim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalTraces(t, want, traces[l], fmt.Sprintf("shared-expr lane %d", l))
+	}
+	// Explicit spot check: in the forced lane z = (a&b)|w must read the
+	// un-forced a&b for its first operand per interpreter semantics — with
+	// a=b=0 and w forced to 1, z is (0)|1 = 1, and y follows w = 1.
+	if v, _ := traces[1].Value(0, "z"); v != 1 {
+		t.Errorf("forced lane z=%d want 1", v)
+	}
+	if v, _ := traces[0].Value(0, "y"); v != 0 {
+		t.Errorf("control lane y=%d want 0", v)
+	}
+}
+
+// TestBatchPackErrors checks lane-count limits and the interpreter's stimulus
+// error strings.
+func TestBatchPackErrors(t *testing.T) {
+	b, _ := designs.Get("arbiter2")
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pack(nil); err == nil {
+		t.Error("zero lanes should error")
+	}
+	if _, err := p.Pack(make([]sim.Stimulus, 65)); err == nil {
+		t.Error("65 lanes should error")
+	}
+	s, _ := sim.New(d)
+	for _, bad := range []sim.InputVec{{"nosuch": 1}, {"gnt0": 1}, {"clk": 1}} {
+		werr := s.Step(bad, nil)
+		_, gerr := p.Pack([]sim.Stimulus{{bad}})
+		if werr == nil || gerr == nil {
+			t.Fatalf("vector %v: interpreter err %v, pack err %v", bad, werr, gerr)
+		}
+		if werr.Error() != gerr.Error() {
+			t.Errorf("vector %v: error mismatch: interpreter %q vs pack %q", bad, werr, gerr)
+		}
+		s.Reset()
+	}
+	if err := simc.NewBatchMachine(p).SetForce(0, "gnt0", 1); err == nil {
+		t.Error("forcing a non-forceable signal should error")
+	}
+	if err := simc.NewBatchMachine(p).SetForce(64, "gnt0", 1); err == nil {
+		t.Error("lane 64 should error")
+	}
+}
+
+// TestBatchForceClearAndRetarget moves a force between lanes across runs on
+// one machine; cleared lanes must return to fault-free behavior.
+func TestBatchForceClearAndRetarget(t *testing.T) {
+	b, _ := designs.Get("arbiter2")
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{Forceable: []string{"gnt0", "req0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewBatchMachine(p)
+	stim := stimgen.Random(d, 50, 21, 2)
+	lanes := []sim.Stimulus{stim, stim, stim}
+
+	if err := m.SetForce(1, "gnt0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunBatch(lanes); err != nil {
+		t.Fatal(err)
+	}
+	m.ClearForces()
+	if err := m.SetForce(2, "req0", 1); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := m.RunBatch(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 1 (previously forced) must now match the clean interpreter.
+	s, _ := sim.New(d)
+	want, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTraces(t, want, traces[0], "clean lane 0")
+	equalTraces(t, want, traces[1], "unforced lane 1")
+	sf, _ := sim.New(d)
+	if err := sf.Force("req0", 1); err != nil {
+		t.Fatal(err)
+	}
+	wantF, err := sf.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTraces(t, wantF, traces[2], "retargeted lane 2")
+}

@@ -1,0 +1,291 @@
+package simc
+
+import (
+	"fmt"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
+)
+
+// MaxLanes is the lane capacity of one batch machine (bits per word).
+const MaxLanes = 64
+
+// PackedStim is stimulus transposed into lane-parallel form: one row of
+// input-bit words per cycle, bit l of each word belonging to lane l.
+type PackedStim struct {
+	p       *BatchProgram
+	lanes   int
+	laneLen []int
+	cycles  int
+	rows    [][]uint64
+}
+
+// Lanes returns the packed lane count.
+func (ps *PackedStim) Lanes() int { return ps.lanes }
+
+// Cycles returns the packed cycle count (the longest lane; shorter lanes pad
+// with all-zero input vectors, and their traces are truncated on unpack).
+func (ps *PackedStim) Cycles() int { return ps.cycles }
+
+// Pack transposes up to 64 stimulus sequences into lane-parallel rows,
+// validating names with the interpreter's exact error strings.
+func (p *BatchProgram) Pack(lanes []sim.Stimulus) (*PackedStim, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("simc: pack of zero lanes")
+	}
+	if len(lanes) > MaxLanes {
+		return nil, fmt.Errorf("simc: %d lanes exceed the %d-lane word width", len(lanes), MaxLanes)
+	}
+	ps := &PackedStim{p: p, lanes: len(lanes), laneLen: make([]int, len(lanes))}
+	for l, stim := range lanes {
+		ps.laneLen[l] = len(stim)
+		if len(stim) > ps.cycles {
+			ps.cycles = len(stim)
+		}
+	}
+	nw := len(p.inWords)
+	arena := make([]uint64, ps.cycles*nw)
+	ps.rows = make([][]uint64, ps.cycles)
+	for c := range ps.rows {
+		ps.rows[c] = arena[c*nw : (c+1)*nw : (c+1)*nw]
+	}
+	for l, stim := range lanes {
+		bit := uint64(1) << uint(l)
+		for c, in := range stim {
+			row := ps.rows[c]
+			for name, v := range in {
+				e, ok := p.packIdx[name]
+				if !ok {
+					return nil, fmt.Errorf("stimulus drives unknown signal %q", name)
+				}
+				switch e.kind {
+				case inClock:
+					if p.d.Signal(name).Kind != rtl.SigInput {
+						return nil, fmt.Errorf("stimulus drives non-input signal %q", name)
+					}
+					return nil, fmt.Errorf("stimulus drives clock %q", name)
+				case inNonInput:
+					return nil, fmt.Errorf("stimulus drives non-input signal %q", name)
+				}
+				in := p.inputs[e.slot]
+				v &= e.mask
+				for i := 0; i < in.sig.Width; i++ {
+					if v>>uint(i)&1 == 1 {
+						row[in.off+i] |= bit
+					}
+				}
+			}
+		}
+	}
+	return ps, nil
+}
+
+// BatchTrace is the lane-parallel trace: one packed row per cycle holding the
+// raw stored bit words of every trace column. Lane extraction transposes one
+// lane back into a standard sim.Trace.
+type BatchTrace struct {
+	p       *BatchProgram
+	laneLen []int
+	rows    [][]uint64
+}
+
+// Lanes returns the number of recorded lanes.
+func (bt *BatchTrace) Lanes() int { return len(bt.laneLen) }
+
+// Cycles returns the packed cycle count (longest lane).
+func (bt *BatchTrace) Cycles() int { return len(bt.rows) }
+
+// Lane transposes lane l into a standard trace, truncated to that lane's own
+// stimulus length. The resulting rows are bit-for-bit the interpreter's.
+func (bt *BatchTrace) Lane(l int) (*sim.Trace, error) {
+	if l < 0 || l >= len(bt.laneLen) {
+		return nil, fmt.Errorf("simc: lane %d out of range (0..%d)", l, len(bt.laneLen)-1)
+	}
+	p := bt.p
+	tr := sim.NewTrace(p.d)
+	n := bt.laneLen[l]
+	ncols := len(p.traceSigs)
+	arena := make([]uint64, n*ncols)
+	tr.Values = make([][]uint64, n)
+	for c := 0; c < n; c++ {
+		row := arena[c*ncols : (c+1)*ncols : (c+1)*ncols]
+		packed := bt.rows[c]
+		for j := 0; j < ncols; j++ {
+			var v uint64
+			for i, w := int32(0), p.colOff[j]; w < p.colOff[j+1]; i, w = i+1, w+1 {
+				v |= (packed[w] >> uint(l) & 1) << uint(i)
+			}
+			row[j] = v
+		}
+		tr.Values[c] = row
+	}
+	return tr, nil
+}
+
+// BatchMachine executes a BatchProgram: 64 lanes per step. Not safe for
+// concurrent use; any number of machines can share one program.
+type BatchMachine struct {
+	p     *BatchProgram
+	words []uint64
+	// forces remembers SetForce writes (word index -> value) so Reset can
+	// restore them after zeroing the state.
+	forces map[int32]uint64
+	cycle  int
+	// Cycles, when set, counts cycle*lane steps (nil-safe).
+	Cycles *telemetry.Counter
+}
+
+// NewBatchMachine creates an executor for p in the reset state.
+func NewBatchMachine(p *BatchProgram) *BatchMachine {
+	m := &BatchMachine{p: p, words: make([]uint64, p.nwords)}
+	m.words[bw1] = ^uint64(0)
+	return m
+}
+
+// Program returns the shared compiled program.
+func (m *BatchMachine) Program() *BatchProgram { return m.p }
+
+// Reset restores the all-registers-zero initial state in every lane,
+// preserving lane forces.
+func (m *BatchMachine) Reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+	m.words[bw1] = ^uint64(0)
+	for w, v := range m.forces {
+		m.words[w] = v
+	}
+	m.cycle = 0
+}
+
+// SetForce pins a signal to a constant (width-masked) value in one lane,
+// with stuck-at semantics identical to sim.Simulator.Force. The signal must
+// have been listed in BatchOptions.Forceable at compile time.
+func (m *BatchMachine) SetForce(lane int, name string, val uint64) error {
+	if lane < 0 || lane >= MaxLanes {
+		return fmt.Errorf("simc: force lane %d out of range (0..%d)", lane, MaxLanes-1)
+	}
+	fs, ok := m.p.forceable[name]
+	if !ok {
+		return fmt.Errorf("simc: signal %q was not compiled as forceable", name)
+	}
+	bit := uint64(1) << uint(lane)
+	val &= rtl.Mask(fs.sig.Width)
+	m.setWord(fs.maskW, m.words[fs.maskW]|bit)
+	for i, w := range fs.valW {
+		v := m.words[w] &^ bit
+		if val>>uint(i)&1 == 1 {
+			v |= bit
+		}
+		m.setWord(w, v)
+	}
+	return nil
+}
+
+// ClearForces releases every lane force.
+func (m *BatchMachine) ClearForces() {
+	for w := range m.forces {
+		m.words[w] = 0
+	}
+	m.forces = nil
+}
+
+func (m *BatchMachine) setWord(w int32, v uint64) {
+	if m.forces == nil {
+		m.forces = make(map[int32]uint64)
+	}
+	m.words[w] = v
+	m.forces[w] = v
+}
+
+// exec runs one word-op tape.
+func (m *BatchMachine) exec(tape []binstr) {
+	w := m.words
+	for i := range tape {
+		in := &tape[i]
+		switch in.op {
+		case bAnd:
+			w[in.dst] = w[in.a] & w[in.b]
+		case bOr:
+			w[in.dst] = w[in.a] | w[in.b]
+		case bXor:
+			w[in.dst] = w[in.a] ^ w[in.b]
+		case bNot:
+			w[in.dst] = ^w[in.a]
+		case bAndN:
+			w[in.dst] = w[in.a] &^ w[in.b]
+		case bMux:
+			w[in.dst] = (w[in.a] & w[in.c]) | (w[in.b] &^ w[in.c])
+		case bCopy:
+			w[in.dst] = w[in.a]
+		case bForce:
+			w[in.dst] = (w[in.dst] &^ w[in.a]) | w[in.b]
+		}
+	}
+}
+
+// step advances all lanes one cycle: load packed inputs, settle, gather the
+// packed trace row, latch.
+func (m *BatchMachine) step(inRow []uint64, outRow []uint64) {
+	for i, w := range m.p.inWords {
+		m.words[w] = inRow[i]
+	}
+	m.exec(m.p.comb)
+	for i, w := range m.p.rowGather {
+		outRow[i] = m.words[w]
+	}
+	m.exec(m.p.next)
+	m.cycle++
+}
+
+// RunPacked resets the machine and runs the packed stimulus, returning the
+// lane-parallel trace. The steady-state loop performs zero allocations; rows
+// are carved from one arena.
+func (m *BatchMachine) RunPacked(ps *PackedStim) (*BatchTrace, error) {
+	if ps.p != m.p {
+		return nil, fmt.Errorf("simc: packed stimulus belongs to a different program")
+	}
+	m.Reset()
+	rw := len(m.p.rowGather)
+	arena := make([]uint64, ps.cycles*rw)
+	bt := &BatchTrace{p: m.p, laneLen: ps.laneLen, rows: make([][]uint64, ps.cycles)}
+	for c := 0; c < ps.cycles; c++ {
+		row := arena[c*rw : (c+1)*rw : (c+1)*rw]
+		m.step(ps.rows[c], row)
+		bt.rows[c] = row
+	}
+	if m.Cycles != nil {
+		m.Cycles.Add(int64(ps.cycles) * int64(ps.lanes))
+	}
+	return bt, nil
+}
+
+// RunBatch packs up to 64 stimulus lanes, runs them bit-parallel, and
+// transposes every lane back into a standard trace.
+func (m *BatchMachine) RunBatch(lanes []sim.Stimulus) ([]*sim.Trace, error) {
+	ps, err := m.p.Pack(lanes)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := m.RunPacked(ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*sim.Trace, len(lanes))
+	for l := range lanes {
+		if out[l], err = bt.Lane(l); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SimulateBatch compiles d and runs the lanes on a fresh batch machine.
+func SimulateBatch(d *rtl.Design, lanes []sim.Stimulus) ([]*sim.Trace, error) {
+	p, err := CompileBatch(d, BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return NewBatchMachine(p).RunBatch(lanes)
+}

@@ -1,0 +1,269 @@
+package simc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"goldmine/internal/designs"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/simc"
+	"goldmine/internal/stimgen"
+)
+
+// equalTraces requires row-for-row, column-for-column equality, reporting the
+// first divergence in full.
+func equalTraces(t *testing.T, want, got *sim.Trace, what string) {
+	t.Helper()
+	if want.Cycles() != got.Cycles() {
+		t.Fatalf("%s: cycle count %d vs interpreter %d", what, got.Cycles(), want.Cycles())
+	}
+	if len(want.Signals) != len(got.Signals) {
+		t.Fatalf("%s: column count %d vs interpreter %d", what, len(got.Signals), len(want.Signals))
+	}
+	for j := range want.Signals {
+		if want.Signals[j] != got.Signals[j] {
+			t.Fatalf("%s: column %d is %s vs interpreter %s", what, j, got.Signals[j].Name, want.Signals[j].Name)
+		}
+	}
+	for c := range want.Values {
+		for j := range want.Values[c] {
+			if want.Values[c][j] != got.Values[c][j] {
+				t.Fatalf("%s: cycle %d signal %s: got %#x want %#x",
+					what, c, want.Signals[j].Name, got.Values[c][j], want.Values[c][j])
+			}
+		}
+	}
+}
+
+// TestScalarDifferentialAllDesigns drives the compiled scalar machine and the
+// interpreter with identical randomized stimulus over every bundled design.
+func TestScalarDifferentialAllDesigns(t *testing.T) {
+	for _, b := range designs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			d, err := b.Design()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := simc.Compile(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := simc.NewMachine(p)
+			s, err := sim.New(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range []int64{1, 7, 42} {
+				stim := stimgen.Random(d, 200, seed, 2)
+				want, err := s.Run(stim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Run(stim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalTraces(t, want, got, fmt.Sprintf("scalar seed %d", seed))
+			}
+			if dir := b.Directed; dir != nil {
+				want, err := s.Run(dir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Run(dir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalTraces(t, want, got, "scalar directed")
+			}
+		})
+	}
+}
+
+// TestScalarStimulusErrors checks the compiled machine preserves the
+// interpreter's exact stimulus error strings.
+func TestScalarStimulusErrors(t *testing.T) {
+	d, err := designs.Get("arbiter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(des)
+	p, err := simc.Compile(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewMachine(p)
+	for _, bad := range []sim.InputVec{{"nosuch": 1}, {"gnt0": 1}, {"clk": 1}} {
+		werr := s.Step(bad, nil)
+		gerr := m.Step(bad, nil)
+		if werr == nil || gerr == nil {
+			t.Fatalf("vector %v: interpreter err %v, compiled err %v", bad, werr, gerr)
+		}
+		if werr.Error() != gerr.Error() {
+			t.Errorf("vector %v: error mismatch: interpreter %q vs compiled %q", bad, werr, gerr)
+		}
+		s.Reset()
+		m.Reset()
+	}
+}
+
+// TestScalarPeekObserve checks Peek and Observe parity against the
+// interpreter.
+func TestScalarPeekObserve(t *testing.T) {
+	b, err := designs.Get("arbiter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := sim.New(d)
+	p, _ := simc.Compile(d)
+	m := simc.NewMachine(p)
+	var sv, mv []uint64
+	s.Observe(func(env rtl.Env) {
+		for _, sig := range d.Signals {
+			sv = append(sv, env.Get(sig))
+		}
+	})
+	m.Observe(func(env rtl.Env) {
+		for _, sig := range d.Signals {
+			mv = append(mv, env.Get(sig))
+		}
+	})
+	stim := stimgen.Random(d, 50, 3, 2)
+	if _, err := s.Run(stim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(stim); err != nil {
+		t.Fatal(err)
+	}
+	if len(sv) != len(mv) {
+		t.Fatalf("observer sample counts differ: %d vs %d", len(sv), len(mv))
+	}
+	for i := range sv {
+		if sv[i] != mv[i] {
+			t.Fatalf("observer sample %d: interpreter %#x compiled %#x", i, sv[i], mv[i])
+		}
+	}
+	for _, sig := range d.Signals {
+		wv, werr := s.Peek(sig.Name)
+		gv, gerr := m.Peek(sig.Name)
+		if (werr == nil) != (gerr == nil) || wv != gv {
+			t.Errorf("peek %s: interpreter (%d,%v) compiled (%d,%v)", sig.Name, wv, werr, gv, gerr)
+		}
+	}
+}
+
+// TestScalarRawTraceWidths builds a design whose driver expression is wider
+// than the driven signal — the interpreter traces the raw (unmasked) value,
+// and the compiled engine must reproduce that, while reads stay masked.
+func TestScalarRawTraceWidths(t *testing.T) {
+	src := `
+module m(input clk, input [3:0] a, b, output [1:0] y, output z);
+  reg [1:0] y;
+  wire z;
+  assign z = y[1];
+  always @(posedge clk) y <= a + b;
+endmodule`
+	d, err := rtl.ElaborateSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewMachine(p)
+	rng := rand.New(rand.NewSource(9))
+	stim := make(sim.Stimulus, 64)
+	for i := range stim {
+		stim[i] = sim.InputVec{"a": rng.Uint64() & 0xf, "b": rng.Uint64() & 0xf}
+	}
+	want, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTraces(t, want, got, "raw-width")
+}
+
+// TestMachineStepNoAllocs pins the zero-allocation steady state of the scalar
+// step loop (trace rows come from Run's arena; Step with a nil trace must not
+// allocate at all).
+func TestMachineStepNoAllocs(t *testing.T) {
+	b, err := designs.Get("arbiter4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewMachine(p)
+	stim := stimgen.Random(d, 64, 3, 2)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Step(stim[i%len(stim)], nil); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Machine.Step allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// TestBatchStepNoAllocs pins the batch engine's zero-allocation cycle loop:
+// re-running a packed stimulus on a warm machine must only allocate the
+// result arena, never per cycle.
+func TestBatchStepNoAllocs(t *testing.T) {
+	b, err := designs.Get("arbiter4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := simc.CompileBatch(d, simc.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := p.Pack(stimgen.RandomLanes(d, 64, 100, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := simc.NewBatchMachine(p)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.RunPacked(packed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// RunPacked allocates the trace container and its arena (a handful of
+	// allocations for 100 cycles x 64 lanes); the per-cycle loop itself is
+	// allocation-free, so the count must not scale with cycles.
+	if allocs > 8 {
+		t.Errorf("RunPacked allocates %v per run over 100 cycles, want O(1) arena-only", allocs)
+	}
+}

@@ -1,0 +1,294 @@
+package simc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
+)
+
+// Machine executes a compiled Program one stimulus at a time. It owns the
+// mutable slot array; the Program is shared and immutable. A Machine is not
+// safe for concurrent use, but any number of Machines can share one Program.
+type Machine struct {
+	p     *Program
+	slots []uint64
+	cycle int
+	// observers run after combinational settling with an rtl.Env view of the
+	// slot array, mirroring sim.Simulator.Observe.
+	observers []func(env rtl.Env)
+	// Cycles, when set, counts simulated cycles (nil-safe).
+	Cycles *telemetry.Counter
+}
+
+// NewMachine creates an executor for p in the reset state.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{p: p, slots: make([]uint64, p.nslots)}
+	copy(m.slots, p.init)
+	return m
+}
+
+// Program returns the shared compiled program.
+func (m *Machine) Program() *Program { return m.p }
+
+// Reset restores the all-registers-zero initial state.
+func (m *Machine) Reset() {
+	copy(m.slots, m.p.init)
+	m.cycle = 0
+}
+
+// Cycle returns the number of completed cycles since reset.
+func (m *Machine) Cycle() int { return m.cycle }
+
+// Observe registers a per-cycle hook, invoked after combinational settling.
+func (m *Machine) Observe(fn func(env rtl.Env)) {
+	m.observers = append(m.observers, fn)
+}
+
+// Peek returns the current width-masked value of a signal.
+func (m *Machine) Peek(name string) (uint64, error) {
+	sig := m.p.d.Signal(name)
+	if sig == nil {
+		return 0, fmt.Errorf("no signal %q", name)
+	}
+	s, ok := m.p.readSlot[sig]
+	if !ok {
+		return 0, nil // the clock
+	}
+	return m.slots[s] & rtl.Mask(sig.Width), nil
+}
+
+// Env returns an rtl.Env view of the machine's current raw signal values
+// (the compiled analogue of the interpreter's MapEnv).
+func (m *Machine) Env() rtl.Env { return (*machEnv)(m) }
+
+type machEnv Machine
+
+func (e *machEnv) Get(sig *rtl.Signal) uint64 {
+	if s, ok := e.p.sigSlot[sig]; ok {
+		return e.slots[s]
+	}
+	return 0
+}
+
+// applyInputs zeroes the data inputs and applies one vector. The fast path
+// does one map lookup per design input; a vector that names anything else
+// falls through to the slow path, which preserves the interpreter's error
+// strings exactly.
+func (m *Machine) applyInputs(in sim.InputVec) error {
+	found := 0
+	for i := range m.p.inList {
+		e := &m.p.inList[i]
+		if v, ok := in[e.name]; ok {
+			m.slots[e.slot] = v & e.mask
+			found++
+		} else {
+			m.slots[e.slot] = 0
+		}
+	}
+	if found != len(in) {
+		return m.applyInputsSlow(in)
+	}
+	return nil
+}
+
+// applyInputsSlow handles vectors naming non-data-input signals with the
+// interpreter's exact error taxonomy.
+func (m *Machine) applyInputsSlow(in sim.InputVec) error {
+	for name, v := range in {
+		e, ok := m.p.byName[name]
+		if !ok {
+			return fmt.Errorf("stimulus drives unknown signal %q", name)
+		}
+		switch e.kind {
+		case inClock:
+			if m.p.d.Signal(name).Kind != rtl.SigInput {
+				return fmt.Errorf("stimulus drives non-input signal %q", name)
+			}
+			return fmt.Errorf("stimulus drives clock %q", name)
+		case inNonInput:
+			return fmt.Errorf("stimulus drives non-input signal %q", name)
+		}
+		m.slots[e.slot] = v & e.mask
+	}
+	return nil
+}
+
+// exec runs one instruction tape over the slot array.
+func (m *Machine) exec(tape []instr) {
+	s := m.slots
+	for i := range tape {
+		in := &tape[i]
+		switch in.op {
+		case opCopy:
+			s[in.dst] = s[in.a] & in.mask
+		case opNot:
+			s[in.dst] = ^s[in.a] & in.mask
+		case opLogNot:
+			s[in.dst] = b2u(s[in.a] == 0)
+		case opNeg:
+			s[in.dst] = (-s[in.a]) & in.mask
+		case opRedAnd:
+			s[in.dst] = b2u(s[in.a] == in.mask)
+		case opRedOr:
+			s[in.dst] = b2u(s[in.a] != 0)
+		case opRedXor:
+			s[in.dst] = uint64(bits.OnesCount64(s[in.a]) & 1)
+		case opAnd:
+			s[in.dst] = (s[in.a] & s[in.b]) & in.mask
+		case opOr:
+			s[in.dst] = (s[in.a] | s[in.b]) & in.mask
+		case opXor:
+			s[in.dst] = (s[in.a] ^ s[in.b]) & in.mask
+		case opXnor:
+			s[in.dst] = ^(s[in.a] ^ s[in.b]) & in.mask
+		case opLogAnd:
+			s[in.dst] = b2u(s[in.a] != 0 && s[in.b] != 0)
+		case opLogOr:
+			s[in.dst] = b2u(s[in.a] != 0 || s[in.b] != 0)
+		case opAdd:
+			s[in.dst] = (s[in.a] + s[in.b]) & in.mask
+		case opSub:
+			s[in.dst] = (s[in.a] - s[in.b]) & in.mask
+		case opMul:
+			s[in.dst] = (s[in.a] * s[in.b]) & in.mask
+		case opEq:
+			s[in.dst] = b2u(s[in.a] == s[in.b])
+		case opNe:
+			s[in.dst] = b2u(s[in.a] != s[in.b])
+		case opLt:
+			s[in.dst] = b2u(s[in.a] < s[in.b])
+		case opLe:
+			s[in.dst] = b2u(s[in.a] <= s[in.b])
+		case opGt:
+			s[in.dst] = b2u(s[in.a] > s[in.b])
+		case opGe:
+			s[in.dst] = b2u(s[in.a] >= s[in.b])
+		case opShl:
+			b := s[in.b]
+			if b >= 64 {
+				s[in.dst] = 0
+			} else {
+				s[in.dst] = (s[in.a] << b) & in.mask
+			}
+		case opShr:
+			b := s[in.b]
+			if b >= 64 {
+				s[in.dst] = 0
+			} else {
+				s[in.dst] = (s[in.a] >> b) & in.mask
+			}
+		case opMux:
+			if s[in.a]&1 == 1 {
+				s[in.dst] = s[in.b] & in.mask
+			} else {
+				s[in.dst] = s[in.c] & in.mask
+			}
+		case opShrAmt:
+			s[in.dst] = (s[in.a] >> in.amt) & in.mask
+		case opShlOr:
+			s[in.dst] = ((s[in.a] << in.amt) | s[in.b]) & in.mask
+		}
+	}
+}
+
+// Step applies one input vector, settles combinational logic, invokes
+// observers, records into trace (if non-nil), and advances the clock. It is
+// drop-in equivalent to sim.Simulator.Step.
+func (m *Machine) Step(in sim.InputVec, trace *sim.Trace) error {
+	if err := m.applyInputs(in); err != nil {
+		return err
+	}
+	m.exec(m.p.comb)
+	if len(m.observers) > 0 {
+		env := m.Env()
+		for _, fn := range m.observers {
+			fn(env)
+		}
+	}
+	if trace != nil {
+		row := make([]uint64, len(m.p.traceSlots))
+		m.fillRow(row)
+		trace.Values = append(trace.Values, row)
+	}
+	m.exec(m.p.next)
+	m.cycle++
+	m.Cycles.Inc()
+	return nil
+}
+
+// stepInto is Step with the trace row written into a caller-provided slice —
+// the zero-allocation path used by Run's arena.
+func (m *Machine) stepInto(in sim.InputVec, row []uint64) error {
+	if err := m.applyInputs(in); err != nil {
+		return err
+	}
+	m.exec(m.p.comb)
+	if len(m.observers) > 0 {
+		env := m.Env()
+		for _, fn := range m.observers {
+			fn(env)
+		}
+	}
+	if row != nil {
+		m.fillRow(row)
+	}
+	m.exec(m.p.next)
+	m.cycle++
+	m.Cycles.Inc()
+	return nil
+}
+
+func (m *Machine) fillRow(row []uint64) {
+	for i, s := range m.p.traceSlots {
+		row[i] = m.slots[s]
+	}
+}
+
+// Run resets the machine and applies the stimulus, returning the trace. Trace
+// rows are carved from one preallocated arena, so the steady-state loop does
+// not allocate.
+func (m *Machine) Run(stim sim.Stimulus) (*sim.Trace, error) {
+	m.Reset()
+	trace := sim.NewTrace(m.p.d)
+	w := len(m.p.traceSlots)
+	arena := make([]uint64, len(stim)*w)
+	trace.Values = make([][]uint64, 0, len(stim))
+	for c, in := range stim {
+		row := arena[c*w : (c+1)*w : (c+1)*w]
+		if err := m.stepInto(in, row); err != nil {
+			return nil, err
+		}
+		trace.Values = append(trace.Values, row)
+	}
+	return trace, nil
+}
+
+// RunAppend applies the stimulus from reset, appending rows to trace.
+func (m *Machine) RunAppend(stim sim.Stimulus, trace *sim.Trace) error {
+	m.Reset()
+	for _, in := range stim {
+		if err := m.Step(in, trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Simulate compiles d and runs the stimulus on a scalar machine.
+func Simulate(d *rtl.Design, stim sim.Stimulus) (*sim.Trace, error) {
+	p, err := Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(p).Run(stim)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

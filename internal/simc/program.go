@@ -1,0 +1,506 @@
+package simc
+
+import (
+	"fmt"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// Scalar opcodes. Each instr computes slots[dst] from one to three source
+// slots; mask is the width mask applied to the result (or, for opRedAnd, the
+// operand's all-ones pattern).
+const (
+	opCopy   uint8 = iota // dst = s[a] & mask
+	opNot                 // dst = ^s[a] & mask
+	opLogNot              // dst = (s[a]==0)
+	opNeg                 // dst = (-s[a]) & mask
+	opRedAnd              // dst = (s[a]==mask)
+	opRedOr               // dst = (s[a]!=0)
+	opRedXor              // dst = parity(s[a])
+	opAnd                 // dst = (s[a]&s[b]) & mask
+	opOr
+	opXor
+	opXnor
+	opLogAnd // dst = (s[a]!=0 && s[b]!=0)
+	opLogOr
+	opAdd
+	opSub
+	opMul
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opShl    // dst = s[b]>=64 ? 0 : (s[a]<<s[b]) & mask
+	opShr    // dst = s[b]>=64 ? 0 : (s[a]>>s[b]) & mask
+	opMux    // dst = (s[a]&1==1 ? s[b] : s[c]) & mask
+	opShrAmt // dst = (s[a]>>amt) & mask   (Select / Slice)
+	opShlOr  // dst = ((s[a]<<amt) | s[b]) & mask   (Concat fold step)
+)
+
+// instr is one step of the flattened expression tape.
+type instr struct {
+	op      uint8
+	amt     uint8
+	dst     int32
+	a, b, c int32
+	mask    uint64
+}
+
+const noMask = ^uint64(0)
+
+// inputEntry resolves a stimulus name in O(1) with the interpreter's exact
+// error taxonomy preserved.
+type inputEntry struct {
+	slot int32
+	mask uint64
+	kind uint8 // 0 = data input, 1 = non-input, 2 = clock
+}
+
+const (
+	inOK uint8 = iota
+	inNonInput
+	inClock
+)
+
+// namedInput is one data input of the fast stimulus-apply path.
+type namedInput struct {
+	name string
+	slot int32
+	mask uint64
+}
+
+// Program is the immutable compiled form of a design. It is safe to share
+// across goroutines; each executor owns a mutable Machine.
+type Program struct {
+	d *rtl.Design
+
+	nslots int32
+	// init holds the reset image of the slot array: constant slots preloaded,
+	// everything else zero.
+	init []uint64
+
+	// sigSlot holds each non-clock signal's raw stored value (exactly the
+	// interpreter's s.vals entry). readSlot differs from sigSlot only when the
+	// driver expression is wider than the signal, in which case it caches the
+	// width-masked view refreshed by the tape.
+	sigSlot  map[*rtl.Signal]int32
+	readSlot map[*rtl.Signal]int32
+
+	byName map[string]inputEntry
+	// inputSlots lists the data-input slots for the per-cycle zeroing pass.
+	inputSlots []int32
+	// inList drives the per-cycle fast path: one map lookup per data input
+	// instead of iterating the InputVec (map iteration plus a lookup per
+	// entry). The slow path through byName reproduces the interpreter's error
+	// taxonomy when a vector names anything that is not a data input.
+	inList []namedInput
+
+	// comb settles one cycle: register read-normalization, then every
+	// combinational signal in dependency order.
+	comb []instr
+	// next evaluates all next-state expressions into scratch slots and then
+	// latches them (two-phase, like the interpreter).
+	next []instr
+
+	// traceSigs/traceSlots mirror sim.NewTrace column order; slots are the raw
+	// value slots, matching the interpreter's raw trace rows.
+	traceSigs  []*rtl.Signal
+	traceSlots []int32
+}
+
+// Design returns the compiled design.
+func (p *Program) Design() *rtl.Design { return p.d }
+
+// Slots returns the slot-array size (diagnostics / sizing).
+func (p *Program) Slots() int { return int(p.nslots) }
+
+// CombOps and NextOps return tape lengths (diagnostics).
+func (p *Program) CombOps() int { return len(p.comb) }
+func (p *Program) NextOps() int { return len(p.next) }
+
+// instrKey identifies a pure computation for hash-consing: two instructions
+// with the same opcode, operand slots and mask always produce the same value
+// within a cycle, because every slot is written at most once before the
+// consumer runs (inputs before comb, comb roots in dependency order, next
+// scratch before the latches). Copies are excluded — they exist to place
+// values at specific slots, not to compute.
+type instrKey struct {
+	op, amt uint8
+	a, b, c int32
+	mask    uint64
+}
+
+// compiler carries the mutable state of a single Compile call.
+type compiler struct {
+	p      *Program
+	consts map[uint64]int32
+	cse    map[instrKey]int32
+	tape   *[]instr
+}
+
+func (c *compiler) slot() int32 {
+	s := c.p.nslots
+	c.p.nslots++
+	return s
+}
+
+func (c *compiler) constSlot(v uint64) int32 {
+	if s, ok := c.consts[v]; ok {
+		return s
+	}
+	s := c.slot()
+	c.consts[v] = s // materialized into the reset image at the end of Compile
+	return s
+}
+
+func (c *compiler) emit(i instr) { *c.tape = append(*c.tape, i) }
+
+// compute emits a pure computation with common-subexpression elimination: a
+// previously emitted identical instruction is reused instead of re-executed
+// every cycle. dst >= 0 forces placement (a root), satisfied by a copy on a
+// hit; dst < 0 allocates a temp only on a miss. Commutative operators
+// canonicalize their operand order so a&b and b&a share one slot.
+func (c *compiler) compute(op, amt uint8, a, b, cc int32, mask uint64, dst int32) int32 {
+	switch op {
+	case opAnd, opOr, opXor, opXnor, opAdd, opMul, opEq, opNe, opLogAnd, opLogOr:
+		if b < a {
+			a, b = b, a
+		}
+	}
+	key := instrKey{op: op, amt: amt, a: a, b: b, c: cc, mask: mask}
+	if h, ok := c.cse[key]; ok {
+		if dst >= 0 && dst != h {
+			c.emit(instr{op: opCopy, dst: dst, a: h, mask: noMask})
+			return dst
+		}
+		return h
+	}
+	d := dst
+	if d < 0 {
+		d = c.slot()
+	}
+	c.emit(instr{op: op, amt: amt, dst: d, a: a, b: b, c: cc, mask: mask})
+	c.cse[key] = d
+	return d
+}
+
+// Compile flattens d into a Program. It fails only on malformed designs
+// (combinational cycles, unknown expression nodes); every legal rtl.Design
+// compiles.
+func Compile(d *rtl.Design) (*Program, error) {
+	order, err := d.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		d:        d,
+		sigSlot:  make(map[*rtl.Signal]int32),
+		readSlot: make(map[*rtl.Signal]int32),
+		byName:   make(map[string]inputEntry),
+	}
+	c := &compiler{p: p, consts: make(map[uint64]int32), cse: make(map[instrKey]int32)}
+
+	// Slot 0 is a scratch zero so Const-rooted drivers always have a source.
+	for _, s := range d.Signals {
+		if s.Name == d.Clock {
+			continue
+		}
+		p.sigSlot[s] = c.slot()
+		p.readSlot[s] = p.sigSlot[s]
+	}
+	// needMask: the stored (raw) value can exceed the signal's width mask, so
+	// Ref reads need the separately maintained masked slot.
+	needMask := func(s *rtl.Signal, driver rtl.Expr) bool {
+		if driver == nil {
+			return false // inputs are stored pre-masked
+		}
+		if k, ok := driver.(*rtl.Const); ok {
+			return k.Val > rtl.Mask(s.Width)
+		}
+		return driver.Width() > s.Width
+	}
+	var normRegs []*rtl.Signal
+	for _, s := range d.Signals {
+		if s.Name == d.Clock {
+			continue
+		}
+		var masked bool
+		if e, ok := d.Comb[s]; ok {
+			masked = needMask(s, e)
+		} else if e, ok := d.Next[s]; ok {
+			masked = needMask(s, e)
+			if masked {
+				normRegs = append(normRegs, s)
+			}
+		}
+		if masked {
+			p.readSlot[s] = c.slot()
+		}
+	}
+
+	// Stimulus name resolution with the interpreter's error taxonomy.
+	for _, s := range d.Signals {
+		e := inputEntry{slot: -1, kind: inNonInput}
+		if s.Kind == rtl.SigInput {
+			if s.Name == d.Clock {
+				e.kind = inClock
+			} else {
+				e = inputEntry{slot: p.sigSlot[s], mask: rtl.Mask(s.Width), kind: inOK}
+				p.inputSlots = append(p.inputSlots, e.slot)
+				p.inList = append(p.inList, namedInput{name: s.Name, slot: e.slot, mask: e.mask})
+			}
+		} else if s.Name == d.Clock {
+			e.kind = inClock
+		}
+		p.byName[s.Name] = e
+	}
+
+	// Comb tape: refresh masked register reads, then settle in order.
+	c.tape = &p.comb
+	for _, reg := range normRegs {
+		c.emit(instr{op: opCopy, dst: p.readSlot[reg], a: p.sigSlot[reg], mask: rtl.Mask(reg.Width)})
+	}
+	for _, s := range order {
+		if err := c.compileRoot(d.Comb[s], p.sigSlot[s]); err != nil {
+			return nil, err
+		}
+		if p.readSlot[s] != p.sigSlot[s] {
+			c.emit(instr{op: opCopy, dst: p.readSlot[s], a: p.sigSlot[s], mask: rtl.Mask(s.Width)})
+		}
+	}
+
+	// Next tape: evaluate every next-state function into a scratch slot with
+	// pre-latch values, then latch — the interpreter's two-phase edge.
+	c.tape = &p.next
+	var latches []instr
+	for _, reg := range sortedNextRegs(d) {
+		scratch := c.slot()
+		if err := c.compileRoot(d.Next[reg], scratch); err != nil {
+			return nil, err
+		}
+		latches = append(latches, instr{op: opCopy, dst: p.sigSlot[reg], a: scratch, mask: noMask})
+	}
+	p.next = append(p.next, latches...)
+
+	// Trace columns in sim.NewTrace order, reading raw stored values.
+	tr := sim.NewTrace(d)
+	p.traceSigs = tr.Signals
+	p.traceSlots = make([]int32, len(tr.Signals))
+	for i, s := range tr.Signals {
+		p.traceSlots[i] = p.sigSlot[s]
+	}
+
+	// Build the reset image: zeros everywhere except preloaded constants.
+	p.init = make([]uint64, p.nslots)
+	for v, s := range c.consts {
+		p.init[s] = v
+	}
+	return p, nil
+}
+
+// compileRoot compiles e so its raw Eval value lands in dst.
+func (c *compiler) compileRoot(e rtl.Expr, dst int32) error {
+	s, err := c.compileExpr(e, dst)
+	if err != nil {
+		return err
+	}
+	if s != dst {
+		c.emit(instr{op: opCopy, dst: dst, a: s, mask: noMask})
+	}
+	return nil
+}
+
+// compileExpr emits instructions computing the raw Eval(e) value and returns
+// the slot holding it. When dst >= 0 the result is placed there; leaf nodes
+// with dst < 0 return their existing slot without emitting anything.
+func (c *compiler) compileExpr(e rtl.Expr, dst int32) (int32, error) {
+	place := func() int32 {
+		if dst >= 0 {
+			return dst
+		}
+		return c.slot()
+	}
+	switch x := e.(type) {
+	case *rtl.Const:
+		s := c.constSlot(x.Val)
+		if dst >= 0 && dst != s {
+			c.emit(instr{op: opCopy, dst: dst, a: s, mask: noMask})
+			return dst, nil
+		}
+		return s, nil
+
+	case *rtl.Ref:
+		s, ok := c.p.readSlot[x.Sig]
+		if !ok {
+			return 0, fmt.Errorf("simc: expression reads unknown signal %q", x.Sig.Name)
+		}
+		if dst >= 0 && dst != s {
+			c.emit(instr{op: opCopy, dst: dst, a: s, mask: noMask})
+			return dst, nil
+		}
+		return s, nil
+
+	case *rtl.Unary:
+		a, err := c.compileExpr(x.X, -1)
+		if err != nil {
+			return 0, err
+		}
+		var op uint8
+		var mask uint64
+		switch x.Op {
+		case rtl.OpNot:
+			op, mask = opNot, rtl.Mask(x.W)
+		case rtl.OpLogNot:
+			op = opLogNot
+		case rtl.OpNeg:
+			op, mask = opNeg, rtl.Mask(x.W)
+		case rtl.OpRedAnd:
+			op, mask = opRedAnd, rtl.Mask(x.X.Width())
+		case rtl.OpRedOr:
+			op = opRedOr
+		case rtl.OpRedXor:
+			op = opRedXor
+		default:
+			return 0, fmt.Errorf("simc: unknown unary op %d", x.Op)
+		}
+		return c.compute(op, 0, a, 0, 0, mask, dst), nil
+
+	case *rtl.Binary:
+		a, err := c.compileExpr(x.A, -1)
+		if err != nil {
+			return 0, err
+		}
+		b, err := c.compileExpr(x.B, -1)
+		if err != nil {
+			return 0, err
+		}
+		var op uint8
+		mask := rtl.Mask(x.W)
+		switch x.Op {
+		case rtl.OpAnd:
+			op = opAnd
+		case rtl.OpOr:
+			op = opOr
+		case rtl.OpXor:
+			op = opXor
+		case rtl.OpXnor:
+			op = opXnor
+		case rtl.OpLogAnd:
+			op = opLogAnd
+		case rtl.OpLogOr:
+			op = opLogOr
+		case rtl.OpAdd:
+			op = opAdd
+		case rtl.OpSub:
+			op = opSub
+		case rtl.OpMul:
+			op = opMul
+		case rtl.OpEq:
+			op = opEq
+		case rtl.OpNe:
+			op = opNe
+		case rtl.OpLt:
+			op = opLt
+		case rtl.OpLe:
+			op = opLe
+		case rtl.OpGt:
+			op = opGt
+		case rtl.OpGe:
+			op = opGe
+		case rtl.OpShl:
+			op = opShl
+		case rtl.OpShr:
+			op = opShr
+		default:
+			return 0, fmt.Errorf("simc: unknown binary op %d", x.Op)
+		}
+		return c.compute(op, 0, a, b, 0, mask, dst), nil
+
+	case *rtl.Mux:
+		cond, err := c.compileExpr(x.Cond, -1)
+		if err != nil {
+			return 0, err
+		}
+		tv, err := c.compileExpr(x.T, -1)
+		if err != nil {
+			return 0, err
+		}
+		fv, err := c.compileExpr(x.F, -1)
+		if err != nil {
+			return 0, err
+		}
+		return c.compute(opMux, 0, cond, tv, fv, rtl.Mask(x.W), dst), nil
+
+	case *rtl.Select:
+		a, err := c.compileExpr(x.X, -1)
+		if err != nil {
+			return 0, err
+		}
+		return c.compute(opShrAmt, uint8(x.Bit), a, 0, 0, 1, dst), nil
+
+	case *rtl.Slice:
+		a, err := c.compileExpr(x.X, -1)
+		if err != nil {
+			return 0, err
+		}
+		return c.compute(opShrAmt, uint8(x.LSB), a, 0, 0, rtl.Mask(x.MSB-x.LSB+1), dst), nil
+
+	case *rtl.Concat:
+		if len(x.Parts) == 0 {
+			return 0, fmt.Errorf("simc: empty concat")
+		}
+		acc, err := c.compileExpr(x.Parts[0], -1)
+		if err != nil {
+			return 0, err
+		}
+		if len(x.Parts) == 1 {
+			d := place()
+			c.emit(instr{op: opCopy, dst: d, a: acc, mask: rtl.Mask(x.W)})
+			return d, nil
+		}
+		for i := 1; i < len(x.Parts); i++ {
+			pslot, err := c.compileExpr(x.Parts[i], -1)
+			if err != nil {
+				return 0, err
+			}
+			mask := noMask
+			d := int32(-1)
+			if i == len(x.Parts)-1 {
+				mask = rtl.Mask(x.W)
+				d = dst
+			}
+			w := x.Parts[i].Width()
+			if w > 64 {
+				w = 64
+			}
+			acc = c.compute(opShlOr, uint8(w), acc, pslot, 0, mask, d)
+		}
+		return acc, nil
+
+	default:
+		return 0, fmt.Errorf("simc: unknown expression node %T", e)
+	}
+}
+
+// sortedNextRegs returns the registers with next-state functions sorted by
+// name (deterministic tape layout; order is semantically irrelevant because
+// the latch is two-phase).
+func sortedNextRegs(d *rtl.Design) []*rtl.Signal {
+	var regs []*rtl.Signal
+	for reg := range d.Next {
+		regs = append(regs, reg)
+	}
+	sortSignals(regs)
+	return regs
+}
+
+func sortSignals(sigs []*rtl.Signal) {
+	for i := 1; i < len(sigs); i++ {
+		for j := i; j > 0 && sigs[j].Name < sigs[j-1].Name; j-- {
+			sigs[j], sigs[j-1] = sigs[j-1], sigs[j]
+		}
+	}
+}

@@ -44,6 +44,18 @@ func Random(d *rtl.Design, cycles int, seed int64, resetCycles int) sim.Stimulus
 	return stim
 }
 
+// RandomLanes generates lanes independent random stimuli for one batched
+// simulation: lane l uses seed+l, so the set is reproducible and each lane
+// equals Random(d, cycles, seed+l, resetCycles) exactly — mixing batched and
+// scalar runs of the same seed therefore exercises identical vectors.
+func RandomLanes(d *rtl.Design, lanes, cycles int, seed int64, resetCycles int) []sim.Stimulus {
+	out := make([]sim.Stimulus, lanes)
+	for l := range out {
+		out[l] = Random(d, cycles, seed+int64(l), resetCycles)
+	}
+	return out
+}
+
 // Exhaustive enumerates every input combination once, in counting order. It
 // returns nil if the total input width exceeds maxBits (default guard 20).
 func Exhaustive(d *rtl.Design, maxBits int) sim.Stimulus {

@@ -112,3 +112,24 @@ func TestRepeatAndConcat(t *testing.T) {
 		t.Error("concat aliases source")
 	}
 }
+
+func TestRandomLanes(t *testing.T) {
+	d := design(t)
+	lanes := RandomLanes(d, 8, 40, 100, 2)
+	if len(lanes) != 8 {
+		t.Fatalf("lanes %d", len(lanes))
+	}
+	for l, got := range lanes {
+		want := Random(d, 40, 100+int64(l), 2)
+		if len(got) != len(want) {
+			t.Fatalf("lane %d length %d vs %d", l, len(got), len(want))
+		}
+		for c := range want {
+			for name, v := range want[c] {
+				if got[c][name] != v {
+					t.Fatalf("lane %d cycle %d %s: %d vs %d", l, c, name, got[c][name], v)
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,12 @@
 # per-design overhead percentages, journal volume/drop accounting, and the
 # span taxonomy observed. Overhead scales with journal event volume; see
 # DESIGN.md section 4.4 for the measured envelope.
+#
+# Also writes BENCH_sim.json (override with $4): tree-walking interpreter vs
+# compiled instruction tape vs 64-lane bit-parallel batch engine, per design —
+# ns/cycle, ns/lane-cycle, paired-median speedups, and the trace-equality
+# cross-check (compiled trace and batch lane 0 must reproduce the interpreter
+# row-for-row). See DESIGN.md section 4.5.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,6 +29,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_sched.json}"
 out2="${2:-BENCH_mc.json}"
 out3="${3:-BENCH_telemetry.json}"
+out4="${4:-BENCH_sim.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
@@ -33,3 +40,6 @@ echo "bench: wrote $out2"
 
 go run ./cmd/experiments -telemetry-bench "$out3"
 echo "bench: wrote $out3"
+
+go run ./cmd/experiments -sim-bench "$out4"
+echo "bench: wrote $out4"
