@@ -38,6 +38,7 @@ func main() {
 		mcBench    = flag.String("mc-bench", "", "run the incremental model-checking benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		telBench   = flag.String("telemetry-bench", "", "run the telemetry overhead benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		simBench   = flag.String("sim-bench", "", "run the compiled/batched simulation benchmark and write the JSON report to this file ('-' = stdout), then exit")
+		serveBench = flag.String("serve-bench", "", "run the goldmined serving/durability benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		telOut     = flag.String("telemetry", "", "write a JSONL telemetry journal of the whole run to this file")
 		metrics    = flag.Bool("metrics-summary", false, "print the aggregated metrics snapshot as JSON to stderr on exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,6 +104,18 @@ func main() {
 		}
 	}
 
+	// Signals are installed BEFORE the bench dispatch below: a SIGTERM (or
+	// SIGINT) mid-bench must drain through the clean-partial path — telemetry
+	// snapshot, journal close trailer, exit 2 — not default-kill the process
+	// and leave a journal cmd/telcheck rejects.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	benchTo := func(path string, run func(io.Writer) error, what string) {
 		var out io.Writer = os.Stdout
 		if path != "-" {
@@ -113,8 +126,21 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := run(out); err != nil {
-			fail("experiments: %s: %v", what, err)
+		// The bench runs in a goroutine so a signal can cut it loose: the
+		// report is lost, but the journal still gets its trailer.
+		done := make(chan error, 1)
+		go func() { done <- run(out) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				fail("experiments: %s: %v", what, err)
+			}
+		case <-ctx.Done():
+			experiments.Telemetry.Event("run.abandoned", telemetry.String("experiment", what))
+			fmt.Fprintf(os.Stderr, "experiments: %s interrupted\n", what)
+			flushTel()
+			stopProf()
+			os.Exit(2)
 		}
 	}
 	if *schedBench != "" {
@@ -133,13 +159,9 @@ func main() {
 		benchTo(*simBench, experiments.SimBench, "sim-bench")
 		return
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if *serveBench != "" {
+		benchTo(*serveBench, func(w io.Writer) error { return experiments.ServeBench(w, *workers) }, "serve-bench")
+		return
 	}
 
 	var targets []experiments.Experiment

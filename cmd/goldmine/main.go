@@ -51,6 +51,7 @@ func main() {
 		batched  = flag.Bool("batched", false, "batch each iteration's checks before updating the tree (Section 7 optimization; enables parallel check lanes under -j)")
 		full     = flag.Bool("full-ctx", false, "add every counterexample window to the dataset")
 		tree     = flag.Bool("tree", false, "print the final decision tree")
+		canon    = flag.Bool("canonical", false, "print the canonical artifact rendering instead of the report (the determinism contract's byte-identical form, also served by goldmined)")
 		reduce   = flag.Bool("reduce", false, "apply A-Val subsumption reduction and ranking to the printed assertions")
 		minimize = flag.Bool("minimize", false, "minimize counterexample patterns before printing")
 		list     = flag.Bool("list", false, "list benchmark designs and exit")
@@ -94,7 +95,7 @@ func main() {
 		bit: *bit, window: *window,
 		seed: *seed, format: *format,
 		maxIter: *maxIter, checkTO: *checkTO, workers: *workers,
-		batched: *batched, fullCtx: *full, printTree: *tree,
+		batched: *batched, fullCtx: *full, printTree: *tree, canonical: *canon,
 		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
 		incremental: *incr, coi: *coi, compiled: *compiled,
 		telemetry: *telOut, metricsSummary: *metrics,
@@ -122,6 +123,7 @@ type runOpts struct {
 	workers              int
 	batched, fullCtx     bool
 	printTree, reduce    bool
+	canonical            bool
 	minimize, schedOut   bool
 	incremental, coi     bool
 	compiled             bool
@@ -284,6 +286,13 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	interrupted := all.Interrupted
 	mined := len(all.Outputs)
+	if o.canonical {
+		fmt.Print(all.Canonical())
+		if interrupted {
+			return fmt.Errorf("%w (%d/%d targets mined)", errInterrupted, mined, len(targets))
+		}
+		return nil
+	}
 	totalProved, totalCtx, totalUnknown, totalFaults := 0, 0, 0, 0
 	for _, res := range all.Outputs {
 		name := res.Output

@@ -1,6 +1,13 @@
 // Verdict cache: a concurrency-safe, single-flight memo table in front of the
 // model checker. See the package comment for the role it plays in the
 // scheduler.
+//
+// The cache is sharded and LRU-bounded so one instance can serve two very
+// different lifetimes: the private per-run cache every engine keeps (a single
+// shard is plenty — contention is bounded by the worker count of one run) and
+// the process-wide cross-run cache of the goldmined daemon, where many tenants
+// mining the same design share warm entries across jobs and the cache must
+// survive for days without growing past its budget.
 package sched
 
 import (
@@ -22,6 +29,12 @@ import (
 // engine's recover barrier attributes it correctly); waiters get this error
 // and degrade their own leaf through the usual fault-isolation path.
 var ErrCheckPanicked = errors.New("sched: in-flight check panicked")
+
+// DefaultCacheCapacity bounds a NewVerdictCache instance: per-run caches top
+// out in the low thousands of decisive verdicts on the bundled designs, so
+// 64k entries is effectively "unbounded for a run" while still guaranteeing
+// the cache cannot grow without limit on a pathological workload.
+const DefaultCacheCapacity = 1 << 16
 
 // Outcome classifies how a VerdictCache.Check call was served.
 type Outcome int
@@ -57,6 +70,8 @@ type CacheStats struct {
 	Misses int64
 	// Stored counts verdicts retained (decisive and budget-clean).
 	Stored int64
+	// Evicted counts stored verdicts pushed out by the LRU bound.
+	Evicted int64
 }
 
 // Lookups is the total number of Check calls behind the snapshot.
@@ -72,9 +87,17 @@ func (s CacheStats) HitRate() float64 {
 }
 
 type cacheEntry struct {
+	key  string
 	done chan struct{} // closed when res/err are final
 	res  *mc.Result
 	err  error
+
+	// Intrusive LRU links, valid only while resident (stored in a shard's
+	// recency list). In-flight entries are not resident: they cannot be
+	// evicted while a leader is computing and waiters hold their done
+	// channel.
+	prev, next *cacheEntry
+	resident   bool
 }
 
 // VerdictCache memoizes model-checker verdicts under canonical keys. It is
@@ -88,30 +111,101 @@ type cacheEntry struct {
 // reflect that caller's budget, not the assertion, and a later caller with a
 // healthier budget must be free to recompute. Hard errors and panics are
 // likewise never cached.
+//
+// Residency is bounded: each shard keeps its stored entries on an LRU list
+// and evicts the coldest ones once the shard's capacity is exceeded, so a
+// long-lived cross-run cache degrades by recomputing cold verdicts, never by
+// exhausting memory.
 type VerdictCache struct {
+	shards []*cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	// lru is the sentinel of the doubly-linked recency ring: lru.next is the
+	// most recently used resident entry, lru.prev the coldest.
+	lru      cacheEntry
+	resident int
+	capacity int // max resident entries; <= 0 means unbounded
 
-	hits, shared, misses, stored int64
+	hits, shared, misses, stored, evicted int64
 }
 
-// NewVerdictCache creates an empty cache.
+// NewVerdictCache creates a single-shard cache bounded at
+// DefaultCacheCapacity — the per-run configuration.
 func NewVerdictCache() *VerdictCache {
-	return &VerdictCache{entries: map[string]*cacheEntry{}}
+	return NewVerdictCacheSized(1, DefaultCacheCapacity)
 }
 
-// Stats returns a consistent snapshot of the telemetry counters.
+// NewVerdictCacheSized creates a cache with the given shard count (rounded up
+// to a power of two) and total capacity, split evenly across shards. A
+// capacity <= 0 means unbounded. Sharding only spreads lock contention; the
+// single-flight and storage semantics are identical for any shard count.
+func NewVerdictCacheSized(shards, capacity int) *VerdictCache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + n - 1) / n
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
+	c := &VerdictCache{shards: make([]*cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		s := &cacheShard{entries: map[string]*cacheEntry{}, capacity: perShard}
+		s.lru.next, s.lru.prev = &s.lru, &s.lru
+		c.shards[i] = s
+	}
+	return c
+}
+
+// Shards returns the shard count (a power of two).
+func (c *VerdictCache) Shards() int { return len(c.shards) }
+
+// Capacity returns the total resident-entry bound (0 = unbounded).
+func (c *VerdictCache) Capacity() int {
+	if c.shards[0].capacity <= 0 {
+		return 0
+	}
+	return c.shards[0].capacity * len(c.shards)
+}
+
+func (c *VerdictCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()&c.mask]
+}
+
+// Stats returns a consistent per-shard, aggregated snapshot of the telemetry
+// counters.
 func (c *VerdictCache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Shared: c.shared, Misses: c.misses, Stored: c.stored}
+	var st CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Shared += s.shared
+		st.Misses += s.misses
+		st.Stored += s.stored
+		st.Evicted += s.evicted
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Len returns the number of stored or in-flight entries.
 func (c *VerdictCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // cacheable reports whether a verdict may be stored: decisive and untouched
@@ -139,6 +233,50 @@ func (e *cacheEntry) result() (*mc.Result, error) {
 	return &r, nil
 }
 
+// unlink removes e from its shard's recency ring. Caller holds the shard lock.
+func (s *cacheShard) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	e.resident = false
+	s.resident--
+}
+
+// linkFront marks e most-recently-used. Caller holds the shard lock.
+func (s *cacheShard) linkFront(e *cacheEntry) {
+	e.next = s.lru.next
+	e.prev = &s.lru
+	s.lru.next.prev = e
+	s.lru.next = e
+	e.resident = true
+	s.resident++
+}
+
+// touch refreshes e's recency. Caller holds the shard lock.
+func (s *cacheShard) touch(e *cacheEntry) {
+	if !e.resident {
+		return
+	}
+	s.unlink(e)
+	s.linkFront(e)
+}
+
+// store makes a terminal entry resident and evicts past the capacity bound.
+// Caller holds the shard lock.
+func (s *cacheShard) store(e *cacheEntry) {
+	s.stored++
+	s.linkFront(e)
+	for s.capacity > 0 && s.resident > s.capacity {
+		cold := s.lru.prev
+		if cold == &s.lru {
+			break
+		}
+		s.unlink(cold)
+		delete(s.entries, cold.key)
+		s.evicted++
+	}
+}
+
 // Check routes one formal check through the cache. compute is invoked in the
 // calling goroutine when the key is absent (so panics surface to the caller's
 // own recover barrier, with waiters failed via ErrCheckPanicked). When an
@@ -146,17 +284,19 @@ func (e *cacheEntry) result() (*mc.Result, error) {
 // verdict lands or ctx dies; a context death while waiting is reported as
 // mc.ErrCanceled, matching the checker's own budget taxonomy.
 func (c *VerdictCache) Check(ctx context.Context, key string, compute func() (*mc.Result, error)) (*mc.Result, Outcome, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
 		select {
 		case <-e.done: // terminal entry: a stored decisive verdict
-			c.hits++
-			c.mu.Unlock()
+			s.hits++
+			s.touch(e)
+			s.mu.Unlock()
 			res, err := e.result()
 			return res, Hit, err
 		default: // in flight: wait for the leader
-			c.shared++
-			c.mu.Unlock()
+			s.shared++
+			s.mu.Unlock()
 			// A deduplicated concurrent check: advisory, like steals.
 			if tr := telemetry.ContextTracer(ctx); tr != nil {
 				tr.Event("sched.dedup")
@@ -172,10 +312,10 @@ func (c *VerdictCache) Check(ctx context.Context, key string, compute func() (*m
 		}
 	}
 	// Leader: compute in this goroutine under a fresh in-flight entry.
-	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	s.entries[key] = e
+	s.misses++
+	s.mu.Unlock()
 
 	finished := false
 	defer func() {
@@ -185,18 +325,20 @@ func (c *VerdictCache) Check(ctx context.Context, key string, compute func() (*m
 		// compute panicked: fail the waiters, evict, and let the panic
 		// continue into the caller's recover barrier.
 		e.err = ErrCheckPanicked
-		c.evict(key, e)
+		s.evict(key, e)
 		close(e.done)
 	}()
 	res, err := compute()
 	finished = true
 	e.res, e.err = res, err
 	if err != nil || !cacheable(res) {
-		c.evict(key, e)
+		s.evict(key, e)
 	} else {
-		c.mu.Lock()
-		c.stored++
-		c.mu.Unlock()
+		s.mu.Lock()
+		if s.entries[key] == e {
+			s.store(e)
+		}
+		s.mu.Unlock()
 	}
 	close(e.done)
 	if err != nil {
@@ -206,12 +348,15 @@ func (c *VerdictCache) Check(ctx context.Context, key string, compute func() (*m
 }
 
 // evict removes the entry if it still owns the key.
-func (c *VerdictCache) evict(key string, e *cacheEntry) {
-	c.mu.Lock()
-	if c.entries[key] == e {
-		delete(c.entries, key)
+func (s *cacheShard) evict(key string, e *cacheEntry) {
+	s.mu.Lock()
+	if s.entries[key] == e {
+		delete(s.entries, key)
+		if e.resident {
+			s.unlink(e)
+		}
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // ---------------------------------------------------------------------------

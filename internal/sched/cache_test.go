@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -198,6 +199,126 @@ func TestCacheLeaderPanicFailsWaiters(t *testing.T) {
 		if st.Stored == 0 {
 			t.Fatal("panicked entry retained")
 		}
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	const capacity = 8
+	c := NewVerdictCacheSized(1, capacity)
+	if c.Capacity() != capacity {
+		t.Fatalf("Capacity() = %d, want %d", c.Capacity(), capacity)
+	}
+	ctx := context.Background()
+	key := func(i int) string { return fmt.Sprintf("k%03d", i) }
+	for i := 0; i < 3*capacity; i++ {
+		if _, _, err := c.Check(ctx, key(i), proved); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Len(); got > capacity {
+			t.Fatalf("after %d stores: Len() = %d exceeds capacity %d", i+1, got, capacity)
+		}
+	}
+	st := c.Stats()
+	if st.Stored != 3*capacity {
+		t.Fatalf("Stored = %d, want %d", st.Stored, 3*capacity)
+	}
+	if st.Evicted != 2*capacity {
+		t.Fatalf("Evicted = %d, want %d", st.Evicted, 2*capacity)
+	}
+	// The survivors are exactly the most recent `capacity` keys.
+	for i := 2 * capacity; i < 3*capacity; i++ {
+		if _, o, _ := c.Check(ctx, key(i), proved); o != Hit {
+			t.Fatalf("recent key %d: outcome %v, want Hit", i, o)
+		}
+	}
+	if _, o, _ := c.Check(ctx, key(0), proved); o != Computed {
+		t.Fatalf("cold key 0: outcome %v, want Computed (evicted)", o)
+	}
+}
+
+func TestCacheLRUTouchOnHit(t *testing.T) {
+	// A hit refreshes recency: the entry hit most recently must outlive
+	// colder entries stored after it.
+	const capacity = 4
+	c := NewVerdictCacheSized(1, capacity)
+	ctx := context.Background()
+	key := func(i int) string { return fmt.Sprintf("k%03d", i) }
+	for i := 0; i < capacity; i++ {
+		c.Check(ctx, key(i), proved)
+	}
+	// Touch k0, then push two new keys: k1 and k2 must fall out, k0 stays.
+	if _, o, _ := c.Check(ctx, key(0), proved); o != Hit {
+		t.Fatalf("touch: outcome %v, want Hit", o)
+	}
+	c.Check(ctx, key(capacity), proved)
+	c.Check(ctx, key(capacity+1), proved)
+	if _, o, _ := c.Check(ctx, key(0), proved); o != Hit {
+		t.Fatalf("touched key evicted: outcome %v, want Hit", o)
+	}
+	if _, o, _ := c.Check(ctx, key(1), proved); o != Computed {
+		t.Fatalf("cold key survived past capacity: outcome %v, want Computed", o)
+	}
+}
+
+func TestCacheInFlightEntriesAreNotEvicted(t *testing.T) {
+	// An in-flight leader's entry must survive any amount of store pressure:
+	// waiters hold its done channel.
+	c := NewVerdictCacheSized(1, 2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Check(context.Background(), "inflight", func() (*mc.Result, error) {
+			close(started)
+			<-release
+			return proved()
+		})
+	}()
+	<-started
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		c.Check(ctx, fmt.Sprintf("filler%d", i), proved)
+	}
+	got := make(chan Outcome, 1)
+	go func() {
+		_, o, _ := c.Check(ctx, "inflight", proved)
+		got <- o
+	}()
+	close(release)
+	if o := <-got; o != Shared && o != Hit {
+		t.Fatalf("waiter outcome %v, want Shared or Hit", o)
+	}
+}
+
+func TestCacheSharded(t *testing.T) {
+	c := NewVerdictCacheSized(7, 1024) // rounds up to 8 shards
+	if c.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", c.Shards())
+	}
+	ctx := context.Background()
+	const n = 500
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, _, err := c.Check(ctx, fmt.Sprintf("key-%d", i), proved); err != nil {
+					t.Errorf("check: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != n {
+		t.Fatalf("Misses = %d, want %d (single flight across shards)", st.Misses, n)
+	}
+	if got := st.Lookups(); got != 4*n {
+		t.Fatalf("Lookups = %d, want %d", got, 4*n)
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
 	}
 }
 

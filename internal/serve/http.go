@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// apiError is the JSON error envelope. Code is machine-readable so clients
+// can branch without parsing prose; RetryAfterMS mirrors the Retry-After
+// header for transient rejections.
+type apiError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr maps the typed admission errors onto HTTP semantics: overload is
+// 429 with Retry-After (back off and come back), drain is 503 (this instance
+// is going away), bad specs are 400, budget exhaustion is 429 without
+// Retry-After (waiting will not refill the budget; the code says why).
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: err.Error(), Code: "queue_full", RetryAfterMS: 1000})
+	case errors.Is(err, ErrTenantQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: err.Error(), Code: "tenant_queue_full", RetryAfterMS: 1000})
+	case errors.Is(err, ErrBudgetExhausted):
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: err.Error(), Code: "budget_exhausted"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: err.Error(), Code: "draining"})
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: err.Error(), Code: "bad_request"})
+	}
+}
+
+// jobView is the wire form of a Job. The artifact is summarized (counts, not
+// the canonical text) — the full artifact lives at /v1/jobs/{id}/artifact.
+type jobView struct {
+	ID           string    `json:"id"`
+	Tenant       string    `json:"tenant"`
+	State        JobState  `json:"state"`
+	Attempts     int       `json:"attempts"`
+	Err          string    `json:"error,omitempty"`
+	Recovered    bool      `json:"recovered,omitempty"`
+	Checkpointed bool      `json:"checkpointed,omitempty"`
+	Artifact     *Artifact `json:"artifact,omitempty"`
+}
+
+func view(j *Job, withArtifact bool) jobView {
+	v := jobView{
+		ID: j.ID, Tenant: j.Spec.Tenant, State: j.State, Attempts: j.Attempts,
+		Err: j.Err, Recovered: j.Recovered, Checkpointed: j.Checkpointed,
+	}
+	if withArtifact && j.Artifact != nil {
+		a := *j.Artifact
+		a.Canonical = "" // served by /artifact, kept out of the summary
+		v.Artifact = &a
+	}
+	return v
+}
+
+// Handler returns the daemon's HTTP API on a fresh mux:
+//
+//	POST   /v1/jobs               submit a JobSpec       -> 202 jobView
+//	GET    /v1/jobs[?tenant=t]    list jobs              -> 200 []jobView
+//	GET    /v1/jobs/{id}          one job                -> 200 jobView
+//	GET    /v1/jobs/{id}?wait=1   block until terminal   -> 200 jobView
+//	GET    /v1/jobs/{id}/artifact canonical artifact     -> 200 text/plain
+//	DELETE /v1/jobs/{id}          cancel                 -> 200 jobView
+//	GET    /healthz               process liveness       -> 200/503
+//	GET    /readyz                traffic readiness      -> 200/503
+//	GET    /statsz                Stats                  -> 200 JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				apiError{Error: "bad JSON: " + err.Error(), Code: "bad_request"})
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		snap, _ := s.Job(j.ID)
+		writeJSON(w, http.StatusAccepted, view(&snap, false))
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs(r.URL.Query().Get("tenant"))
+		out := make([]jobView, 0, len(jobs))
+		for i := range jobs {
+			out = append(out, view(&jobs[i], true))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if r.URL.Query().Get("wait") != "" {
+			j, err := s.WaitJob(r.Context(), id)
+			if err != nil {
+				status := http.StatusNotFound
+				if r.Context().Err() != nil {
+					status = http.StatusRequestTimeout
+				}
+				writeJSON(w, status, apiError{Error: err.Error(), Code: "wait_failed"})
+				return
+			}
+			writeJSON(w, http.StatusOK, view(&j, true))
+			return
+		}
+		j, ok := s.Job(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				apiError{Error: "no job " + id, Code: "not_found"})
+			return
+		}
+		writeJSON(w, http.StatusOK, view(&j, true))
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := s.Job(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				apiError{Error: "no job " + id, Code: "not_found"})
+			return
+		}
+		if j.Artifact == nil {
+			writeJSON(w, http.StatusConflict, apiError{
+				Error: "job " + id + " has no artifact (state " + string(j.State) + ")",
+				Code:  "no_artifact"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if j.Recovered {
+			w.Header().Set("X-Goldmine-Recovered", "1")
+		}
+		_, _ = w.Write([]byte(j.Artifact.Canonical))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := s.Cancel(id); err != nil {
+			writeJSON(w, http.StatusNotFound,
+				apiError{Error: err.Error(), Code: "not_found"})
+			return
+		}
+		j, _ := s.Job(id)
+		writeJSON(w, http.StatusOK, view(&j, false))
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.live.Load() == 0 {
+			http.Error(w, "no live workers", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := s.Ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ready queue=" + strconv.Itoa(s.q.len()) + "\n"))
+	})
+
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}

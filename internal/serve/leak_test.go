@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"goldmine/internal/mc"
+)
+
+// checkNoLeaks runs fn and asserts the goroutine count settles back to its
+// starting point. Settling is polled: timers and netpoll strays need a few
+// scheduler rounds to unwind.
+func checkNoLeaks(t *testing.T, fn func()) {
+	t.Helper()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterDrain: a full lifecycle — submit, run, drain —
+// leaves no worker, timer, or waiter goroutines behind.
+func TestNoGoroutineLeakAfterDrain(t *testing.T) {
+	checkNoLeaks(t, func() {
+		s := mustServer(t, testConfig(okRunner))
+		for i := 0; i < 8; i++ {
+			if _, err := s.Submit(spec(fmt.Sprintf("t%d", i%2))); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		shutdown(t, s)
+	})
+}
+
+// TestNoGoroutineLeakAfterCancel: canceled jobs (queued and running) release
+// their workers and wake their waiters.
+func TestNoGoroutineLeakAfterCancel(t *testing.T) {
+	checkNoLeaks(t, func() {
+		started := make(chan struct{}, 4)
+		blocking := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		cfg := testConfig(blocking)
+		cfg.Workers = 1
+		s := mustServer(t, cfg)
+		running, _ := s.Submit(spec("t1"))
+		queued, _ := s.Submit(spec("t1"))
+		<-started
+		for _, id := range []string{queued.ID, running.ID} {
+			if _, err := s.Cancel(id); err != nil {
+				t.Fatalf("cancel %s: %v", id, err)
+			}
+			if _, err := s.WaitJob(context.Background(), id); err != nil {
+				t.Fatalf("wait %s: %v", id, err)
+			}
+		}
+		shutdown(t, s)
+	})
+}
+
+// TestNoGoroutineLeakAfterPanicRecovery: a worker that hosted a panicking
+// job keeps serving and everything still unwinds at drain.
+func TestNoGoroutineLeakAfterPanicRecovery(t *testing.T) {
+	checkNoLeaks(t, func() {
+		var first = make(chan struct{}, 1)
+		bomb := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+			select {
+			case first <- struct{}{}:
+				panic("injected")
+			default:
+			}
+			return &Artifact{Design: spec.Design}, nil
+		}
+		s := mustServer(t, testConfig(bomb))
+		j, _ := s.Submit(spec("t1"))
+		got, err := s.WaitJob(context.Background(), j.ID)
+		if err != nil || got.State != JobDone {
+			t.Fatalf("job after panic = %+v, %v", got, err)
+		}
+		shutdown(t, s)
+	})
+}
+
+// TestNoGoroutineLeakAfterRetryQuarantine: backoff timers from the retry
+// machinery are all stopped or fired by the end of the lifecycle.
+func TestNoGoroutineLeakAfterRetryQuarantine(t *testing.T) {
+	checkNoLeaks(t, func() {
+		poison := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+			return nil, fmt.Errorf("%w: always", mc.ErrEngineInternal)
+		}
+		s := mustServer(t, testConfig(poison))
+		j, _ := s.Submit(spec("t1"))
+		if got, _ := s.WaitJob(context.Background(), j.ID); got.State != JobQuarantined {
+			t.Fatalf("state = %s, want quarantined", got.State)
+		}
+		shutdown(t, s)
+	})
+}
+
+// TestNoGoroutineLeakAfterKill: the crash-simulation path also unwinds every
+// goroutine (the process outlives the "crash" in-test).
+func TestNoGoroutineLeakAfterKill(t *testing.T) {
+	checkNoLeaks(t, func() {
+		blocking := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		s := mustServer(t, testConfig(blocking))
+		for i := 0; i < 4; i++ {
+			if _, err := s.Submit(spec("t1")); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		s.Kill()
+	})
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Typed admission errors: the HTTP layer maps each to a status code and a
+// machine-readable code field, and programmatic callers branch with
+// errors.Is. They are the graceful-degradation contract — overload and
+// exhaustion are answered, never absorbed.
+var (
+	// ErrDraining: the server is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: draining, not admitting jobs")
+	// ErrQueueFull: the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrTenantQueueFull: this tenant already has its maximum number of
+	// queued or running jobs (per-tenant fairness cap).
+	ErrTenantQueueFull = errors.New("serve: tenant queue limit reached")
+	// ErrBudgetExhausted: the tenant's mining wall-clock budget is spent.
+	ErrBudgetExhausted = errors.New("serve: tenant budget exhausted")
+)
+
+// tenantState is one tenant's accounting: mining wall clock consumed against
+// the budget, plus the number of jobs currently queued or running.
+type tenantState struct {
+	used   time.Duration
+	active int
+}
+
+// tenants tracks per-tenant budgets and fairness caps. All methods are safe
+// for concurrent use.
+type tenants struct {
+	mu sync.Mutex
+	m  map[string]*tenantState
+	// budget is the per-tenant mining wall-clock allowance (0 = unlimited).
+	budget time.Duration
+	// maxActive caps one tenant's queued+running jobs (0 = unlimited).
+	maxActive int
+}
+
+func newTenants(budget time.Duration, maxActive int) *tenants {
+	return &tenants{m: map[string]*tenantState{}, budget: budget, maxActive: maxActive}
+}
+
+func (t *tenants) get(name string) *tenantState {
+	ts := t.m[name]
+	if ts == nil {
+		ts = &tenantState{}
+		t.m[name] = ts
+	}
+	return ts
+}
+
+// admit reserves a queue slot for one job of the tenant, or explains why not
+// with a typed error. Budget exhaustion never blocks other tenants: the check
+// is purely per-tenant state.
+func (t *tenants) admit(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.get(name)
+	if t.budget > 0 && ts.used >= t.budget {
+		return ErrBudgetExhausted
+	}
+	if t.maxActive > 0 && ts.active >= t.maxActive {
+		return ErrTenantQueueFull
+	}
+	ts.active++
+	return nil
+}
+
+// readmit re-reserves a slot without the fairness cap — used when replaying
+// pending jobs from the WAL (they were admitted before the restart) and when
+// re-queueing a retry (the job never left the system).
+func (t *tenants) readmit(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.get(name).active++
+}
+
+// settle releases the tenant's slot when a job reaches a terminal state (or
+// is checkpointed by a drain) and charges the mining time it consumed.
+func (t *tenants) settle(name string, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.get(name)
+	if ts.active > 0 {
+		ts.active--
+	}
+	ts.used += elapsed
+}
+
+// charge records consumption without releasing a slot (WAL replay of done
+// records for jobs that are not re-admitted).
+func (t *tenants) charge(name string, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.get(name).used += elapsed
+}
+
+// remaining returns the tenant's unspent budget; the second result is false
+// when budgets are unlimited.
+func (t *tenants) remaining(name string) (time.Duration, bool) {
+	if t.budget <= 0 {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rem := t.budget - t.get(name).used
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
+// TenantStats is one tenant's /statsz row.
+type TenantStats struct {
+	Tenant      string  `json:"tenant"`
+	Active      int     `json:"active"`
+	UsedMS      float64 `json:"used_ms"`
+	BudgetMS    float64 `json:"budget_ms,omitempty"`
+	RemainingMS float64 `json:"remaining_ms,omitempty"`
+}
+
+func (t *tenants) stats() []TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TenantStats, 0, len(t.m))
+	for name, ts := range t.m {
+		row := TenantStats{
+			Tenant: name,
+			Active: ts.active,
+			UsedMS: float64(ts.used.Microseconds()) / 1000,
+		}
+		if t.budget > 0 {
+			row.BudgetMS = float64(t.budget.Microseconds()) / 1000
+			rem := t.budget - ts.used
+			if rem < 0 {
+				rem = 0
+			}
+			row.RemainingMS = float64(rem.Microseconds()) / 1000
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goldmine/internal/telemetry"
+)
+
+// WAL record names. Every record is one JSONL line in the telemetry journal
+// wire format (kind "job", encoded by telemetry.EncodeEvent): "submit"
+// carries the full JobSpec as data, terminal records ("done", "quarantine",
+// "cancel") settle the job, and the rest are progress markers that survive a
+// crash ("start", "fail", "checkpoint").
+const (
+	walKind       = "job"
+	walSubmit     = "submit"
+	walStart      = "start"
+	walDone       = "done"
+	walFail       = "fail"
+	walReject     = "reject"
+	walQuarantine = "quarantine"
+	walCancel     = "cancel"
+	walCheckpoint = "checkpoint"
+	walDrain      = "drain"
+)
+
+// wal is the durable write-ahead job journal. Appends are synchronous and
+// mutex-serialized: by the time a client learns a job ID (or a result), the
+// corresponding record has reached the kernel, so a SIGKILLed process loses
+// at most the record being written when it died — and replay tolerates that
+// torn final line.
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte
+	path     string
+	disabled atomic.Bool // set by Kill: simulates abrupt process death
+	appends  atomic.Int64
+}
+
+// walJob is one job reconstructed by replay.
+type walJob struct {
+	ID       string
+	Spec     JobSpec
+	State    JobState
+	Attempts int
+	Err      string
+	Artifact *Artifact
+	// ChargedMS is the mining wall clock recorded against the job's tenant
+	// (done records), replayed so budgets survive restarts.
+	ChargedMS float64
+}
+
+// openWAL opens (or creates) the journal at path and replays it: the
+// returned jobs are in original submit order with their latest state applied.
+func openWAL(path string) (*wal, []*walJob, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	jobs, err := replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	return &wal{f: f, path: path}, jobs, nil
+}
+
+// replayWAL folds the journal into per-job state. A final line that fails to
+// parse is treated as torn by the crash and ignored; a malformed line with
+// records after it means real corruption and fails the open.
+func replayWAL(f *os.File) ([]*walJob, error) {
+	byID := map[string]*walJob{}
+	var order []*walJob
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return nil, fmt.Errorf("wal: corrupt record at line %d: %w", line-1, pendingErr)
+		}
+		var je telemetry.JSONEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			pendingErr = err
+			continue
+		}
+		if je.Kind != walKind {
+			continue
+		}
+		if err := applyRecord(byID, &order, &je); err != nil {
+			pendingErr = err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// pendingErr on the very last line: torn write at the kill point.
+	return order, nil
+}
+
+func attrString(je *telemetry.JSONEvent, key string) string {
+	s, _ := je.Attrs[key].(string)
+	return s
+}
+
+func attrInt(je *telemetry.JSONEvent, key string) int64 {
+	// encoding/json decodes numbers into float64.
+	f, _ := je.Attrs[key].(float64)
+	return int64(f)
+}
+
+func applyRecord(byID map[string]*walJob, order *[]*walJob, je *telemetry.JSONEvent) error {
+	id := attrString(je, "id")
+	if id == "" {
+		return fmt.Errorf("job record %q without id", je.Name)
+	}
+	j := byID[id]
+	if je.Name == walSubmit {
+		if j != nil {
+			return fmt.Errorf("duplicate submit for %s", id)
+		}
+		j = &walJob{ID: id, State: JobQueued}
+		if je.Data == nil {
+			return fmt.Errorf("submit %s without spec", id)
+		}
+		if err := json.Unmarshal(*je.Data, &j.Spec); err != nil {
+			return fmt.Errorf("submit %s: %w", id, err)
+		}
+		byID[id] = j
+		*order = append(*order, j)
+		return nil
+	}
+	if j == nil {
+		return fmt.Errorf("%s record for unknown job %s", je.Name, id)
+	}
+	switch je.Name {
+	case walStart:
+		j.State = JobRunning
+		j.Attempts = int(attrInt(je, "attempt"))
+	case walDone:
+		j.State = JobDone
+		j.ChargedMS += float64(attrInt(je, "elapsed_us")) / 1000
+		if je.Data != nil {
+			var a Artifact
+			if err := json.Unmarshal(*je.Data, &a); err != nil {
+				return fmt.Errorf("done %s: %w", id, err)
+			}
+			j.Artifact = &a
+		}
+	case walFail:
+		j.State = JobQueued // retry pending
+		j.Attempts = int(attrInt(je, "attempt"))
+		j.Err = attrString(je, "error")
+		j.ChargedMS += float64(attrInt(je, "elapsed_us")) / 1000
+	case walReject:
+		j.State = JobFailed
+		j.Err = attrString(je, "error")
+		j.ChargedMS += float64(attrInt(je, "elapsed_us")) / 1000
+	case walQuarantine:
+		j.State = JobQuarantined
+		j.Err = attrString(je, "error")
+	case walCancel:
+		j.State = JobCanceled
+	case walCheckpoint:
+		// A drained in-flight job: pending again, attempt count retained
+		// (the checkpoint was not a failure).
+		j.State = JobQueued
+		j.ChargedMS += float64(attrInt(je, "elapsed_us")) / 1000
+	default:
+		return fmt.Errorf("unknown job record %q for %s", je.Name, id)
+	}
+	return nil
+}
+
+// append encodes one record and writes it synchronously. Errors are returned
+// so callers can surface them, but the in-memory state machine proceeds
+// regardless — a daemon with a sick disk degrades to non-durable operation
+// rather than refusing all work.
+func (w *wal) append(name string, data any, attrs ...telemetry.Attr) error {
+	if w == nil || w.disabled.Load() {
+		return nil
+	}
+	e := telemetry.Event{TS: time.Now(), Kind: walKind, Name: name, Attrs: attrs, Data: data}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	w.buf, err = telemetry.EncodeEvent(w.buf[:0], &e)
+	if err != nil {
+		return fmt.Errorf("wal: encode %s: %w", name, err)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("wal: append %s: %w", name, err)
+	}
+	w.appends.Add(1)
+	return nil
+}
+
+// disable stops all further writes without flushing anything — the Kill path
+// uses it to make an in-process restart indistinguishable from SIGKILL.
+func (w *wal) disable() {
+	if w != nil {
+		w.disabled.Store(true)
+	}
+}
+
+func (w *wal) close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldmine/internal/telemetry"
+)
+
+func openTestWAL(t *testing.T, path string) (*wal, []*walJob) {
+	t.Helper()
+	w, jobs, err := openWAL(path)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	return w, jobs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, jobs := openTestWAL(t, path)
+	if len(jobs) != 0 {
+		t.Fatalf("fresh WAL replayed %d jobs", len(jobs))
+	}
+	spec := JobSpec{Tenant: "t1", Design: "arbiter2"}
+	art := &Artifact{Design: "arbiter2", Canonical: "canon\n", Proved: 3}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.append(walSubmit, &spec, telemetry.String("id", "j000000")))
+	must(w.append(walStart, nil, telemetry.String("id", "j000000"), telemetry.Int("attempt", 1)))
+	must(w.append(walDone, art, telemetry.String("id", "j000000"),
+		telemetry.Int("attempt", 1), telemetry.Int("elapsed_us", 1500)))
+
+	must(w.append(walSubmit, &JobSpec{Tenant: "t2", Design: "decode"}, telemetry.String("id", "j000001")))
+	must(w.append(walStart, nil, telemetry.String("id", "j000001"), telemetry.Int("attempt", 1)))
+	must(w.append(walFail, nil, telemetry.String("id", "j000001"),
+		telemetry.Int("attempt", 1), telemetry.String("error", "boom"),
+		telemetry.Int("elapsed_us", 2000)))
+
+	must(w.append(walSubmit, &JobSpec{Tenant: "t3", Design: "fetch"}, telemetry.String("id", "j000002")))
+	must(w.append(walCancel, nil, telemetry.String("id", "j000002")))
+	must(w.close())
+
+	_, jobs = openTestWAL(t, path)
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	j0, j1, j2 := jobs[0], jobs[1], jobs[2]
+	if j0.State != JobDone || j0.Artifact == nil || j0.Artifact.Canonical != "canon\n" {
+		t.Fatalf("j0 = %+v, want done with artifact", j0)
+	}
+	if j0.ChargedMS != 1.5 {
+		t.Fatalf("j0 charged = %v ms, want 1.5", j0.ChargedMS)
+	}
+	if j1.State != JobQueued || j1.Attempts != 1 || j1.Err != "boom" {
+		t.Fatalf("j1 = %+v, want queued retry with attempt 1", j1)
+	}
+	if j2.State != JobCanceled {
+		t.Fatalf("j2 state = %s, want canceled", j2.State)
+	}
+	if j0.Spec.Tenant != "t1" || j1.Spec.Design != "decode" {
+		t.Fatal("specs did not survive the round trip")
+	}
+}
+
+// TestWALTornFinalLine: a SIGKILL can tear the record being written; replay
+// ignores exactly that final partial line.
+func TestWALTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, _ := openTestWAL(t, path)
+	if err := w.append(walSubmit, &JobSpec{Tenant: "t", Design: "d"}, telemetry.String("id", "j000000")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts_us":123,"kind":"job","name":"done","att`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, jobs := openTestWAL(t, path)
+	if len(jobs) != 1 || jobs[0].State != JobQueued {
+		t.Fatalf("replay after torn line = %+v, want the 1 queued job", jobs)
+	}
+}
+
+// TestWALMidFileCorruption: a bad line with valid records after it is real
+// corruption, not a torn tail — the open must fail loudly.
+func TestWALMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"ts_us":1,"kind":"job","name":"submit","attrs":{"id":"j000000"},"data":{"tenant":"t","design":"d"}}
+this is not json
+{"ts_us":3,"kind":"job","name":"start","attrs":{"id":"j000000","attempt":1}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("openWAL err = %v, want mid-file corruption error", err)
+	}
+}
+
+// TestWALForeignRecordsIgnored: telemetry events sharing the file (other
+// kinds) are skipped, so a combined journal still replays.
+func TestWALForeignRecordsIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"ts_us":1,"kind":"event","name":"serve.submit"}
+{"ts_us":2,"kind":"job","name":"submit","attrs":{"id":"j000000"},"data":{"tenant":"t","design":"d"}}
+{"ts_us":3,"kind":"close"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, jobs := openTestWAL(t, path)
+	if len(jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(jobs))
+	}
+}
+
+// TestWALDisable: after disable (the simulated SIGKILL), appends are no-ops.
+func TestWALDisable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, _ := openTestWAL(t, path)
+	if err := w.append(walSubmit, &JobSpec{Tenant: "t", Design: "d"}, telemetry.String("id", "j000000")); err != nil {
+		t.Fatal(err)
+	}
+	w.disable()
+	if err := w.append(walDone, nil, telemetry.String("id", "j000000")); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.close()
+	_, jobs := openTestWAL(t, path)
+	if len(jobs) != 1 || jobs[0].State != JobQueued {
+		t.Fatalf("post-disable replay = %+v, want 1 queued job (done suppressed)", jobs)
+	}
+}

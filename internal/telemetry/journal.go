@@ -179,6 +179,15 @@ func (j *Journal) drain() {
 	}
 }
 
+// EncodeEvent formats e as one JSONL line appended to b, producing exactly
+// the JSONEvent wire shape (field set, omitempty behaviour) without
+// reflection. Exported so other JSONL logs — the serve package's durable job
+// journal — reuse the same encoder and wire format as the telemetry journal;
+// the inverse is a plain json.Unmarshal into JSONEvent.
+func EncodeEvent(b []byte, e *Event) ([]byte, error) {
+	return appendEvent(b, e)
+}
+
 // appendEvent formats e as one JSONL line into b, producing exactly the
 // JSONEvent wire shape (field set, omitempty behaviour) without reflection.
 func appendEvent(b []byte, e *Event) ([]byte, error) {

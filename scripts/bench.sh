@@ -22,6 +22,12 @@
 # ns/cycle, ns/lane-cycle, paired-median speedups, and the trace-equality
 # cross-check (compiled trace and batch lane 0 must reproduce the interpreter
 # row-for-row). See DESIGN.md section 4.5.
+#
+# Also writes BENCH_serve.json (override with $5): the goldmined daemon load
+# harness — jobs/sec and p50/p99 latency on a pooled engine fleet, cold vs
+# warm cross-run verdict-cache hit rates, engine pool reuse, and kill/restart
+# durability (recovery time, jobs re-served from the WAL without
+# recomputation, byte-identity across the crash). See DESIGN.md section 4.6.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +36,7 @@ out="${1:-BENCH_sched.json}"
 out2="${2:-BENCH_mc.json}"
 out3="${3:-BENCH_telemetry.json}"
 out4="${4:-BENCH_sim.json}"
+out5="${5:-BENCH_serve.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
@@ -43,3 +50,6 @@ echo "bench: wrote $out3"
 
 go run ./cmd/experiments -sim-bench "$out4"
 echo "bench: wrote $out4"
+
+go run ./cmd/experiments -serve-bench "$out5" -j "$jobs"
+echo "bench: wrote $out5 (workers=$jobs)"

@@ -117,4 +117,81 @@ for d in $("$tmpbin/goldmine" -list | while read -r name _; do echo "$name"; don
     echo "cross-check: $d OK"
 done
 
+
+
+echo "== smoke: goldmined kill/restart durability =="
+# Start the daemon with a durable job journal, submit a quick job and a long
+# one, SIGKILL the daemon while the long job is mid-flight, restart it on the
+# same journal, and require: the finished job is re-served from the journal
+# (no recomputation) byte-identical to a fresh CLI -canonical run, the
+# interrupted job resumes and completes, and a SIGTERM then drains to exit 0.
+go build -o "$tmpbin/goldmined" ./cmd/goldmined
+"$tmpbin/goldmined" -addr 127.0.0.1:0 -addr-file "$tmpbin/addr" \
+    -wal "$tmpbin/jobs.wal" -telemetry "$tmpbin/gd1.jsonl" 2>"$tmpbin/gd1.log" &
+gd_pid=$!
+for _ in $(seq 1 50); do [ -s "$tmpbin/addr" ] && break; sleep 0.1; done
+addr="$(cat "$tmpbin/addr")"
+curl -sf -X POST "http://$addr/v1/jobs" -d '{"tenant":"ci","design":"arbiter2"}' >/dev/null
+curl -sf -X POST "http://$addr/v1/jobs" -d '{"tenant":"ci","design":"arbiter4"}' >/dev/null
+# Wait for the quick job to finish and snapshot its artifact.
+for _ in $(seq 1 100); do
+    state="$(curl -sf "http://$addr/v1/jobs/j000000" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+    [ "$state" = "done" ] && break
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke: FAILED (quick job never finished)" >&2; exit 1; }
+curl -sf "http://$addr/v1/jobs/j000000/artifact" >"$tmpbin/pre_kill.art"
+# Kill -9 while the long job is running.
+for _ in $(seq 1 100); do
+    state="$(curl -sf "http://$addr/v1/jobs/j000001" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+    [ "$state" = "running" ] && break
+    sleep 0.1
+done
+[ "$state" = "running" ] || { echo "smoke: FAILED (long job never started)" >&2; exit 1; }
+kill -9 "$gd_pid"
+wait "$gd_pid" 2>/dev/null || true
+echo "smoke: daemon SIGKILLed with j000001 mid-flight"
+
+"$tmpbin/goldmined" -addr 127.0.0.1:0 -addr-file "$tmpbin/addr2" \
+    -wal "$tmpbin/jobs.wal" -telemetry "$tmpbin/gd2.jsonl" 2>"$tmpbin/gd2.log" &
+gd_pid=$!
+for _ in $(seq 1 50); do [ -s "$tmpbin/addr2" ] && break; sleep 0.1; done
+addr="$(cat "$tmpbin/addr2")"
+# The finished job is served from the journal, flagged recovered, unchanged.
+if ! curl -sf "http://$addr/v1/jobs/j000000" | grep -q '"recovered": true'; then
+    echo "smoke: FAILED (completed job was not recovered from the journal)" >&2
+    exit 1
+fi
+curl -sf "http://$addr/v1/jobs/j000000/artifact" >"$tmpbin/post_kill.art"
+if ! diff "$tmpbin/pre_kill.art" "$tmpbin/post_kill.art"; then
+    echo "smoke: FAILED (recovered artifact differs from pre-kill artifact)" >&2
+    exit 1
+fi
+"$tmpbin/goldmine" -design arbiter2 -canonical >"$tmpbin/cli.art"
+if ! diff "$tmpbin/post_kill.art" "$tmpbin/cli.art"; then
+    echo "smoke: FAILED (recovered artifact differs from fresh CLI -canonical run)" >&2
+    exit 1
+fi
+# The interrupted job resumes after restart and completes.
+state=""
+for _ in $(seq 1 600); do
+    state="$(curl -sf "http://$addr/v1/jobs/j000001" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+    [ "$state" = "done" ] && break
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke: FAILED (interrupted job never resumed; state=$state)" >&2; exit 1; }
+curl -sf "http://$addr/v1/jobs/j000001/artifact" >"$tmpbin/resumed.art"
+"$tmpbin/goldmine" -design arbiter4 -canonical >"$tmpbin/cli4.art"
+if ! diff "$tmpbin/resumed.art" "$tmpbin/cli4.art"; then
+    echo "smoke: FAILED (resumed artifact differs from fresh CLI -canonical run)" >&2
+    exit 1
+fi
+# SIGTERM drains: exit 0, and the daemon's telemetry journal validates.
+kill -TERM "$gd_pid"
+if ! wait "$gd_pid"; then
+    echo "smoke: FAILED (goldmined did not exit 0 on SIGTERM drain)" >&2
+    exit 1
+fi
+"$tmpbin/telcheck" "$tmpbin/gd2.jsonl" >/dev/null
+echo "smoke: goldmined recovered the finished job from the journal, resumed the killed one, drained on SIGTERM"
 echo "verify: OK"
