@@ -354,9 +354,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	// The submit record is appended under the same lock that allocated the
+	// ID, so WAL order matches admission order and replay resumes pending
+	// jobs in their original submit order.
+	s.walErr(s.wal.append(walSubmit, &spec, telemetry.String("id", id)))
 	s.mu.Unlock()
 	s.submitted.Add(1)
-	s.walErr(s.wal.append(walSubmit, &spec, telemetry.String("id", id)))
 	s.cfg.Tracer.Event("serve.submit",
 		telemetry.String("id", id), telemetry.String("tenant", spec.Tenant))
 	s.q.push(j)
@@ -409,14 +412,21 @@ func (s *Server) safeRun(ctx context.Context, spec *JobSpec) (art *Artifact, err
 }
 
 func (s *Server) runJob(j *Job) {
+	// The canceled/terminal check and the queued→running transition are one
+	// critical section: a concurrent Cancel either settles the job before we
+	// look (we bail here) or observes JobRunning and cancels the run context.
+	// Checking outside the lock would let Cancel finish the job in the gap
+	// and this worker resurrect a terminal job (and double-close j.done).
+	s.mu.Lock()
+	if j.State.terminal() {
+		s.mu.Unlock()
+		return
+	}
 	if j.canceled.Load() {
+		s.mu.Unlock()
 		s.finish(j, JobCanceled, "", nil, 0)
 		return
 	}
-	s.active.Add(1)
-	defer s.active.Add(-1)
-
-	s.mu.Lock()
 	j.Attempts++
 	attempt := j.Attempts
 	j.State = JobRunning
@@ -424,6 +434,8 @@ func (s *Server) runJob(j *Job) {
 	j.cancelRun = cancel
 	s.mu.Unlock()
 	defer cancel()
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	s.walErr(s.wal.append(walStart, nil,
 		telemetry.String("id", j.ID), telemetry.Int("attempt", int64(attempt))))
 
@@ -437,6 +449,11 @@ func (s *Server) runJob(j *Job) {
 	budgetCapped := false
 	if rem, limited := s.tenants.remaining(j.Spec.Tenant); limited {
 		if rem <= 0 {
+			// Terminal states must survive restarts: without a reject record
+			// the replay would re-queue a job the client saw fail.
+			s.walErr(s.wal.append(walReject, nil,
+				telemetry.String("id", j.ID),
+				telemetry.String("error", ErrBudgetExhausted.Error())))
 			s.finish(j, JobFailed, ErrBudgetExhausted.Error(), nil, 0)
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -323,6 +324,121 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	// Canceling a terminal job reports false, not an error.
 	if ok, err := s.Cancel(running.ID); err != nil || ok {
 		t.Fatalf("re-cancel = %v %v, want false nil", ok, err)
+	}
+}
+
+// TestCancelRaceWithWorkerPickup hammers the window between a worker popping
+// a job and marking it running: a Cancel landing in that gap must settle the
+// job exactly once (the old unlocked check let the worker resurrect a
+// terminal job and double-close its done channel).
+func TestCancelRaceWithWorkerPickup(t *testing.T) {
+	cfg := testConfig(okRunner)
+	cfg.Workers = 4
+	s := mustServer(t, cfg)
+	defer shutdown(t, s)
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		j, err := s.Submit(spec(fmt.Sprintf("t%d", i%4)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if _, err := s.Cancel(id); err != nil {
+				t.Errorf("cancel %s: %v", id, err)
+			}
+		}(j.ID)
+		if _, err := s.WaitJob(context.Background(), j.ID); err != nil {
+			t.Fatalf("wait %s: %v", j.ID, err)
+		}
+	}
+	wg.Wait()
+	for _, j := range s.Jobs("") {
+		if j.State != JobDone && j.State != JobCanceled {
+			t.Fatalf("job %s state = %s, want done or canceled", j.ID, j.State)
+		}
+	}
+}
+
+// TestBudgetExhaustedIsDurable: a job rejected at run time because its
+// tenant's budget is spent must replay as failed after a restart, not flip
+// back to queued and burn a worker re-failing.
+func TestBudgetExhaustedIsDurable(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.jsonl")
+	slow := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+		time.Sleep(30 * time.Millisecond)
+		return &Artifact{Design: spec.Design}, nil
+	}
+	cfg := testConfig(slow)
+	cfg.Workers = 1
+	cfg.TenantBudget = 20 * time.Millisecond
+	cfg.WALPath = walPath
+	s1 := mustServer(t, cfg)
+	// Both admitted while the budget is untouched; the first burns it, the
+	// second hits the pre-attempt budget check and fails terminally.
+	j1, err := s1.Submit(spec("burner"))
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	j2, err := s1.Submit(spec("burner"))
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if got, _ := s1.WaitJob(context.Background(), j1.ID); got.State != JobDone {
+		t.Fatalf("job1 state = %s, want done", got.State)
+	}
+	got2, _ := s1.WaitJob(context.Background(), j2.ID)
+	if got2.State != JobFailed || !strings.Contains(got2.Err, "budget") {
+		t.Fatalf("job2 = %+v, want budget-exhausted failure", got2)
+	}
+	s1.Kill()
+
+	// Restart: the failed job must stay failed and must not rerun.
+	var reran atomic.Int32
+	run2 := func(ctx context.Context, spec *JobSpec) (*Artifact, error) {
+		reran.Add(1)
+		return &Artifact{Design: spec.Design}, nil
+	}
+	cfg2 := testConfig(run2)
+	cfg2.TenantBudget = 20 * time.Millisecond
+	cfg2.WALPath = walPath
+	s2 := mustServer(t, cfg2)
+	defer shutdown(t, s2)
+	got, ok := s2.Job(j2.ID)
+	if !ok || got.State != JobFailed {
+		t.Fatalf("replayed job2 = %+v (ok=%v), want failed", got, ok)
+	}
+	if st := s2.Stats(); st.ResumedPending != 0 {
+		t.Fatalf("resumed pending = %d, want 0 (terminal jobs must not resume)", st.ResumedPending)
+	}
+	if n := reran.Load(); n != 0 {
+		t.Fatalf("runner reran %d times after restart, want 0", n)
+	}
+}
+
+// TestDrainRestartDrainRestart: the end-to-end shape of the drain-trailer
+// bug — a daemon that gracefully drains, restarts, works, drains again, and
+// restarts must keep starting on its own WAL.
+func TestDrainRestartDrainRestart(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.jsonl")
+	for round := 0; round < 3; round++ {
+		cfg := testConfig(okRunner)
+		cfg.WALPath = walPath
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("round %d: New: %v", round, err)
+		}
+		j, err := s.Submit(JobSpec{Tenant: "t", Design: fmt.Sprintf("d%d", round)})
+		if err != nil {
+			t.Fatalf("round %d: submit: %v", round, err)
+		}
+		if got, _ := s.WaitJob(context.Background(), j.ID); got.State != JobDone {
+			t.Fatalf("round %d: job state = %s", round, got.State)
+		}
+		shutdown(t, s)
 	}
 }
 

@@ -78,32 +78,37 @@ func openWAL(path string) (*wal, []*walJob, error) {
 
 // replayWAL folds the journal into per-job state. A final line that fails to
 // parse is treated as torn by the crash and ignored; a malformed line with
-// records after it means real corruption and fails the open.
+// anything after it — records or blanks — means real corruption and fails
+// the open.
 func replayWAL(f *os.File) ([]*walJob, error) {
 	byID := map[string]*walJob{}
 	var order []*walJob
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	var pendingErr error
-	line := 0
+	line, badLine := 0, 0
 	for sc.Scan() {
 		line++
+		// Any line after a bad record — even a blank one — proves bytes were
+		// written past it, so it was mid-file corruption, not a torn tail.
+		if pendingErr != nil {
+			return nil, fmt.Errorf("wal: corrupt record at line %d: %w", badLine, pendingErr)
+		}
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		if pendingErr != nil {
-			return nil, fmt.Errorf("wal: corrupt record at line %d: %w", line-1, pendingErr)
-		}
 		var je telemetry.JSONEvent
 		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
-			pendingErr = err
+			pendingErr, badLine = err, line
 			continue
 		}
-		if je.Kind != walKind {
+		// Drain trailers are id-less lifecycle markers, not job records; a
+		// restarted daemon appends past them, leaving them mid-file.
+		if je.Kind != walKind || je.Name == walDrain {
 			continue
 		}
 		if err := applyRecord(byID, &order, &je); err != nil {
-			pendingErr = err
+			pendingErr, badLine = err, line
 		}
 	}
 	if err := sc.Err(); err != nil {

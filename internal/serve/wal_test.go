@@ -111,6 +111,55 @@ this is not json
 	}
 }
 
+// TestWALDrainMarkerMidFile: the id-less drain trailer Shutdown appends must
+// not poison replay — a daemon that drains, restarts, does more work, and
+// restarts again leaves drain markers mid-file, and every open must succeed.
+func TestWALDrainMarkerMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, _ := openTestWAL(t, path)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.append(walSubmit, &JobSpec{Tenant: "t", Design: "d"}, telemetry.String("id", "j000000")))
+	must(w.append(walDrain, nil)) // first graceful shutdown
+	must(w.close())
+
+	// Restart: replay succeeds past the trailer, daemon appends more work.
+	w2, jobs := openTestWAL(t, path)
+	if len(jobs) != 1 {
+		t.Fatalf("replay after drain = %d jobs, want 1", len(jobs))
+	}
+	must(w2.append(walSubmit, &JobSpec{Tenant: "t", Design: "d2"}, telemetry.String("id", "j000001")))
+	must(w2.append(walDrain, nil)) // second graceful shutdown
+	must(w2.close())
+
+	// Second restart: the first drain marker now sits mid-file.
+	_, jobs = openTestWAL(t, path)
+	if len(jobs) != 2 {
+		t.Fatalf("replay with mid-file drain = %d jobs, want 2", len(jobs))
+	}
+}
+
+// TestWALCorruptThenBlankTail: a malformed record followed only by blank
+// lines is still mid-file corruption — bytes were written after the bad
+// record, so it cannot have been a torn tail.
+func TestWALCorruptThenBlankTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	content := `{"ts_us":1,"kind":"job","name":"submit","attrs":{"id":"j000000"},"data":{"tenant":"t","design":"d"}}
+this is not json
+
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("openWAL err = %v, want mid-file corruption error", err)
+	}
+}
+
 // TestWALForeignRecordsIgnored: telemetry events sharing the file (other
 // kinds) are skipped, so a combined journal still replays.
 func TestWALForeignRecordsIgnored(t *testing.T) {
