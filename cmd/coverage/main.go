@@ -1,46 +1,65 @@
 // Command coverage measures all coverage metrics of a design under a chosen
-// stimulus and lists the uncovered points.
+// stimulus, lists the uncovered points, and — with -directed — runs the
+// coverage-closure loop that aims SAT-directed stimulus at the holes.
 //
 // Usage:
 //
 //	coverage -design fetch -cycles 1000 -seed 3
 //	coverage -design arbiter2 -goldmine
+//	coverage -design fetch -directed -cycles 1000 -j 4
+//	coverage -design fsm -holes-json
 package main
 
 import (
 	"context"
-
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"goldmine/internal/core"
 	"goldmine/internal/coverage"
 	"goldmine/internal/designs"
+	"goldmine/internal/holes"
 	"goldmine/internal/sim"
 	"goldmine/internal/stimgen"
 )
 
+type cliOpts struct {
+	design    string
+	cycles    int
+	seed      int64
+	goldmine  bool
+	uncovered bool
+	directed  bool
+	holesJSON bool
+	workers   int
+}
+
 func main() {
-	var (
-		design    = flag.String("design", "", "benchmark design name")
-		cycles    = flag.Int("cycles", 1000, "random cycles")
-		seed      = flag.Int64("seed", 1, "random seed")
-		goldmine  = flag.Bool("goldmine", false, "augment with GoldMine counterexample stimulus")
-		uncovered = flag.Bool("uncovered", false, "list uncovered points")
-	)
+	var o cliOpts
+	flag.StringVar(&o.design, "design", "", "benchmark design name")
+	flag.IntVar(&o.cycles, "cycles", 1000, "total stimulus cycle budget")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.goldmine, "goldmine", false, "augment with GoldMine counterexample stimulus")
+	flag.BoolVar(&o.uncovered, "uncovered", false, "list uncovered points")
+	flag.BoolVar(&o.directed, "directed", false, "close coverage: aim SAT-directed stimulus at the holes (equal -cycles budget)")
+	flag.BoolVar(&o.holesJSON, "holes-json", false, "dump the remaining coverage holes as JSON to stdout")
+	flag.IntVar(&o.workers, "j", runtime.GOMAXPROCS(0), "parallel directed workers (results are identical for any value)")
 	flag.Parse()
-	if err := run(*design, *cycles, *seed, *goldmine, *uncovered); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "coverage:", err)
 		os.Exit(1)
 	}
 }
 
-func run(design string, cycles int, seed int64, withGoldmine, listUncovered bool) error {
-	if design == "" {
+func run(o cliOpts, w io.Writer) error {
+	if o.design == "" {
 		return fmt.Errorf("need -design (one of %v)", designs.Names())
 	}
-	b, err := designs.Get(design)
+	b, err := designs.Get(o.design)
 	if err != nil {
 		return err
 	}
@@ -48,25 +67,48 @@ func run(design string, cycles int, seed int64, withGoldmine, listUncovered bool
 	if err != nil {
 		return err
 	}
-	suite := []sim.Stimulus{stimgen.Random(d, cycles, seed, 2)}
 
-	if withGoldmine {
-		cfg := core.DefaultConfig()
-		cfg.Window = b.Window
-		cfg.MaxIterations = 24
-		eng, err := core.NewEngine(d, cfg)
+	var suite []sim.Stimulus
+	if o.directed {
+		res, err := stimgen.CloseCoverage(context.Background(), d, stimgen.ClosureOptions{
+			DirectedOptions: stimgen.DirectedOptions{Seed: o.seed, Workers: o.workers},
+			TotalCycles:     o.cycles,
+			FillRandom:      true,
+			Compiled:        true,
+		})
 		if err != nil {
 			return err
 		}
-		seedStim := stimgen.Random(d, minInt(cycles, 128), seed, 2)
-		for _, name := range b.KeyOutputs {
-			sig := d.Signal(name)
-			for bit := 0; bit < sig.Width; bit++ {
-				res, err := eng.MineOutput(context.Background(), sig, bit, seedStim)
-				if err != nil {
-					return err
+		fmt.Fprintf(w, "%s: initial %s\n", o.design, res.Initial)
+		for i, st := range res.Iterations {
+			fmt.Fprintf(w, "  iter %d: holes=%d directed=%d closed=%d\n", i+1, st.Holes, st.Directed, st.Closed)
+		}
+		fmt.Fprintf(w, "%s: final   %s\n", o.design, res.Final)
+		fmt.Fprintf(w, "  methods: sat=%d fuzz=%d unreachable=%d open=%d error=%d cycles=%d converged=%v\n",
+			res.Methods[stimgen.MethodSAT], res.Methods[stimgen.MethodFuzz],
+			res.Methods[stimgen.MethodUnreachable], res.Methods[stimgen.MethodOpen],
+			res.Methods[stimgen.MethodError], res.CyclesUsed, res.Converged)
+		suite = res.Suite
+	} else {
+		suite = []sim.Stimulus{stimgen.Random(d, o.cycles, o.seed, 2)}
+		if o.goldmine {
+			cfg := core.DefaultConfig()
+			cfg.Window = b.Window
+			cfg.MaxIterations = 24
+			eng, err := core.NewEngine(d, cfg)
+			if err != nil {
+				return err
+			}
+			seedStim := stimgen.Random(d, minInt(o.cycles, 128), o.seed, 2)
+			for _, name := range b.KeyOutputs {
+				sig := d.Signal(name)
+				for bit := 0; bit < sig.Width; bit++ {
+					res, err := eng.MineOutput(context.Background(), sig, bit, seedStim)
+					if err != nil {
+						return err
+					}
+					suite = append(suite, res.Ctx...)
 				}
-				suite = append(suite, res.Ctx...)
 			}
 		}
 	}
@@ -75,10 +117,24 @@ func run(design string, cycles int, seed int64, withGoldmine, listUncovered bool
 	if err := col.RunSuite(suite); err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s\n", design, col.Report())
-	if listUncovered {
+	if !o.directed {
+		fmt.Fprintf(w, "%s: %s\n", o.design, col.Report())
+	}
+	if o.uncovered {
 		for _, p := range col.UncoveredPoints() {
-			fmt.Println("  uncovered:", p)
+			fmt.Fprintln(w, "  uncovered:", p)
+		}
+	}
+	if o.holesJSON {
+		hs := holes.FromCollector(col)
+		views := make([]holes.JSON, len(hs))
+		for i, h := range hs {
+			views[i] = h.JSON()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(views); err != nil {
+			return err
 		}
 	}
 	return nil

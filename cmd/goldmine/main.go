@@ -62,6 +62,9 @@ func main() {
 		incr     = flag.Bool("incremental", true, "reuse persistent SAT solver sessions across checks (verdicts and counterexamples are identical either way)")
 		compiled = flag.Bool("compiled", true, "use the compiled instruction-tape simulator for seed and counterexample traces (artifacts are identical either way)")
 		coi      = flag.Bool("coi", true, "cone-of-influence CNF reduction: encode only the logic each assertion can observe")
+		closeCov = flag.Bool("close-coverage", false, "run the coverage-closure loop (SAT-directed stimulus aimed at the uncovered points) instead of mining")
+		coverCyc = flag.Int("cover-cycles", 2000, "total stimulus cycle budget for -close-coverage")
+		coverSd  = flag.Int64("cover-seed", 1, "random seed for -close-coverage")
 		telOut   = flag.String("telemetry", "", "write a JSONL telemetry journal (spans, events, final metrics snapshot) to this file")
 		metrics  = flag.Bool("metrics-summary", false, "print the metrics snapshot (counters, gauges, histograms) to stderr on exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,6 +101,7 @@ func main() {
 		batched: *batched, fullCtx: *full, printTree: *tree, canonical: *canon,
 		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
 		incremental: *incr, coi: *coi, compiled: *compiled,
+		closeCoverage: *closeCov, coverCycles: *coverCyc, coverSeed: *coverSd,
 		telemetry: *telOut, metricsSummary: *metrics,
 		timeout: *timeout,
 	}
@@ -127,6 +131,9 @@ type runOpts struct {
 	minimize, schedOut   bool
 	incremental, coi     bool
 	compiled             bool
+	closeCoverage        bool
+	coverCycles          int
+	coverSeed            int64
 	telemetry            string
 	metricsSummary       bool
 }
@@ -155,6 +162,9 @@ func (o runOpts) validate() error {
 	}
 	if o.checkTO < 0 {
 		return fmt.Errorf("-check-timeout must be >= 0, got %v", o.checkTO)
+	}
+	if o.closeCoverage && o.coverCycles < 1 {
+		return fmt.Errorf("-cover-cycles must be >= 1, got %d", o.coverCycles)
 	}
 	if o.timeout > 0 && o.checkTO > o.timeout {
 		return fmt.Errorf("-check-timeout %v exceeds -timeout %v: the per-check budget could never fire", o.checkTO, o.timeout)
@@ -229,6 +239,21 @@ func run(ctx context.Context, o runOpts) error {
 		}
 		tel = telemetry.New(telemetry.NewRegistry(), j)
 		copts.Telemetry(tel)
+	}
+
+	if o.closeCoverage {
+		if tel != nil {
+			defer func() {
+				tel.EmitSnapshot()
+				if err := tel.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "goldmine:", err)
+				}
+				if o.metricsSummary {
+					_ = tel.Registry().Snapshot().WriteJSON(os.Stderr)
+				}
+			}()
+		}
+		return runClosure(ctx, d, o, tel)
 	}
 
 	stim, err := seedStimulus(d, bench, o.seed)
@@ -352,6 +377,40 @@ func run(ctx context.Context, o runOpts) error {
 	}
 	if interrupted {
 		return fmt.Errorf("%w (%d/%d targets mined)", errInterrupted, mined, len(targets))
+	}
+	return nil
+}
+
+// runClosure handles -close-coverage: seed randomly, aim SAT-directed
+// stimulus at the remaining holes, iterate, and report the closure. The
+// output is byte-identical for any -j value.
+func runClosure(ctx context.Context, d *rtl.Design, o runOpts, tel *telemetry.Tracer) error {
+	res, err := stimgen.CloseCoverage(ctx, d, stimgen.ClosureOptions{
+		DirectedOptions: stimgen.DirectedOptions{
+			Seed:      o.coverSeed,
+			Workers:   o.workers,
+			Telemetry: tel,
+		},
+		TotalCycles: o.coverCycles,
+		FillRandom:  true,
+		Compiled:    o.compiled,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- %s: coverage closure (budget %d cycles)\n", d.Name, o.coverCycles)
+	fmt.Printf("initial: %s\n", res.Initial)
+	for i, st := range res.Iterations {
+		fmt.Printf("iter %d:  holes=%d directed=%d closed=%d\n", i+1, st.Holes, st.Directed, st.Closed)
+	}
+	fmt.Printf("final:   %s\n", res.Final)
+	fmt.Printf("methods: sat=%d fuzz=%d unreachable=%d open=%d error=%d\n",
+		res.Methods[stimgen.MethodSAT], res.Methods[stimgen.MethodFuzz],
+		res.Methods[stimgen.MethodUnreachable], res.Methods[stimgen.MethodOpen],
+		res.Methods[stimgen.MethodError])
+	fmt.Printf("cycles=%d converged=%v\n", res.CyclesUsed, res.Converged)
+	if ctx.Err() != nil {
+		return errInterrupted
 	}
 	return nil
 }

@@ -29,9 +29,12 @@ type Collector struct {
 	prev       []uint64
 	hasPrev    bool
 
-	// FSM coverage: states observed per detected FSM register.
+	// FSM coverage: states observed per detected FSM register. fsmPrev is
+	// the previous cycle's state, tracked separately from the toggle prev
+	// storage so transition recording cannot depend on loop ordering.
 	fsmSeen  []map[uint64]bool
 	fsmTrans []map[[2]uint64]bool
+	fsmPrev  []uint64
 
 	Cycles int
 }
@@ -54,6 +57,7 @@ func New(d *rtl.Design) *Collector {
 	c.prev = make([]uint64, len(c.toggleSigs))
 	c.fsmSeen = make([]map[uint64]bool, len(ci.FSMs))
 	c.fsmTrans = make([]map[[2]uint64]bool, len(ci.FSMs))
+	c.fsmPrev = make([]uint64, len(ci.FSMs))
 	for i := range ci.FSMs {
 		c.fsmSeen[i] = map[uint64]bool{}
 		c.fsmTrans[i] = map[[2]uint64]bool{}
@@ -95,23 +99,12 @@ func (c *Collector) Observe(env rtl.Env) {
 		v := env.Get(f.Reg) & rtl.Mask(f.Reg.Width)
 		if c.hasPrev {
 			// Record the transition from the previous cycle's state.
-			c.fsmTrans[i][[2]uint64{c.lastFSM(i), v}] = true
+			c.fsmTrans[i][[2]uint64{c.fsmPrev[i], v}] = true
 		}
 		c.fsmSeen[i][v] = true
+		c.fsmPrev[i] = v
 	}
 	c.hasPrev = true
-}
-
-// lastFSM returns the previous cycle's FSM state (prev holds toggle values;
-// FSM registers are among toggle signals so reuse that storage).
-func (c *Collector) lastFSM(i int) uint64 {
-	reg := c.d.Cover.FSMs[i].Reg
-	for j, s := range c.toggleSigs {
-		if s == reg {
-			return c.prev[j]
-		}
-	}
-	return 0
 }
 
 // RunSuite simulates every stimulus in the suite from reset, collecting
@@ -233,16 +226,70 @@ func (c *Collector) Report() Report {
 	return r
 }
 
+// State is a read-only snapshot of the collector's raw observations, the
+// input to structured hole extraction (internal/holes). All slices and maps
+// are deep copies: the collector may keep observing after the snapshot.
+type State struct {
+	Design *rtl.Design
+	// SeenTrue/SeenFalse index rtl.CoverageInfo.Points.
+	SeenTrue, SeenFalse []bool
+	// ToggleSigs indexes Rise/Fall; Rise[i][b] reports a 0→1 transition
+	// observed on bit b of ToggleSigs[i].
+	ToggleSigs []*rtl.Signal
+	Rise, Fall [][]bool
+	// FSMSeen/FSMTrans index rtl.CoverageInfo.FSMs; FSMTrans keys are
+	// {from, to} state pairs observed on adjacent cycles of one run.
+	FSMSeen  []map[uint64]bool
+	FSMTrans []map[[2]uint64]bool
+	Cycles   int
+}
+
+// State snapshots the collector's observations.
+func (c *Collector) State() State {
+	st := State{
+		Design:     c.d,
+		SeenTrue:   append([]bool(nil), c.seenTrue...),
+		SeenFalse:  append([]bool(nil), c.seenFalse...),
+		ToggleSigs: append([]*rtl.Signal(nil), c.toggleSigs...),
+		Rise:       make([][]bool, len(c.rise)),
+		Fall:       make([][]bool, len(c.fall)),
+		FSMSeen:    make([]map[uint64]bool, len(c.fsmSeen)),
+		FSMTrans:   make([]map[[2]uint64]bool, len(c.fsmTrans)),
+		Cycles:     c.Cycles,
+	}
+	for i := range c.rise {
+		st.Rise[i] = append([]bool(nil), c.rise[i]...)
+		st.Fall[i] = append([]bool(nil), c.fall[i]...)
+	}
+	for i := range c.fsmSeen {
+		st.FSMSeen[i] = make(map[uint64]bool, len(c.fsmSeen[i]))
+		for k, v := range c.fsmSeen[i] {
+			st.FSMSeen[i][k] = v
+		}
+		st.FSMTrans[i] = make(map[[2]uint64]bool, len(c.fsmTrans[i]))
+		for k, v := range c.fsmTrans[i] {
+			st.FSMTrans[i][k] = v
+		}
+	}
+	return st
+}
+
+// PointCovered reports whether instrumentation point i is covered under its
+// kind's covering rule (condition/expression points need both polarities).
+func (c *Collector) PointCovered(i int) bool {
+	p := c.d.Cover.Points[i]
+	if p.Kind == rtl.PointCondition || p.Kind == rtl.PointExpression {
+		return c.seenTrue[i] && c.seenFalse[i]
+	}
+	return c.seenTrue[i]
+}
+
 // UncoveredPoints lists descriptions of points not yet covered, for
 // diagnostics and the coverage CLI.
 func (c *Collector) UncoveredPoints() []string {
 	var out []string
 	for i, p := range c.d.Cover.Points {
-		covered := c.seenTrue[i]
-		if p.Kind == rtl.PointCondition || p.Kind == rtl.PointExpression {
-			covered = c.seenTrue[i] && c.seenFalse[i]
-		}
-		if !covered {
+		if !c.PointCovered(i) {
 			out = append(out, p.String())
 		}
 	}

@@ -1,14 +1,41 @@
 package coverage
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
 	"goldmine/internal/designs"
 	"goldmine/internal/rtl"
 	"goldmine/internal/sim"
-	"goldmine/internal/stimgen"
 )
+
+// randomSuite is a local deterministic stimulus source (stimgen now imports
+// this package, so these in-package tests cannot import stimgen back).
+func randomSuite(d *rtl.Design, lanes, cycles int, seed int64, resetCycles int) []sim.Stimulus {
+	out := make([]sim.Stimulus, lanes)
+	for l := range out {
+		rng := rand.New(rand.NewSource(seed + int64(l)))
+		stim := make(sim.Stimulus, 0, cycles)
+		for c := 0; c < cycles; c++ {
+			iv := sim.InputVec{}
+			for _, in := range d.Inputs() {
+				iv[in.Name] = rng.Uint64() & rtl.Mask(in.Width)
+			}
+			if c < resetCycles {
+				if _, ok := iv["rst"]; ok {
+					iv["rst"] = 1
+				}
+				if _, ok := iv["reset"]; ok {
+					iv["reset"] = 1
+				}
+			}
+			stim = append(stim, iv)
+		}
+		out[l] = stim
+	}
+	return out
+}
 
 const arbiterSrc = `
 module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
@@ -107,6 +134,24 @@ func TestToggleNotCountedAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestToggleNotCountedAcrossRunsCompiled(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	// Same isolation through the compiled engine: RunSuiteCompiled calls
+	// BeginRun per stimulus, so run 1's last row must not pair with run 2's
+	// first row.
+	suite := []sim.Stimulus{
+		{{"req0": 1}},
+		{{"req0": 0}},
+	}
+	if err := c.RunSuiteCompiled(suite); err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Report(); r.Toggle.Covered != 0 {
+		t.Errorf("cross-run toggles counted through compiled engine: %d", r.Toggle.Covered)
+	}
+}
+
 func TestConditionCoverageBothValues(t *testing.T) {
 	d := mustDesign(t, arbiterSrc)
 	c := New(d)
@@ -162,6 +207,103 @@ endmodule`
 	r = c.Report()
 	if r.FSM.Covered != 3 {
 		t.Errorf("fsm covered %d want 3 after full walk", r.FSM.Covered)
+	}
+}
+
+func TestFSMTransitionsRecordTrueArcs(t *testing.T) {
+	// Regression: Observe used to update the toggle prev storage before the
+	// FSM loop read the previous state from it, so every recorded transition
+	// was the self-loop (v, v). The walk 0→1→2→0 must record the real arcs.
+	src := `
+module fsm(input clk, rst, go, output reg busy);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: if (go) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+  always @(*) busy = (state != 2'd0);
+endmodule`
+	d := mustDesign(t, src)
+	c := New(d)
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"go": 1}, {}, {}, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	if len(st.FSMTrans) != 1 {
+		t.Fatalf("fsm count %d want 1", len(st.FSMTrans))
+	}
+	for _, arc := range [][2]uint64{{0, 1}, {1, 2}, {2, 0}} {
+		if !st.FSMTrans[0][arc] {
+			t.Errorf("arc %d->%d not recorded: %v", arc[0], arc[1], st.FSMTrans[0])
+		}
+	}
+	if st.FSMTrans[0][[2]uint64{1, 1}] || st.FSMTrans[0][[2]uint64{2, 2}] {
+		t.Errorf("spurious self-loop recorded: %v", st.FSMTrans[0])
+	}
+}
+
+func TestFSMTransitionsNotPairedAcrossRuns(t *testing.T) {
+	src := `
+module fsm(input clk, rst, go, output reg busy);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: if (go) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+  always @(*) busy = (state != 2'd0);
+endmodule`
+	d := mustDesign(t, src)
+	c := New(d)
+	// Run 1 ends in state 1; run 2 starts (after reset) in state 0. The
+	// boundary must not record a 1->0 arc — only the in-run 0->1 arcs.
+	suite := []sim.Stimulus{
+		{{"rst": 1}, {"go": 1}, {}},
+		{{"rst": 1}, {"go": 1}, {}},
+	}
+	if err := c.RunSuite(suite); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	if st.FSMTrans[0][[2]uint64{1, 0}] {
+		t.Errorf("cross-run arc 1->0 recorded: %v", st.FSMTrans[0])
+	}
+	if !st.FSMTrans[0][[2]uint64{0, 1}] {
+		t.Errorf("in-run arc 0->1 missing: %v", st.FSMTrans[0])
+	}
+}
+
+func TestStateSnapshotIsCopy(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	c := New(d)
+	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"req0": 1}, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	before := c.Report()
+	// Mutating the snapshot must not leak back into the collector.
+	for i := range st.SeenTrue {
+		st.SeenTrue[i] = !st.SeenTrue[i]
+	}
+	for i := range st.Rise {
+		for b := range st.Rise[i] {
+			st.Rise[i][b] = !st.Rise[i][b]
+		}
+	}
+	if after := c.Report(); before != after {
+		t.Errorf("snapshot mutation leaked: %s vs %s", before, after)
+	}
+	if st.Cycles != before.Cycles {
+		t.Errorf("snapshot cycles %d want %d", st.Cycles, before.Cycles)
 	}
 }
 
@@ -239,7 +381,7 @@ func TestRunSuiteCompiledMatchesInterpreter(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			suite := stimgen.RandomLanes(d, 4, 150, 23, 2)
+			suite := randomSuite(d, 4, 150, 23, 2)
 			ci := New(d)
 			if err := ci.RunSuite(suite); err != nil {
 				t.Fatal(err)

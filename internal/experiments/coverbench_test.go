@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"goldmine/internal/designs"
+)
+
+func TestCoverBenchDesign(t *testing.T) {
+	b, err := designs.Get("decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := coverBenchDesign(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Universe == 0 {
+		t.Fatal("empty hole universe")
+	}
+	for name, curve := range map[string][]CoverCurvePoint{
+		"random": row.Random, "directed": row.Directed, "cex": row.Cex,
+	} {
+		if len(curve) == 0 {
+			t.Errorf("%s curve empty", name)
+			continue
+		}
+		last := curve[len(curve)-1]
+		if last.Cycles > coverBenchBudget {
+			t.Errorf("%s curve exceeds the budget: %d cycles", name, last.Cycles)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Open > curve[i-1].Open {
+				t.Errorf("%s curve open-hole count increased at %d", name, i)
+			}
+		}
+	}
+	if !row.DirectedNotWorse {
+		t.Errorf("directed worse than random on decode: %d vs %d open", row.DirectedOpen, row.RandomOpen)
+	}
+	if len(row.Attempts) == 0 || len(row.Methods) == 0 {
+		t.Error("no per-hole accounting")
+	}
+}

@@ -1,0 +1,215 @@
+// Reachability obligations: the directed-stimulus generator asks "is there an
+// input sequence from reset that exercises this coverage hole within k
+// cycles?" — structurally the same ladder as BMC falsification, but the
+// target is an arbitrary conjunction of 1-bit conditions at fixed frame
+// offsets instead of a mined assertion. Obligations run on the Session's
+// persistent reset-constrained state, so the frames unrolled and clauses
+// learned while checking assertions (or earlier holes) are all reused, and
+// the obligations themselves are pure assumption sets — nothing is retracted
+// between holes.
+//
+// Verdicts and witnesses are deterministic for the same reason Session checks
+// are: the first SAT depth of the ladder is a property of the encoded
+// formula, and a found witness is canonicalized to the lexicographically
+// smallest assignment of the obligation's input bits (canonicalStim), erasing
+// solver history. An UNSAT sweep to the bound is a proof of bounded
+// unreachability, also history-independent.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"goldmine/internal/cone"
+	"goldmine/internal/rtl"
+	"goldmine/internal/sat"
+	"goldmine/internal/sim"
+	"goldmine/internal/telemetry"
+)
+
+// ReachStatus classifies the outcome of a reachability query.
+type ReachStatus int
+
+// Reachability outcomes. ReachUnreachable is a bounded claim: no witness
+// exists within the depth the query was allowed to explore.
+const (
+	ReachFound ReachStatus = iota
+	ReachUnreachable
+	ReachUnknown
+)
+
+func (s ReachStatus) String() string {
+	switch s {
+	case ReachFound:
+		return "found"
+	case ReachUnreachable:
+		return "unreachable"
+	default:
+		return "unknown"
+	}
+}
+
+// ReachProp is one conjunct of an obligation: a 1-bit expression required to
+// take a given value at frame base+Offset of the witness window. Offsets let
+// one obligation talk about adjacent frames (toggle edges, FSM arcs).
+type ReachProp struct {
+	Expr   rtl.Expr
+	Value  bool
+	Offset int
+}
+
+// Obligation is a conjunction of props to be satisfied somewhere within the
+// unrolling: the window base slides along the ladder exactly like a BMC
+// window, so "within k cycles" means the last prop lands on the final frame.
+type Obligation struct {
+	// Name labels telemetry spans (typically the hole key).
+	Name  string
+	Props []ReachProp
+}
+
+// ReachResult is the outcome of Session.Reach.
+type ReachResult struct {
+	Status ReachStatus
+	// Stim is the canonical witness stimulus on ReachFound: Depth frames
+	// over the obligation's cone inputs (missing inputs are zero).
+	Stim  sim.Stimulus
+	Depth int
+	// Cause carries the budget-taxonomy error behind a ReachUnknown.
+	Cause error
+}
+
+// exprAt keys the memoized literal of a 1-bit expression at a frame. Expr
+// implementations are pointers, so identity works: hole extraction hands the
+// same Expr nodes back for every attempt on a design.
+type exprAt struct {
+	e rtl.Expr
+	t int
+}
+
+// exprLit encodes (or recalls) expression e's low bit at frame t.
+func (st *satState) exprLit(e rtl.Expr, t int) (sat.Lit, error) {
+	k := exprAt{e, t}
+	if l, ok := st.ec[k]; ok {
+		return l, nil
+	}
+	vec, err := st.u.EncodeExpr(e, t)
+	if err != nil {
+		return 0, err
+	}
+	if st.ec == nil {
+		st.ec = map[exprAt]sat.Lit{}
+	}
+	st.ec[k] = vec[0]
+	return vec[0], nil
+}
+
+// Reach decides whether the obligation is satisfiable within maxDepth frames
+// from reset, on the Session's persistent BMC state. ins is the input-signal
+// set the witness is canonicalized (and reported) over — pass the obligation's
+// cone inputs; nil derives them from the props' support cones. Budget
+// exhaustion degrades to ReachUnknown with the cause recorded, mirroring the
+// check path's ladder; an engine fault is retried once on rebuilt state.
+func (s *Session) Reach(ctx context.Context, ob Obligation, maxDepth int, ins []*rtl.Signal) (*ReachResult, error) {
+	if len(ob.Props) == 0 {
+		return nil, fmt.Errorf("mc: empty reach obligation")
+	}
+	for _, p := range ob.Props {
+		if p.Expr == nil || p.Expr.Width() != 1 {
+			return nil, fmt.Errorf("mc: reach obligation %s: props must be 1-bit expressions", ob.Name)
+		}
+		if p.Offset < 0 {
+			return nil, fmt.Errorf("mc: reach obligation %s: negative offset", ob.Name)
+		}
+	}
+	if ins == nil {
+		ins = s.c.reachInputs(ob)
+	}
+	b := s.c.newBudget(ctx)
+	if s.c.tel != nil {
+		var sp *telemetry.Span
+		_, sp = s.c.tel.StartSpan(ctx, "mc.reach", telemetry.String("target", ob.Name))
+		b.sp = sp
+		defer func() { sp.End() }()
+	}
+	res, err := s.reach(b, ob, maxDepth, ins)
+	if err != nil && errors.Is(err, ErrEngineInternal) {
+		// The persistent state was discarded by the panic barrier; one
+		// retry rebuilds it from scratch (same policy as dispatch).
+		res, err = s.reach(b, ob, maxDepth, ins)
+	}
+	return res, err
+}
+
+// reach is the obligation ladder against the persistent BMC state.
+func (s *Session) reach(b *budget, ob Obligation, maxDepth int, ins []*rtl.Signal) (res *ReachResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.bmc, s.ind = nil, nil
+			res, err = nil, fmt.Errorf("%w: session engine panic: %v", ErrEngineInternal, r)
+		}
+	}()
+
+	maxOff := 0
+	for _, p := range ob.Props {
+		if p.Offset > maxOff {
+			maxOff = p.Offset
+		}
+	}
+	minFrames := maxOff + 1
+	if maxDepth < minFrames {
+		maxDepth = minFrames
+	}
+
+	st := s.bmcState()
+	for depth := minFrames; depth <= maxDepth; depth++ {
+		fsp := b.span("mc.reach_frame", telemetry.Int("depth", int64(depth)))
+		for st.u.Frames() < depth {
+			st.u.AddFrame()
+		}
+		t0 := depth - minFrames
+		assumps := make([]sat.Lit, 0, len(ob.Props))
+		for _, p := range ob.Props {
+			l, lerr := st.exprLit(p.Expr, t0+p.Offset)
+			if lerr != nil {
+				fsp.End(telemetry.String("result", "error"))
+				return nil, lerr
+			}
+			if !p.Value {
+				l = l.Neg()
+			}
+			assumps = append(assumps, l)
+		}
+		parent := b.sp
+		b.sp = fsp // route this frame's sat.solve span under the frame span
+		verdict, cause := b.solve(st.s, assumps...)
+		b.sp = parent
+		fsp.End(telemetry.String("result", verdict.String()))
+		switch verdict {
+		case sat.Sat:
+			csp := b.span("mc.ctx_canon", telemetry.Int("depth", int64(depth)))
+			stim := s.c.canonicalStim(b.quiet(), st.s, st.u, assumps, ins, depth)
+			csp.End()
+			return &ReachResult{Status: ReachFound, Stim: stim, Depth: depth}, nil
+		case sat.Unknown:
+			if cause != nil {
+				return &ReachResult{Status: ReachUnknown, Depth: depth - 1, Cause: cause}, nil
+			}
+		}
+	}
+	return &ReachResult{Status: ReachUnreachable, Depth: maxDepth}, nil
+}
+
+// reachInputs derives the canonicalization input set from the obligation's
+// support cones (sorted by name, like every canonical input order).
+func (c *Checker) reachInputs(ob Obligation) []*rtl.Signal {
+	seen := map[*rtl.Signal]bool{}
+	for _, p := range ob.Props {
+		for sig := range rtl.Support(p.Expr, nil) {
+			for s := range cone.Of(c.d, sig) {
+				seen[s] = true
+			}
+		}
+	}
+	return cone.Inputs(c.d, seen)
+}

@@ -1,0 +1,241 @@
+package mc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"goldmine/internal/rtl"
+	"goldmine/internal/sim"
+)
+
+// sel builds the 1-bit "bit b of sig" expression.
+func sel(d *rtl.Design, name string, bit int) rtl.Expr {
+	return &rtl.Select{X: &rtl.Ref{Sig: d.MustSignal(name)}, Bit: bit}
+}
+
+// eq builds the 1-bit "sig == v" expression.
+func eq(d *rtl.Design, name string, v uint64) rtl.Expr {
+	s := d.MustSignal(name)
+	return &rtl.Binary{Op: rtl.OpEq, A: &rtl.Ref{Sig: s}, B: rtl.NewConst(v, s.Width), W: 1}
+}
+
+// replay runs the witness through the interpreter and returns the trace.
+func replay(t *testing.T, d *rtl.Design, stim sim.Stimulus) *sim.Trace {
+	t.Helper()
+	s, err := sim.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run(stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReachFindsSingleFrameTarget(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	res, err := sess.Reach(context.Background(), Obligation{
+		Name:  "gnt0",
+		Props: []ReachProp{{Expr: sel(d, "gnt0", 0), Value: true}},
+	}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachFound {
+		t.Fatalf("status %s want found", res.Status)
+	}
+	if len(res.Stim) != res.Depth {
+		t.Fatalf("witness %d frames, depth %d", len(res.Stim), res.Depth)
+	}
+	tr := replay(t, d, res.Stim)
+	v, err := tr.Value(res.Depth-1, "gnt0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("witness does not set gnt0 at its last frame: %v", tr.Values)
+	}
+}
+
+func TestReachTwoFrameObligation(t *testing.T) {
+	// A rise of gnt0: 0 at the window base, 1 one frame later.
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	g := sel(d, "gnt0", 0)
+	res, err := sess.Reach(context.Background(), Obligation{
+		Name: "gnt0/rise",
+		Props: []ReachProp{
+			{Expr: g, Value: false, Offset: 0},
+			{Expr: g, Value: true, Offset: 1},
+		},
+	}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachFound {
+		t.Fatalf("status %s want found", res.Status)
+	}
+	if res.Depth < 2 {
+		t.Fatalf("two-frame obligation found at depth %d", res.Depth)
+	}
+	tr := replay(t, d, res.Stim)
+	prev, _ := tr.Value(res.Depth-2, "gnt0")
+	cur, _ := tr.Value(res.Depth-1, "gnt0")
+	if prev != 0 || cur != 1 {
+		t.Errorf("witness rise %d->%d want 0->1", prev, cur)
+	}
+}
+
+func TestReachUnreachableAtBound(t *testing.T) {
+	// The arbiter's grants are one-hot by construction: gnt0 & gnt1 has no
+	// witness at any depth.
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	both := &rtl.Binary{Op: rtl.OpAnd, A: sel(d, "gnt0", 0), B: sel(d, "gnt1", 0), W: 1}
+	res, err := sess.Reach(context.Background(), Obligation{
+		Name:  "both-grants",
+		Props: []ReachProp{{Expr: both, Value: true}},
+	}, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachUnreachable {
+		t.Fatalf("status %s want unreachable", res.Status)
+	}
+	if res.Depth != 6 {
+		t.Errorf("bound %d want 6", res.Depth)
+	}
+}
+
+func TestReachWitnessHistoryIndependent(t *testing.T) {
+	// The canonical witness must not depend on what the session solved
+	// before: a fresh session and a session warmed on other obligations
+	// (and assertion checks) produce byte-identical stimuli.
+	d := mustDesign(t, arbiterSrc)
+	ob := Obligation{
+		Name:  "gnt1",
+		Props: []ReachProp{{Expr: sel(d, "gnt1", 0), Value: true}},
+	}
+
+	fresh := NewWithOptions(d, satOnlyOptions()).NewSession()
+	want, err := fresh.Reach(context.Background(), ob, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewWithOptions(d, satOnlyOptions()).NewSession()
+	for _, a := range arbiterSuite() {
+		if _, err := warm.Check(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := warm.Reach(context.Background(), Obligation{
+		Name:  "gnt0",
+		Props: []ReachProp{{Expr: sel(d, "gnt0", 0), Value: true}},
+	}, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Reach(context.Background(), ob, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Depth != want.Depth {
+		t.Fatalf("verdict differs: %s@%d vs %s@%d", got.Status, got.Depth, want.Status, want.Depth)
+	}
+	if !reflect.DeepEqual(got.Stim, want.Stim) {
+		t.Errorf("witness differs:\nfresh: %v\nwarm:  %v", want.Stim, got.Stim)
+	}
+}
+
+func TestReachCanceledContextDegrades(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.Reach(ctx, Obligation{
+		Name:  "gnt0",
+		Props: []ReachProp{{Expr: sel(d, "gnt0", 0), Value: true}},
+	}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachUnknown {
+		t.Fatalf("status %s want unknown under canceled context", res.Status)
+	}
+	if res.Cause == nil {
+		t.Error("unknown verdict carries no cause")
+	}
+}
+
+func TestReachFSMStateAndArc(t *testing.T) {
+	src := `
+module fsm(input clk, rst, go, output reg busy);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= 2'd0;
+    else case (state)
+      2'd0: if (go) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+  always @(*) busy = (state != 2'd0);
+endmodule`
+	d := mustDesign(t, src)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+
+	// State 2 is reachable (0 -go-> 1 -> 2).
+	res, err := sess.Reach(context.Background(), Obligation{
+		Name:  "state=2",
+		Props: []ReachProp{{Expr: eq(d, "state", 2), Value: true}},
+	}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachFound {
+		t.Fatalf("state=2: %s want found", res.Status)
+	}
+	tr := replay(t, d, res.Stim)
+	if v, _ := tr.Value(res.Depth-1, "state"); v != 2 {
+		t.Errorf("witness last state %d want 2", v)
+	}
+
+	// The arc 1->2 exists; the arc 2->1 does not.
+	arc := func(from, to uint64) *ReachResult {
+		r, err := sess.Reach(context.Background(), Obligation{
+			Name: "arc",
+			Props: []ReachProp{
+				{Expr: eq(d, "state", from), Value: true, Offset: 0},
+				{Expr: eq(d, "state", to), Value: true, Offset: 1},
+			},
+		}, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if r := arc(1, 2); r.Status != ReachFound {
+		t.Errorf("arc 1->2: %s want found", r.Status)
+	}
+	if r := arc(2, 1); r.Status != ReachUnreachable {
+		t.Errorf("arc 2->1: %s want unreachable", r.Status)
+	}
+}
+
+func TestReachRejectsBadObligations(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	if _, err := sess.Reach(context.Background(), Obligation{Name: "empty"}, 4, nil); err == nil {
+		t.Error("empty obligation accepted")
+	}
+	if _, err := sess.Reach(context.Background(), Obligation{
+		Name:  "neg",
+		Props: []ReachProp{{Expr: sel(d, "gnt0", 0), Value: true, Offset: -1}},
+	}, 4, nil); err == nil {
+		t.Error("negative offset accepted")
+	}
+}

@@ -57,6 +57,9 @@ type satState struct {
 	// equal propositions (ubiquitous across a mined suite) reuses literals
 	// instead of growing the persistent formula.
 	pc propCache
+	// ec memoizes reach-obligation expression gadgets per frame (keyed by
+	// node identity — hole extraction reuses Expr nodes across attempts).
+	ec map[exprAt]sat.Lit
 }
 
 // Session is an incremental checking context over one Checker. It reuses the
@@ -313,8 +316,15 @@ func (c *Checker) canonicalCtx(b *budget, s *sat.Solver, u *cnf.Unroller, base [
 	// (they still hit the sat.* counters via the solver hookup).
 	csp := b.span("mc.ctx_canon", telemetry.Int("depth", int64(depth)))
 	defer csp.End()
-	b = b.quiet()
-	ins := c.coneInputs(a)
+	return c.canonicalStim(b.quiet(), s, u, base, c.coneInputs(a), depth)
+}
+
+// canonicalStim is the lex-min model minimization over an explicit input-
+// signal set, shared by assertion counterexamples (canonicalCtx) and
+// reachability witnesses (Session.Reach). base is the assumption set that
+// pins the property/obligation; ins orders the minimized bits (frame-major,
+// inputs by name, bits LSB first).
+func (c *Checker) canonicalStim(b *budget, s *sat.Solver, u *cnf.Unroller, base []sat.Lit, ins []*rtl.Signal, depth int) sim.Stimulus {
 	type ctxBit struct {
 		lit   sat.Lit
 		frame int

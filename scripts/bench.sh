@@ -28,6 +28,12 @@
 # warm cross-run verdict-cache hit rates, engine pool reuse, and kill/restart
 # durability (recovery time, jobs re-served from the WAL without
 # recomputation, byte-identity across the crash). See DESIGN.md section 4.6.
+#
+# Also writes BENCH_cover.json (override with $6): the coverage-closure
+# benchmark — per design, the coverage curves of pure random, the paper-style
+# CEX-only suite, and the SAT-directed closure loop at the same total-cycle
+# budget, plus per-hole SAT/fuzz/unreachable accounting. See DESIGN.md
+# section 4.7.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,6 +43,7 @@ out2="${2:-BENCH_mc.json}"
 out3="${3:-BENCH_telemetry.json}"
 out4="${4:-BENCH_sim.json}"
 out5="${5:-BENCH_serve.json}"
+out6="${6:-BENCH_cover.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
@@ -53,3 +60,6 @@ echo "bench: wrote $out4"
 
 go run ./cmd/experiments -serve-bench "$out5" -j "$jobs"
 echo "bench: wrote $out5 (workers=$jobs)"
+
+go run ./cmd/experiments -cover-bench "$out6" -j "$jobs"
+echo "bench: wrote $out6 (workers=$jobs)"

@@ -96,6 +96,45 @@ fi
 "$tmpbin/telcheck" "$tmpbin/t4.jsonl" >/dev/null
 echo "smoke: telemetry-enabled artifacts identical across worker counts"
 
+echo "== smoke: coverage closure — directed beats random at equal cycle budget =="
+# The closure loop (SAT-directed stimulus aimed at coverage holes) must leave
+# no more holes open than pure random at the same total-cycle budget, and must
+# strictly close at least one hole random leaves open on at least one of the
+# two designs. Race-enabled binary: the directed fan-out is the concurrent
+# part under test.
+go build -race -o "$tmpbin/coverage_race" ./cmd/coverage
+closure_strict=0
+for d in b12 decode; do
+    "$tmpbin/coverage_race" -design "$d" -cycles 512 -holes-json >"$tmpbin/rand.json"
+    "$tmpbin/coverage_race" -design "$d" -cycles 512 -directed -holes-json -j 4 >"$tmpbin/dir.json"
+    r=$(grep -c '"key"' "$tmpbin/rand.json" || true)
+    c=$(grep -c '"key"' "$tmpbin/dir.json" || true)
+    if [ "$c" -gt "$r" ]; then
+        echo "smoke: FAILED ($d: directed leaves $c holes open vs $r for random)" >&2
+        exit 1
+    fi
+    [ "$c" -lt "$r" ] && closure_strict=1
+    echo "smoke: $d open holes at 512 cycles: random=$r directed=$c"
+done
+if [ "$closure_strict" != 1 ]; then
+    echo "smoke: FAILED (directed never strictly beat random on b12/decode)" >&2
+    exit 1
+fi
+
+echo "== smoke: closure is deterministic and its journal validates =="
+"$tmpbin/coverage_race" -design decode -cycles 512 -directed -j 1 >"$tmpbin/cc1.txt"
+"$tmpbin/coverage_race" -design decode -cycles 512 -directed -j 4 >"$tmpbin/cc4.txt"
+if ! diff "$tmpbin/cc1.txt" "$tmpbin/cc4.txt"; then
+    echo "smoke: FAILED (closure output differs between -j 1 and -j 4)" >&2
+    exit 1
+fi
+"$tmpbin/goldmine" -design decode -close-coverage -cover-cycles 512 \
+    -telemetry "$tmpbin/cc.jsonl" >/dev/null
+"$tmpbin/telcheck" \
+    -require directed.run,directed.iteration,directed.hole,mc.reach,mc.reach_frame,sat.solve \
+    "$tmpbin/cc.jsonl"
+echo "smoke: closure -j1 ≡ -j4 and the directed telemetry journal validates"
+
 echo "== cross-check: incremental sessions match the stateless checker (race) =="
 # Every bundled design, race-enabled binary, with the incremental session +
 # cone-of-influence path diffed against the stateless full-encode path.
