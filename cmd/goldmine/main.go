@@ -60,6 +60,7 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel mining workers (1 = sequential; results are identical for any value)")
 		schedOut = flag.Bool("sched-stats", false, "print scheduler/cache telemetry to stderr (advisory, non-deterministic)")
 		incr     = flag.Bool("incremental", true, "reuse persistent SAT solver sessions across checks (verdicts and counterexamples are identical either way)")
+		portf    = flag.Int("portfolio", 0, "race N diversified SAT solver lanes on predicted-hard checks, sharing learned clauses (needs -incremental; 0 or 1 disables; artifacts are identical either way)")
 		compiled = flag.Bool("compiled", true, "use the compiled instruction-tape simulator for seed and counterexample traces (artifacts are identical either way)")
 		coi      = flag.Bool("coi", true, "cone-of-influence CNF reduction: encode only the logic each assertion can observe")
 		closeCov = flag.Bool("close-coverage", false, "run the coverage-closure loop (SAT-directed stimulus aimed at the uncovered points) instead of mining")
@@ -100,7 +101,7 @@ func main() {
 		maxIter: *maxIter, checkTO: *checkTO, workers: *workers,
 		batched: *batched, fullCtx: *full, printTree: *tree, canonical: *canon,
 		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
-		incremental: *incr, coi: *coi, compiled: *compiled,
+		incremental: *incr, coi: *coi, compiled: *compiled, portfolio: *portf,
 		closeCoverage: *closeCov, coverCycles: *coverCyc, coverSeed: *coverSd,
 		telemetry: *telOut, metricsSummary: *metrics,
 		timeout: *timeout,
@@ -131,6 +132,7 @@ type runOpts struct {
 	minimize, schedOut   bool
 	incremental, coi     bool
 	compiled             bool
+	portfolio            int
 	closeCoverage        bool
 	coverCycles          int
 	coverSeed            int64
@@ -162,6 +164,12 @@ func (o runOpts) validate() error {
 	}
 	if o.checkTO < 0 {
 		return fmt.Errorf("-check-timeout must be >= 0, got %v", o.checkTO)
+	}
+	if o.portfolio < 0 {
+		return fmt.Errorf("-portfolio must be >= 0, got %d", o.portfolio)
+	}
+	if o.portfolio >= 2 && !o.incremental {
+		return fmt.Errorf("-portfolio %d needs -incremental: the racing lanes live on persistent sessions", o.portfolio)
 	}
 	if o.closeCoverage && o.coverCycles < 1 {
 		return fmt.Errorf("-cover-cycles must be >= 1, got %d", o.coverCycles)
@@ -218,6 +226,7 @@ func run(ctx context.Context, o runOpts) error {
 		FullCtxTrace(o.fullCtx).
 		Workers(o.workers).
 		Incremental(o.incremental).
+		Portfolio(o.portfolio).
 		Compiled(o.compiled).
 		CoI(o.coi).
 		CheckTimeout(o.checkTO)

@@ -87,6 +87,11 @@ func (o *Options) BMCDepth(n int) *Options { o.cfg.MC.MaxBMCDepth = n; return o 
 // Induction bounds the k of k-induction.
 func (o *Options) Induction(n int) *Options { o.cfg.MC.MaxInduction = n; return o }
 
+// Portfolio sets the racing SAT portfolio width for predicted-hard
+// incremental checks (0 or 1 disables racing; artifacts are identical either
+// way, only wall-clock changes).
+func (o *Options) Portfolio(n int) *Options { o.cfg.MC.Portfolio = n; return o }
+
 // MC replaces the full model-checker option block for knobs without a
 // dedicated setter (explicit-engine bit limits).
 func (o *Options) MC(opts mc.Options) *Options { o.cfg.MC = opts; return o }
@@ -128,6 +133,9 @@ func (o *Options) Build() (Config, error) {
 	}
 	if c.MC.MaxInduction < 0 {
 		bad("induction bound must be >= 0 (got %d)", c.MC.MaxInduction)
+	}
+	if c.MC.Portfolio < 0 {
+		bad("portfolio width must be >= 0 (got %d)", c.MC.Portfolio)
 	}
 	// Contradictions between the budget layers: an inner budget wider than an
 	// outer one means the inner bound can never fire — almost certainly a

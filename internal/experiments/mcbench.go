@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"reflect"
 	"time"
 
@@ -21,10 +22,17 @@ import (
 	"goldmine/internal/sim"
 )
 
-// mcBenchDesigns are the designs the incremental benchmark checks: the two
-// arbiters (the paper's running example) and the fetch stage, whose deeper
-// cones make the per-check Tseitin re-encoding the fresh path pays visible.
-var mcBenchDesigns = []string{"arbiter2", "arbiter4", "fetch"}
+// mcBenchDesigns are the designs the incremental benchmark checks: every
+// bundled benchmark, so the report covers the paper's running examples
+// (arbiters), the pipeline stages, and the ITC'99-style controllers alike.
+// Mining each design first harvests a realistic re-check batch.
+var mcBenchDesigns = designs.Names()
+
+// mcBenchPortfolioWidth is the racing width of the portfolio column: two
+// lanes (one BMC, one induction) is the narrowest racing portfolio and the
+// one that wins wall clock even on a single core, because a proved property
+// no longer pays for the full BMC ladder before induction starts.
+const mcBenchPortfolioWidth = 2
 
 // mcBenchRounds is how many times each batch is replayed per timing: sessions
 // amortize encoding across a batch, so one round already shows the effect and
@@ -45,12 +53,28 @@ type MCBenchDesign struct {
 	FreshMS   float64 `json:"fresh_ms"`
 	SessionMS float64 `json:"session_ms"`
 	Speedup   float64 `json:"speedup"`
+	// ColdSoloMS / PortfolioMS time the cold-batch regime the portfolio is
+	// for: every assertion checked once per round on a session that starts
+	// cold (a fresh Session per round, so nothing is amortized across rounds),
+	// solo incremental ladder vs racing mcBenchPortfolioWidth diversified
+	// lanes on predicted-hard checks. Both run on a persistent Checker whose
+	// difficulty/outcome model was warmed by one untimed probe pass — the
+	// production shape, since the mining run that harvested this batch already
+	// checked every candidate through the same Checker. PortfolioSpeedup is
+	// ColdSoloMS/PortfolioMS, and Races counts how many checks actually raced
+	// across the timed rounds — zero means the router kept everything solo
+	// (the design's checks are easy, or racing could not win them).
+	ColdSoloMS       float64 `json:"cold_solo_ms"`
+	PortfolioMS      float64 `json:"portfolio_ms"`
+	PortfolioSpeedup float64 `json:"portfolio_speedup"`
+	Races            int     `json:"portfolio_races"`
 	// Reuses and Activations are the session's telemetry counters: solver
 	// states carried across checks and induction properties activated.
 	Reuses      int `json:"session_reuses"`
 	Activations int `json:"session_activations"`
-	// ResultsMatch reports that both paths agreed on status, method, depth,
-	// and the byte-identical canonical counterexample for every assertion.
+	// ResultsMatch reports that all four paths (fresh, session, cold-solo,
+	// portfolio) agreed on status, method, depth, and the byte-identical
+	// canonical counterexample for every assertion.
 	ResultsMatch bool `json:"results_match"`
 }
 
@@ -58,6 +82,15 @@ type MCBenchDesign struct {
 type MCBenchReport struct {
 	Designs     []MCBenchDesign `json:"designs"`
 	MeanSpeedup float64         `json:"mean_speedup"`
+	// PortfolioGeomeanRaced is the geometric mean of PortfolioSpeedup (the
+	// cold-batch portfolio win over the incremental-session solo ladder) over
+	// the SAT-dominated designs — the ones where the router sent at least one
+	// check to the racing portfolio. Designs whose checks all stay on the solo
+	// path are excluded: racing never ran there, so their ratio is timer
+	// noise, not a portfolio measurement.
+	PortfolioGeomeanRaced float64 `json:"portfolio_geomean_raced"`
+	// RacedDesigns counts the designs included in PortfolioGeomeanRaced.
+	RacedDesigns int `json:"raced_designs"`
 	// AllMatch is the conjunction of the per-design equality checks.
 	AllMatch bool `json:"all_results_match"`
 }
@@ -133,7 +166,8 @@ func mcBenchOptions() mc.Options {
 // to w.
 func MCBench(w io.Writer) error {
 	rep := MCBenchReport{AllMatch: true}
-	sum := 0.0
+	sum, logSum := 0.0, 0.0
+	raced := 0
 	for _, name := range mcBenchDesigns {
 		d, suite, err := MCAssertionSuite(name, 4)
 		if err != nil {
@@ -172,11 +206,54 @@ func MCBench(w io.Writer) error {
 		}
 		sessT := time.Since(start)
 
+		// Cold-batch columns: the mining workload (each candidate decided once
+		// on a session with no amortized state) on a Checker whose difficulty
+		// model the harvest already warmed. One untimed probe pass stands in
+		// for the harvest mining, then each timed round gets a fresh Session.
+		coldRun := func(portfolio int) (time.Duration, []*mc.Result, int, error) {
+			o := mcBenchOptions()
+			o.Portfolio = portfolio
+			c := mc.NewWithOptions(d, o)
+			probe := c.NewSession()
+			for _, a := range suite {
+				if _, err := probe.Check(a); err != nil {
+					return 0, nil, 0, err
+				}
+			}
+			var res []*mc.Result
+			races := 0
+			start := time.Now()
+			for round := 0; round < mcBenchRounds; round++ {
+				sess := c.NewSession()
+				for _, a := range suite {
+					r, err := sess.Check(a)
+					if err != nil {
+						return 0, nil, 0, err
+					}
+					if round == 0 {
+						res = append(res, r)
+					}
+				}
+				races += sess.Races
+			}
+			return time.Since(start), res, races, nil
+		}
+		coldT, coldRes, _, err := coldRun(0)
+		if err != nil {
+			return fmt.Errorf("%s cold-solo: %w", name, err)
+		}
+		portT, portRes, races, err := coldRun(mcBenchPortfolioWidth)
+		if err != nil {
+			return fmt.Errorf("%s portfolio: %w", name, err)
+		}
+
 		match := true
 		for i := range freshRes {
-			f, s := freshRes[i], sessRes[i]
-			if f.Status != s.Status || f.Method != s.Method || f.Depth != s.Depth || !reflect.DeepEqual(f.Ctx, s.Ctx) {
-				match = false
+			f := freshRes[i]
+			for _, o := range []*mc.Result{sessRes[i], coldRes[i], portRes[i]} {
+				if f.Status != o.Status || f.Method != o.Method || f.Depth != o.Depth || !reflect.DeepEqual(f.Ctx, o.Ctx) {
+					match = false
+				}
 			}
 		}
 		row := MCBenchDesign{
@@ -184,6 +261,9 @@ func MCBench(w io.Writer) error {
 			Assertions:   len(suite),
 			FreshMS:      float64(freshT.Microseconds()) / 1000,
 			SessionMS:    float64(sessT.Microseconds()) / 1000,
+			ColdSoloMS:   float64(coldT.Microseconds()) / 1000,
+			PortfolioMS:  float64(portT.Microseconds()) / 1000,
+			Races:        races,
 			Reuses:       sess.Reuses,
 			Activations:  sess.Activations,
 			ResultsMatch: match,
@@ -191,12 +271,23 @@ func MCBench(w io.Writer) error {
 		if sessT > 0 {
 			row.Speedup = freshT.Seconds() / sessT.Seconds()
 		}
+		if portT > 0 {
+			row.PortfolioSpeedup = coldT.Seconds() / portT.Seconds()
+		}
 		rep.Designs = append(rep.Designs, row)
 		rep.AllMatch = rep.AllMatch && match
 		sum += row.Speedup
+		if row.Races > 0 && row.PortfolioSpeedup > 0 {
+			logSum += math.Log(row.PortfolioSpeedup)
+			raced++
+		}
 	}
 	if len(rep.Designs) > 0 {
 		rep.MeanSpeedup = sum / float64(len(rep.Designs))
+	}
+	if raced > 0 {
+		rep.PortfolioGeomeanRaced = math.Exp(logSum / float64(raced))
+		rep.RacedDesigns = raced
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

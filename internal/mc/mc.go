@@ -146,6 +146,16 @@ type Options struct {
 	// references (lazy unrolling) instead of the whole transition relation.
 	// Sound — see cnf.NewLazyUnroller — and on by default.
 	CoI bool
+	// Portfolio enables the racing SAT portfolio for predicted-hard
+	// sequential checks on incremental Sessions: N >= 2 diversified lanes
+	// race the BMC ladder against the k-induction ladder (and each other,
+	// sharing learned clauses within a lane set) and the first decisive
+	// verdict wins. 0 or 1 disables racing. Verdicts and canonical
+	// counterexamples are byte-identical to the single-solver path (see
+	// portfolio.go for the argument); only wall-clock changes, so the field
+	// is excluded from options fingerprints (sched.OptionsFingerprint) and
+	// cache keys. Stateless (non-Session) checks ignore it.
+	Portfolio int
 }
 
 // DefaultOptions returns sensible limits for benchmark-scale designs.
@@ -211,6 +221,10 @@ type Checker struct {
 	tel  *telemetry.Tracer
 	satC *sat.SolveCounters
 	mtr  mcMetrics
+
+	// diff is the learned per-cone-shape cost model behind PredictHard
+	// (difficulty.go). It has its own lock.
+	diff difficulty
 }
 
 // mcMetrics caches the mc.* counters so the per-check accounting is atomic
@@ -218,6 +232,8 @@ type Checker struct {
 type mcMetrics struct {
 	checks, proved, falsified, bounded, unknown, degraded *telemetry.Counter
 	explicitSims                                          *telemetry.Counter
+	races, raceBMCWins, raceIndWins                       *telemetry.Counter
+	solveWork                                             *telemetry.Histogram
 }
 
 // SetTelemetry wires the checker (and every Session created from it) into a
@@ -241,12 +257,22 @@ func (c *Checker) SetTelemetry(tr *telemetry.Tracer) {
 		unknown:      reg.Counter("mc.unknown"),
 		degraded:     reg.Counter("mc.degraded"),
 		explicitSims: reg.Counter("mc.explicit_window_sims"),
+		races:        reg.Counter("mc.portfolio_races"),
+		raceBMCWins:  reg.Counter("mc.portfolio_bmc_wins"),
+		raceIndWins:  reg.Counter("mc.portfolio_ind_wins"),
+		solveWork:    reg.Histogram("mc.solve_work"),
 	}
 }
 
 // newSolver builds a SAT solver with the checker's telemetry hookup.
 func (c *Checker) newSolver() *sat.Solver {
-	s := sat.New()
+	return c.newSolverWithConfig(sat.Config{})
+}
+
+// newSolverWithConfig builds a diversified SAT solver (portfolio lanes) with
+// the checker's telemetry hookup.
+func (c *Checker) newSolverWithConfig(cfg sat.Config) *sat.Solver {
+	s := sat.NewWithConfig(cfg)
 	s.Counters = c.satC
 	return s
 }
@@ -294,7 +320,15 @@ type budget struct {
 	ctx      context.Context
 	deadline time.Time // zero = none
 	workLeft *int64    // nil = unlimited; shared across engines of one check
-	ticks    int64     // tick counter rate-limiting clock/context polls
+	// spent accumulates the SAT propagations consumed under this budget (a
+	// pointer so slices and quiet views feed the same total). It is the
+	// observation the difficulty predictor learns from; always non-nil for
+	// budgets built by newBudget.
+	spent *int64
+	// raced marks that the check was decided by the racing portfolio, so the
+	// difficulty predictor can keep separate cost means per path.
+	raced bool
+	ticks int64 // tick counter rate-limiting clock/context polls
 	// sp is the enclosing "mc.check" span; solve() and the engines hang their
 	// phase spans off it. Nil when telemetry is disabled (or quieted for the
 	// counterexample-minimization probe storm, see quiet).
@@ -318,7 +352,7 @@ func (b *budget) quiet() *budget {
 
 // newBudget derives the envelope for one check from the options and context.
 func (c *Checker) newBudget(ctx context.Context) *budget {
-	b := &budget{ctx: ctx}
+	b := &budget{ctx: ctx, spent: new(int64)}
 	if c.opts.CheckTimeout > 0 {
 		b.deadline = time.Now().Add(c.opts.CheckTimeout)
 	}
@@ -414,6 +448,9 @@ func (b *budget) solve(s *sat.Solver, assumps ...sat.Lit) (sat.Status, error) {
 		telemetry.Int("props", s.Propagations-before),
 	)
 	b.charge(s.Propagations - before)
+	if b.spent != nil {
+		*b.spent += s.Propagations - before
+	}
 	if st == sat.Unknown {
 		if cause := s.StopCause(); cause != nil {
 			if errors.Is(cause, context.Canceled) {
@@ -453,6 +490,12 @@ func (c *Checker) checkWith(ctx context.Context, a *assertion.Assertion, dispatc
 		b.sp = sp
 	}
 	res, err := dispatch(b, a)
+	if b.spent != nil && res != nil && err == nil {
+		// Feed the difficulty predictor with what the check actually cost and
+		// how it resolved (for raced checks, portfolio.go posts the winning
+		// lane's cost and flags the budget raced).
+		c.noteCheckCost(a, *b.spent, res.Status == StatusProved, b.raced)
+	}
 	if err != nil {
 		if !IsBudget(err) {
 			sp.End(telemetry.String("error", err.Error()))

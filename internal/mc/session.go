@@ -71,11 +71,21 @@ type Session struct {
 	bmc *satState // reset-constrained; properties are assumption-only
 	ind *satState // free initial state; properties under activation literals
 
+	// Racing portfolio lane sets (portfolio.go), built lazily when
+	// Options.Portfolio >= 2 routes a predicted-hard check to the race. Kept
+	// separate from the solo states above: lane formulas must stay purely
+	// definitional for clause sharing to be sound, which the solo induction
+	// state's activation-guarded hypothesis clauses would break.
+	raceBMC *raceSet
+	raceInd *raceSet
+
 	// Activations counts properties encoded into the induction state (each
 	// consumed one activation literal); Reuses counts checks answered by the
-	// persistent states. Advisory, single-goroutine like the Session.
+	// persistent states; Races counts checks decided by the portfolio.
+	// Advisory, single-goroutine like the Session.
 	Activations int
 	Reuses      int
+	Races       int
 }
 
 // NewSession creates an incremental checking context. The underlying solver
@@ -112,12 +122,15 @@ func (s *Session) dispatch(b *budget, a *assertion.Assertion) (*Result, error) {
 }
 
 // guard runs fn with the session's panic barrier: a panic inside the
-// persistent-state engines discards both states (they may hold half-encoded
-// clauses) and surfaces as ErrEngineInternal so dispatch can fall back.
+// persistent-state engines discards all persistent states (they may hold
+// half-encoded clauses — and for the race sets, a half-replayed catch-up
+// breaks variable alignment) and surfaces as ErrEngineInternal so dispatch
+// can fall back.
 func (s *Session) guard(fn func() (*Result, error)) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.bmc, s.ind = nil, nil
+			s.raceBMC, s.raceInd = nil, nil
 			res, err = nil, fmt.Errorf("%w: session engine panic: %v", ErrEngineInternal, r)
 		}
 	}()
@@ -169,10 +182,28 @@ func (s *Session) checkCombinational(b *budget, a *assertion.Assertion) (*Result
 	})
 }
 
-// checkSAT is the BMC + k-induction ladder of Checker.checkSAT against the
+// checkSAT routes a sequential check either to the racing portfolio (when
+// enabled, the check is predicted hard — racing an easy check would pay more
+// in lane setup than the solve costs — and the outcome model gives the
+// induction lanes a chance to win; see predictRaceWin) or to the solo
+// incremental ladder. Both paths produce identical verdicts and
+// counterexample bytes; only wall-clock differs (see portfolio.go for the
+// argument).
+func (s *Session) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
+	if s.c.opts.Portfolio >= 2 {
+		if _, hard := s.c.PredictHard(a); hard && s.c.predictRaceWin(a) {
+			return s.guard(func() (*Result, error) {
+				return s.checkSATPortfolio(b, a)
+			})
+		}
+	}
+	return s.checkSATSolo(b, a)
+}
+
+// checkSATSolo is the BMC + k-induction ladder of Checker.checkSAT against the
 // persistent states. The control flow (budget slices, degradation points,
 // method strings, depths) mirrors the stateless path exactly.
-func (s *Session) checkSAT(b *budget, a *assertion.Assertion) (*Result, error) {
+func (s *Session) checkSATSolo(b *budget, a *assertion.Assertion) (*Result, error) {
 	return s.guard(func() (*Result, error) {
 		c := s.c
 		coff := a.Consequent.Offset

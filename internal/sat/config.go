@@ -1,0 +1,127 @@
+package sat
+
+// RestartPolicy selects the conflict-budget schedule between restarts.
+type RestartPolicy int
+
+const (
+	// RestartLuby follows the Luby sequence scaled by RestartBase
+	// (MiniSat's default schedule; strong universal worst-case bounds).
+	RestartLuby RestartPolicy = iota
+	// RestartGeometric grows the conflict budget by RestartGrow per restart
+	// starting from RestartBase (aggressive early restarts, long tail).
+	RestartGeometric
+)
+
+func (p RestartPolicy) String() string {
+	if p == RestartGeometric {
+		return "geometric"
+	}
+	return "luby"
+}
+
+// Config parameterizes a Solver's search strategy. Every field is
+// deterministic: two solvers built from equal Configs and fed the identical
+// AddClause/NewVar/Solve sequence take the identical search path. The zero
+// value is normalized to DefaultConfig, so New() and
+// NewWithConfig(Config{}) behave the same.
+//
+// The point of the knobs is diversification, not tuning: the portfolio
+// backend (mc.Options.Portfolio) races solvers whose Configs differ in
+// restart shape, branching polarity, activity decay, and decision noise, so
+// that at least one draws a search order suited to the instance.
+type Config struct {
+	// Restart selects the restart schedule (default Luby).
+	Restart RestartPolicy
+	// RestartBase is the first conflict budget (default 100).
+	RestartBase int64
+	// RestartGrow is the geometric growth factor, used only by
+	// RestartGeometric (default 1.5; values <= 1 are normalized to 1.5).
+	RestartGrow float64
+	// PhaseDefault is the branching polarity assumed for a variable that has
+	// never been assigned (phase saving overrides it afterwards). false —
+	// the MiniSat default — branches negative first.
+	PhaseDefault bool
+	// VarDecay is the EVSIDS variable-activity decay in (0,1) (default 0.95).
+	VarDecay float64
+	// ClaDecay is the clause-activity decay in (0,1) (default 0.999).
+	ClaDecay float64
+	// RandomFreq is the probability in [0,1) that a decision picks a random
+	// unassigned variable instead of the activity maximum (default 0).
+	RandomFreq float64
+	// Seed seeds the xorshift generator behind RandomFreq; solvers with equal
+	// seeds and equal inputs draw identical sequences (default 1; 0 is
+	// normalized to 1 because xorshift has a fixed point at zero).
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration New uses: Luby restarts with base
+// 100, negative-first polarity, MiniSat decay constants, no random decisions.
+func DefaultConfig() Config {
+	return Config{
+		Restart:      RestartLuby,
+		RestartBase:  100,
+		RestartGrow:  1.5,
+		PhaseDefault: false,
+		VarDecay:     0.95,
+		ClaDecay:     0.999,
+		RandomFreq:   0,
+		Seed:         1,
+	}
+}
+
+// normalize fills zero fields with defaults and clamps out-of-range values so
+// a partially specified Config is always usable.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.RestartBase <= 0 {
+		c.RestartBase = d.RestartBase
+	}
+	if c.RestartGrow <= 1 {
+		c.RestartGrow = d.RestartGrow
+	}
+	if c.VarDecay <= 0 || c.VarDecay >= 1 {
+		c.VarDecay = d.VarDecay
+	}
+	if c.ClaDecay <= 0 || c.ClaDecay >= 1 {
+		c.ClaDecay = d.ClaDecay
+	}
+	if c.RandomFreq < 0 || c.RandomFreq >= 1 {
+		c.RandomFreq = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// PortfolioConfig returns the canonical configuration for portfolio member i.
+// Member 0 is DefaultConfig — the exact single-solver strategy — so a
+// one-member "portfolio" degenerates to the baseline; later members diversify
+// restart shape, polarity, decay, and decision noise deterministically from
+// the index, so every process races the same lineup.
+func PortfolioConfig(i int) Config {
+	c := DefaultConfig()
+	switch i % 4 {
+	case 1:
+		// Positive-first polarity with slow decay: favors SAT answers on
+		// formulas whose models are dense in ones.
+		c.PhaseDefault = true
+		c.VarDecay = 0.99
+	case 2:
+		// Aggressive geometric restarts with a dash of noise: escapes heavy
+		// tails that Luby rides out slowly.
+		c.Restart = RestartGeometric
+		c.RestartBase = 64
+		c.RestartGrow = 1.3
+		c.RandomFreq = 0.02
+		c.Seed = uint64(i)*0x9e3779b97f4a7c15 + 1
+	case 3:
+		// Fast decay focuses on recent conflicts; long Luby base keeps each
+		// dive deep.
+		c.VarDecay = 0.85
+		c.RestartBase = 256
+		c.RandomFreq = 0.01
+		c.Seed = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	return c
+}

@@ -1,0 +1,98 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolEntry is one shared learnt clause. Literals are in the external
+// encoding and immutable after publication — importers read the slice
+// without copying, so a published slice must never be mutated.
+type poolEntry struct {
+	lits []Lit
+	src  uint64 // exporter tag; importers skip their own clauses
+}
+
+// ClausePool is a shared pool of learned clauses for solvers working on
+// aligned CNF encodings (identical NewVar sequences, so a variable index
+// means the same thing to every participant). Exporters publish small
+// high-quality learnts (the size/LBD filter lives in the Solver); importers
+// drain everything published since their last visit.
+//
+// The pool is lock-cheap rather than lock-free: a published-count is read
+// atomically first, so the steady state of an importer with nothing new to
+// collect is one atomic load and no lock. Publication and collection take a
+// short mutex; entries are append-only up to a fixed cap, which keeps
+// importer cursors stable (no ring-buffer invalidation) and bounds memory.
+type ClausePool struct {
+	published atomic.Int64 // len(entries), readable without the lock
+
+	mu      sync.Mutex
+	entries []poolEntry
+	cap     int
+
+	// accounting (atomic: read by /statsz while solvers run)
+	exports atomic.Int64 // clauses accepted
+	dropped atomic.Int64 // clauses refused because the pool was full
+}
+
+// defaultPoolCap bounds a pool's lifetime clause count. Export filters keep
+// clauses small (≤ shareMaxSize literals), so the cap bounds pool memory at
+// a few hundred KB while covering far more sharing than a single check emits.
+const defaultPoolCap = 8192
+
+// NewClausePool returns an empty pool. cap <= 0 selects the default bound.
+func NewClausePool(cap int) *ClausePool {
+	if cap <= 0 {
+		cap = defaultPoolCap
+	}
+	return &ClausePool{cap: cap}
+}
+
+// Publish adds a clause to the pool, tagging it with the exporter's id. The
+// literal slice is retained; callers pass a fresh copy. Returns false when
+// the pool is at capacity (the clause is dropped, never partially stored).
+func (p *ClausePool) Publish(src uint64, lits []Lit) bool {
+	p.mu.Lock()
+	if len(p.entries) >= p.cap {
+		p.mu.Unlock()
+		p.dropped.Add(1)
+		return false
+	}
+	p.entries = append(p.entries, poolEntry{lits: lits, src: src})
+	p.published.Store(int64(len(p.entries)))
+	p.mu.Unlock()
+	p.exports.Add(1)
+	return true
+}
+
+// CollectSince returns the clauses published after cursor by exporters other
+// than self, along with the new cursor. The fast path — nothing new — is a
+// single atomic load. Returned slices alias pool storage and must be treated
+// as read-only.
+func (p *ClausePool) CollectSince(cursor int, self uint64) ([][]Lit, int) {
+	n := int(p.published.Load())
+	if cursor >= n {
+		return nil, cursor
+	}
+	p.mu.Lock()
+	fresh := p.entries[cursor:]
+	var out [][]Lit
+	for _, e := range fresh {
+		if e.src != self {
+			out = append(out, e.lits)
+		}
+	}
+	n = len(p.entries)
+	p.mu.Unlock()
+	return out, n
+}
+
+// Len reports the number of clauses currently held.
+func (p *ClausePool) Len() int { return int(p.published.Load()) }
+
+// Exports reports the lifetime count of accepted publications.
+func (p *ClausePool) Exports() int64 { return p.exports.Load() }
+
+// Dropped reports the lifetime count of publications refused at capacity.
+func (p *ClausePool) Dropped() int64 { return p.dropped.Load() }

@@ -1,0 +1,441 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// lubyRef is an independent reference for the Luby sequence: the k-th term is
+// 2^(i-1) when k = 2^i - 1, else the sequence restarts at k - 2^(i-1) + 1 for
+// the largest i with 2^(i-1) <= k < 2^i - 1. Computed iteratively, unlike the
+// recursive production version.
+func lubyRef(k int64) int64 {
+	for {
+		// Find size = 2^i - 1, the smallest full prefix covering k.
+		size := int64(1)
+		for size < k {
+			size = 2*size + 1
+		}
+		if k == size {
+			return (size + 1) / 2
+		}
+		k -= (size - 1) / 2
+	}
+}
+
+func TestLubySequenceAgainstReference(t *testing.T) {
+	// The canonical prefix, then a long stretch against the reference.
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	for i := int64(1); i <= 4096; i++ {
+		if got, ref := luby(i), lubyRef(i); got != ref {
+			t.Fatalf("luby(%d) = %d, reference %d", i, got, ref)
+		}
+	}
+	// Structural properties: every term is a power of two, and term 2^k - 1
+	// is exactly 2^(k-1).
+	for k := uint(1); k <= 12; k++ {
+		i := int64(1)<<k - 1
+		if got := luby(i); got != int64(1)<<(k-1) {
+			t.Fatalf("luby(2^%d-1) = %d, want %d", k, got, int64(1)<<(k-1))
+		}
+	}
+}
+
+func TestNewMatchesDefaultConfig(t *testing.T) {
+	if got, want := New().Config(), DefaultConfig(); got != want {
+		t.Fatalf("New config %+v, want %+v", got, want)
+	}
+	if got := NewWithConfig(Config{}).Config(); got != DefaultConfig() {
+		t.Fatalf("zero Config normalized to %+v, want defaults", got)
+	}
+}
+
+// addAll loads a CNF, reporting whether the solver is still live.
+func addAll(t *testing.T, s *Solver, cnf [][]Lit) bool {
+	t.Helper()
+	for _, cl := range cnf {
+		if ok, err := s.AddClause(cl...); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// randomCNF3 builds a random 3-CNF over nv variables.
+func randomCNF3(rng *rand.Rand, nv, nc int) [][]Lit {
+	var cnf [][]Lit
+	for i := 0; i < nc; i++ {
+		cl := make([]Lit, 0, 3)
+		for j := 0; j < 3; j++ {
+			v := Lit(1 + rng.Intn(nv))
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl = append(cl, v)
+		}
+		cnf = append(cnf, cl)
+	}
+	return cnf
+}
+
+// TestConfigsAgreeWithBruteForce runs every portfolio configuration over
+// random formulas and checks each against exhaustive enumeration: the knobs
+// may change the search path but never the verdict.
+func TestConfigsAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	configs := []Config{
+		DefaultConfig(),
+		PortfolioConfig(1),
+		PortfolioConfig(2),
+		PortfolioConfig(3),
+		{Restart: RestartGeometric, RestartBase: 2, RestartGrow: 1.1},
+		{RandomFreq: 0.5, Seed: 99, PhaseDefault: true},
+	}
+	for iter := 0; iter < 120; iter++ {
+		nv := 4 + rng.Intn(6)
+		cnf := randomCNF3(rng, nv, 2+rng.Intn(4*nv))
+		want := bruteForce(nv, cnf)
+		for ci, cfg := range configs {
+			s := NewWithConfig(cfg)
+			got := Unsat
+			if addAll(t, s, cnf) {
+				got = s.Solve()
+			}
+			if (got == Sat) != want {
+				t.Fatalf("iter %d config %d: solver=%v brute=%v cnf=%v", iter, ci, got, want, cnf)
+			}
+			if got == Sat {
+				for _, cl := range cnf {
+					sat := false
+					for _, l := range cl {
+						if s.ValueLit(l) {
+							sat = true
+						}
+					}
+					if !sat {
+						t.Fatalf("iter %d config %d: model misses clause %v", iter, ci, cl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConfigDeterminism checks that equal configurations replay the identical
+// search (statistic-for-statistic), and that the random-decision stream is a
+// pure function of the seed.
+func TestConfigDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cnf := randomCNF3(rng, 12, 50)
+	run := func(cfg Config) (Status, int64, int64, int64) {
+		s := NewWithConfig(cfg)
+		if !addAll(t, s, cnf) {
+			return Unsat, 0, 0, 0
+		}
+		st := s.Solve()
+		return st, s.Conflicts, s.Decisions, s.Propagations
+	}
+	cfg := Config{RandomFreq: 0.2, Seed: 42, Restart: RestartGeometric, RestartBase: 8}
+	st1, c1, d1, p1 := run(cfg)
+	st2, c2, d2, p2 := run(cfg)
+	if st1 != st2 || c1 != c2 || d1 != d2 || p1 != p2 {
+		t.Fatalf("same config diverged: (%v %d %d %d) vs (%v %d %d %d)",
+			st1, c1, d1, p1, st2, c2, d2, p2)
+	}
+}
+
+// pigeonCNF encodes the pigeonhole principle with n+1 pigeons in n holes
+// (unsatisfiable, and hard enough to force real search).
+func pigeonCNF(n int) (int, [][]Lit) {
+	v := func(p, h int) Lit { return Lit(p*n + h + 1) }
+	var cnf [][]Lit
+	for p := 0; p <= n; p++ {
+		var cl []Lit
+		for h := 0; h < n; h++ {
+			cl = append(cl, v(p, h))
+		}
+		cnf = append(cnf, cl)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				cnf = append(cnf, []Lit{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return (n + 1) * n, cnf
+}
+
+func TestGeometricRestartsSolvePigeonhole(t *testing.T) {
+	for _, cfg := range []Config{
+		{Restart: RestartGeometric, RestartBase: 2, RestartGrow: 1.2},
+		{Restart: RestartGeometric, RestartBase: 1, RestartGrow: 1.05, RandomFreq: 0.1, Seed: 3},
+	} {
+		s := NewWithConfig(cfg)
+		_, cnf := pigeonCNF(5)
+		if addAll(t, s, cnf) {
+			if st := s.Solve(); st != Unsat {
+				t.Fatalf("pigeonhole(5) under %+v: %v", cfg, st)
+			}
+		}
+	}
+}
+
+func TestClausePoolBasics(t *testing.T) {
+	p := NewClausePool(3)
+	if !p.Publish(1, []Lit{1, 2}) || !p.Publish(2, []Lit{-1, 3}) {
+		t.Fatal("publish into empty pool refused")
+	}
+	// Importer 1 skips its own export.
+	got, cur := p.CollectSince(0, 1)
+	if len(got) != 1 || got[0][0] != -1 {
+		t.Fatalf("collect for src 1: %v", got)
+	}
+	if cur != 2 {
+		t.Fatalf("cursor = %d, want 2", cur)
+	}
+	// Nothing new: fast path returns the same cursor.
+	if got, cur2 := p.CollectSince(cur, 1); got != nil || cur2 != cur {
+		t.Fatalf("idle collect: %v %d", got, cur2)
+	}
+	// Cap: third accepted, fourth dropped.
+	if !p.Publish(3, []Lit{4}) {
+		t.Fatal("publish under cap refused")
+	}
+	if p.Publish(3, []Lit{5}) {
+		t.Fatal("publish over cap accepted")
+	}
+	if p.Len() != 3 || p.Exports() != 3 || p.Dropped() != 1 {
+		t.Fatalf("accounting: len=%d exports=%d dropped=%d", p.Len(), p.Exports(), p.Dropped())
+	}
+	// A cursor ahead of an empty region stays put.
+	if _, cur := p.CollectSince(99, 0); cur != 99 {
+		t.Fatalf("overshoot cursor moved to %d", cur)
+	}
+}
+
+// TestShareExportImport runs one solver to completion on a hard formula and
+// checks that a second aligned solver adopts its published learnts.
+func TestShareExportImport(t *testing.T) {
+	nv, cnf := pigeonCNF(5)
+	pool := NewClausePool(0)
+
+	a := New()
+	a.Share, a.ShareID, a.ShareVarCap = pool, 1, nv
+	if addAll(t, a, cnf) {
+		if st := a.Solve(); st != Unsat {
+			t.Fatalf("exporter: %v", st)
+		}
+	}
+	if a.SharedExports == 0 || pool.Len() == 0 {
+		t.Fatalf("exporter published nothing (exports=%d pool=%d)", a.SharedExports, pool.Len())
+	}
+
+	b := New()
+	b.Share, b.ShareID, b.ShareVarCap = pool, 2, nv
+	if addAll(t, b, cnf) {
+		if st := b.Solve(); st != Unsat {
+			t.Fatalf("importer: %v", st)
+		}
+	}
+	if b.SharedImports == 0 {
+		t.Fatal("importer adopted nothing")
+	}
+	if b.Conflicts >= a.Conflicts {
+		t.Logf("note: import did not reduce conflicts (a=%d b=%d)", a.Conflicts, b.Conflicts)
+	}
+}
+
+// TestSimplifyRetiresSatisfiedClauses checks the activation-literal lifecycle:
+// clauses guarded by act are retired by the unit ¬act + Simplify, and the
+// solver stays correct afterwards.
+func TestSimplifyRetiresSatisfiedClauses(t *testing.T) {
+	s := New()
+	const act = 5
+	// (x1 | x2 | ¬act) & (¬x1 | x3 | ¬act) with act forced on, plus a free
+	// clause (x4).
+	s.AddClause(1, 2, -act)
+	s.AddClause(-1, 3, -act)
+	s.AddClause(4)
+	if st := s.Solve(Lit(act)); st != Sat {
+		t.Fatalf("under act: %v", st)
+	}
+	before := s.NumClauses()
+	// Retire: act is now false forever; both guarded clauses are satisfied.
+	s.AddClause(Lit(-act))
+	s.Simplify()
+	if got := s.NumClauses(); got >= before {
+		t.Fatalf("Simplify retired nothing: %d -> %d", before, got)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("after retirement: %v", st)
+	}
+	if !s.Value(4) {
+		t.Fatal("free clause lost in retirement")
+	}
+	// Solving under the retired activator is now vacuously Unsat.
+	if st := s.Solve(Lit(act)); st != Unsat {
+		t.Fatalf("assuming retired act: %v", st)
+	}
+}
+
+// TestImportAfterRetirement is the Simplify/import edge case: after a unit
+// ¬act retirement, imported clauses mentioning the retired literal must be
+// skipped (when satisfied by ¬act) or stripped (when they contain the dead
+// act literal), never corrupt the solver.
+func TestImportAfterRetirement(t *testing.T) {
+	pool := NewClausePool(0)
+	s := New()
+	const act = 4
+	s.AddClause(1, 2)
+	s.AddClause(3, -act)
+	s.ensure(act)
+	// Retire act, then Simplify away the guarded clause.
+	s.AddClause(Lit(-act))
+	s.Simplify()
+
+	// A sibling publishes clauses touching the retired literal.
+	pool.Publish(9, []Lit{-act, 1})     // satisfied by ¬act: skip
+	pool.Publish(9, []Lit{Lit(act), 2}) // act is false: strips to unit (2)
+	pool.Publish(9, []Lit{-1, -2, 3})   // ordinary clause: adopt
+	s.Share, s.ShareID, s.ShareVarCap = pool, 1, 4
+
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("after imports: %v", st)
+	}
+	if !s.Value(2) {
+		t.Fatal("stripped unit (2) was not propagated")
+	}
+	if s.SharedImports != 2 {
+		t.Fatalf("SharedImports = %d, want 2 (skip the ¬act-satisfied one)", s.SharedImports)
+	}
+	// The adopted ternary must bind: with 2 fixed true it reduces to
+	// (¬1 ∨ 3), so assuming 1 forces 3.
+	if st := s.Solve(1); st != Sat {
+		t.Fatalf("assuming 1: %v", st)
+	}
+	if !s.Value(3) {
+		t.Fatal("imported clause (-1 -2 3) did not propagate 3")
+	}
+}
+
+// TestImportUnknownVariableSkipped: a clause mentioning a variable the
+// importer has not allocated is skipped rather than force-grown — growing
+// would desynchronize the aligned variable spaces.
+func TestImportUnknownVariableSkipped(t *testing.T) {
+	pool := NewClausePool(0)
+	pool.Publish(9, []Lit{100, -101})
+	s := New()
+	s.AddClause(1)
+	s.Share, s.ShareID, s.ShareVarCap = pool, 1, 1
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve: %v", st)
+	}
+	if s.SharedImports != 0 {
+		t.Fatalf("adopted misaligned clause (imports=%d)", s.SharedImports)
+	}
+	if s.NumVars() != 1 {
+		t.Fatalf("import grew variable table to %d", s.NumVars())
+	}
+}
+
+// TestImportUnitAndRefutation: imported units propagate at level 0, and an
+// import completing a refutation makes the solver permanently unsat.
+func TestImportUnitAndRefutation(t *testing.T) {
+	pool := NewClausePool(0)
+	pool.Publish(9, []Lit{2})
+	s := New()
+	s.AddClause(1, 2)
+	s.ensure(2)
+	s.Share, s.ShareID, s.ShareVarCap = pool, 1, 2
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve: %v", st)
+	}
+	if !s.Value(2) {
+		t.Fatal("imported unit not applied")
+	}
+	// Now publish the refuting unit.
+	pool.Publish(9, []Lit{-2})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("refuting import: %v", st)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("unsat is sticky after import refutation")
+	}
+}
+
+// TestSharedSolveConcurrent races diversified solvers over one pool on the
+// same formula under -race: verdicts must agree and the pool must survive
+// concurrent export/import traffic.
+func TestSharedSolveConcurrent(t *testing.T) {
+	nv, cnf := pigeonCNF(5)
+	pool := NewClausePool(0)
+	const workers = 4
+	var wg sync.WaitGroup
+	verdicts := make([]Status, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewWithConfig(PortfolioConfig(i))
+			s.Share, s.ShareID, s.ShareVarCap = pool, uint64(i+1), nv
+			live := true
+			for _, cl := range cnf {
+				if ok, err := s.AddClause(cl...); err != nil || !ok {
+					live = ok
+					if err != nil {
+						t.Error(err)
+					}
+					break
+				}
+			}
+			if live {
+				verdicts[i] = s.Solve()
+			} else {
+				verdicts[i] = Unsat
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		if v != Unsat {
+			t.Fatalf("worker %d: %v", i, v)
+		}
+	}
+}
+
+// TestClausePoolConcurrentTraffic hammers Publish/CollectSince from many
+// goroutines (run under -race).
+func TestClausePoolConcurrentTraffic(t *testing.T) {
+	pool := NewClausePool(4096)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cursor := 0
+			for i := 0; i < 200; i++ {
+				pool.Publish(uint64(w), []Lit{Lit(w + 1), Lit(-(i%7 + 1))})
+				var got [][]Lit
+				got, cursor = pool.CollectSince(cursor, uint64(w))
+				for _, cl := range got {
+					if len(cl) == 0 {
+						t.Error("empty clause collected")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pool.Len() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

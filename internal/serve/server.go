@@ -97,6 +97,14 @@ type Config struct {
 	// MaxJobWorkers caps the per-job intra-mining parallelism a spec may
 	// request.
 	MaxJobWorkers int
+	// Portfolio is the racing SAT portfolio width applied to every job's
+	// engine (0 or 1 disables racing). Server-wide rather than per-spec
+	// because artifacts are identical either way — the knob only trades CPU
+	// for latency on hard checks, a capacity decision that belongs to the
+	// operator, and keeping it out of JobSpec keeps it out of artifact
+	// provenance. Pooled engines remain interchangeable: the fingerprint
+	// excludes it.
+	Portfolio int
 	// PoolPerKey is how many idle engines are retained per design+options.
 	PoolPerKey int
 	// WALPath is the durable job journal; empty runs without durability
@@ -138,6 +146,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.PoolPerKey < 1 {
 		c.PoolPerKey = c.Workers
+	}
+	if c.Portfolio < 0 {
+		c.Portfolio = 0
 	}
 }
 
@@ -730,6 +741,10 @@ type Stats struct {
 	CacheLen       int              `json:"cache_len"`
 	Pool           PoolStats        `json:"pool"`
 	Tenants        []TenantStats    `json:"tenants"`
+	// Solver surfaces the SAT search and portfolio counters from the wired
+	// tracer's registry (sat.solves, sat.conflicts, sat.clause_share.*,
+	// mc.portfolio_* ...). Empty when the server runs without a Tracer.
+	Solver map[string]int64 `json:"solver,omitempty"`
 }
 
 // Stats snapshots the server's health counters.
@@ -759,6 +774,20 @@ func (s *Server) Stats() Stats {
 		st.WALAppends = s.wal.appends.Load()
 	}
 	st.CacheHitRate = st.Cache.HitRate()
+	if s.cfg.Tracer != nil {
+		snap := s.cfg.Tracer.Registry().Snapshot()
+		st.Solver = make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+		for name, v := range snap.Counters {
+			if strings.HasPrefix(name, "sat.") || strings.HasPrefix(name, "mc.") {
+				st.Solver[name] = v
+			}
+		}
+		for name, v := range snap.Gauges {
+			if strings.HasPrefix(name, "sat.") || strings.HasPrefix(name, "mc.") {
+				st.Solver[name] = v
+			}
+		}
+	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		st.JobsByState[j.State]++

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"goldmine/internal/mc"
+	"goldmine/internal/telemetry"
 )
 
 // testConfig is a small, fast server configuration for runner-seam tests.
@@ -689,5 +690,49 @@ func TestRealMiningJob(t *testing.T) {
 	st := s.Stats()
 	if st.Pool.Reuses == 0 {
 		t.Fatalf("pool reuses = 0, want engine reuse (pool %+v)", st.Pool)
+	}
+}
+
+// TestPortfolioJobMatchesDefault: a server configured with a racing SAT
+// portfolio produces byte-identical canonical artifacts to a plain server,
+// and its tracer-backed /statsz payload surfaces the solver search counters.
+func TestPortfolioJobMatchesDefault(t *testing.T) {
+	tel := telemetry.New(telemetry.NewRegistry(), nil)
+	cfg := Config{Workers: 1, QueueDepth: 8, MaxAttempts: 2,
+		RetryBase: time.Millisecond, RetryMax: time.Millisecond,
+		DrainTimeout: 30 * time.Second, Portfolio: 3, Tracer: tel}
+	s := mustServer(t, cfg)
+	defer shutdown(t, s)
+
+	plain := mustServer(t, Config{Workers: 1, QueueDepth: 8, MaxAttempts: 2,
+		RetryBase: time.Millisecond, RetryMax: time.Millisecond,
+		DrainTimeout: 30 * time.Second})
+	defer shutdown(t, plain)
+
+	run := func(srv *Server) *Artifact {
+		j, err := srv.Submit(JobSpec{Tenant: "t1", Design: "fetch"})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		got, err := srv.WaitJob(context.Background(), j.ID)
+		if err != nil || got.State != JobDone {
+			t.Fatalf("job = %+v, %v", got, err)
+		}
+		return got.Artifact
+	}
+	a, b := run(s), run(plain)
+	if a.Canonical != b.Canonical {
+		t.Fatal("portfolio server produced a different canonical artifact")
+	}
+
+	st := s.Stats()
+	if st.Solver == nil {
+		t.Fatal("stats.Solver is nil with a Tracer wired")
+	}
+	if st.Solver["sat.solves"] == 0 {
+		t.Fatalf("stats.Solver[sat.solves] = 0, want > 0 (solver %v)", st.Solver)
+	}
+	if plain.Stats().Solver != nil {
+		t.Fatal("stats.Solver should be absent without a Tracer")
 	}
 }

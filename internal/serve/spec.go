@@ -248,6 +248,9 @@ func (s *Server) runCore(ctx context.Context, spec *JobSpec) (*Artifact, error) 
 	eng, err := s.pool.acquire(r.poolKey, func() (*core.Engine, error) {
 		cfg := r.cfg
 		cfg.Cache = s.cache
+		// Server-wide portfolio width: racing changes wall-clock only (never
+		// artifacts), so it is applied outside the spec and the pool key.
+		cfg.MC.Portfolio = s.cfg.Portfolio
 		e, err := core.NewEngine(r.design, cfg)
 		if err != nil {
 			return nil, err

@@ -8,8 +8,14 @@
 # cache hit rates, and the -j1 ≡ -jN determinism check.
 #
 # Also writes BENCH_mc.json (override with $2): fresh-checker vs persistent
-# mc.Session wall times over mined assertion suites, per-design speedups, and
-# the fresh ≡ session verdict/counterexample equality check.
+# mc.Session wall times over mined assertion suites (all 18 bundled designs),
+# per-design speedups, and the portfolio columns — cold-batch wall times of
+# the solo incremental ladder vs racing diversified SAT lanes on
+# predicted-hard checks (cold_solo_ms / portfolio_ms / portfolio_speedup /
+# portfolio_races, plus the portfolio_geomean_raced summary over the designs
+# the difficulty router actually raced). Every path's verdicts and canonical
+# counterexamples are cross-checked byte-for-byte (results_match). See
+# DESIGN.md sections 4.3 and 4.8.
 #
 # Also writes BENCH_telemetry.json (override with $3): full mining runs with
 # the observability layer off vs on (JSONL journal to a discarding sink),

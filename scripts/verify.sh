@@ -135,26 +135,46 @@ fi
     "$tmpbin/cc.jsonl"
 echo "smoke: closure -j1 ≡ -j4 and the directed telemetry journal validates"
 
-echo "== cross-check: incremental sessions match the stateless checker (race) =="
-# Every bundled design, race-enabled binary, with the incremental session +
-# cone-of-influence path diffed against the stateless full-encode path.
-# Verdicts and counterexamples must be byte-identical; only the total: wall
-# clock line may differ. -max-iter 8 bounds the refinement loop so the sweep
-# stays a few minutes under the race detector (both modes use the same bound,
-# so the comparison is unaffected).
+echo "== cross-check: incremental + portfolio match the stateless checker (race) =="
+# Every bundled design, race-enabled binary, with (a) the incremental session
+# + cone-of-influence path and (b) the racing SAT portfolio (-portfolio 3)
+# diffed against the stateless full-encode path. Verdicts and counterexamples
+# must be byte-identical; only the total: wall clock line may differ.
+# -max-iter 8 bounds the refinement loop so the sweep stays a few minutes
+# under the race detector (all modes use the same bound, so the comparison is
+# unaffected). The portfolio leg is the determinism contract of the racing
+# backend: lanes race on wall clock, never on the artifact.
 go build -race -o "$tmpbin/goldmine_race" ./cmd/goldmine
 for d in $("$tmpbin/goldmine" -list | while read -r name _; do echo "$name"; done); do
     "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -incremental=false -coi=false >"$tmpbin/fresh.txt"
     "$tmpbin/goldmine_race" -design "$d" -max-iter 8 >"$tmpbin/incr.txt"
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -portfolio 3 >"$tmpbin/port.txt"
     grep -v '^total:' "$tmpbin/fresh.txt" >"$tmpbin/fresh.art"
     grep -v '^total:' "$tmpbin/incr.txt" >"$tmpbin/incr.art"
+    grep -v '^total:' "$tmpbin/port.txt" >"$tmpbin/port.art"
     if ! diff "$tmpbin/fresh.art" "$tmpbin/incr.art" >/dev/null; then
         echo "cross-check: FAILED ($d: incremental artifacts differ from stateless)" >&2
         diff "$tmpbin/fresh.art" "$tmpbin/incr.art" | head >&2
         exit 1
     fi
-    echo "cross-check: $d OK"
+    if ! diff "$tmpbin/incr.art" "$tmpbin/port.art" >/dev/null; then
+        echo "cross-check: FAILED ($d: -portfolio 3 artifacts differ from single-solver)" >&2
+        diff "$tmpbin/incr.art" "$tmpbin/port.art" | head >&2
+        exit 1
+    fi
+    echo "cross-check: $d OK (incremental ≡ stateless ≡ portfolio)"
 done
+
+echo "== smoke: portfolio telemetry journal records the races =="
+# A full portfolio mining run over the pipeline stage must actually race and
+# its journal must validate with the sat.portfolio span present. The router
+# sends cold checks solo and races a check only once its key is memoized as
+# proved, so the raced checks here are the refinement loop's re-checks of
+# already-proved candidates — pipeline's loop produces several of those.
+"$tmpbin/goldmine" -design pipeline -portfolio 3 \
+    -telemetry "$tmpbin/pf.jsonl" >/dev/null
+"$tmpbin/telcheck" -require mc.check,sat.portfolio,sat.solve "$tmpbin/pf.jsonl"
+echo "smoke: portfolio journal validates with sat.portfolio spans"
 
 
 
