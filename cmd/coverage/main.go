@@ -121,8 +121,10 @@ func run(o cliOpts, w io.Writer) error {
 		fmt.Fprintf(w, "%s: %s\n", o.design, col.Report())
 	}
 	if o.uncovered {
-		for _, p := range col.UncoveredPoints() {
-			fmt.Fprintln(w, "  uncovered:", p)
+		for i, p := range d.Cover.Points {
+			if !col.PointCovered(i) {
+				fmt.Fprintln(w, "  uncovered:", p.String())
+			}
 		}
 	}
 	if o.holesJSON {

@@ -40,6 +40,7 @@ func main() {
 		simBench   = flag.String("sim-bench", "", "run the compiled/batched simulation benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		serveBench = flag.String("serve-bench", "", "run the goldmined serving/durability benchmark and write the JSON report to this file ('-' = stdout), then exit")
 		coverBench = flag.String("cover-bench", "", "run the coverage-closure benchmark (directed vs random vs CEX-only) and write the JSON report to this file ('-' = stdout), then exit")
+		corpBench  = flag.String("corpus-bench", "", "run the assertion-corpus reduction benchmark (dedup, clustering, oracle-ranked suite reduction) and write the JSON report to this file ('-' = stdout), then exit")
 		telOut     = flag.String("telemetry", "", "write a JSONL telemetry journal of the whole run to this file")
 		metrics    = flag.Bool("metrics-summary", false, "print the aggregated metrics snapshot as JSON to stderr on exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -166,6 +167,10 @@ func main() {
 	}
 	if *coverBench != "" {
 		benchTo(*coverBench, func(w io.Writer) error { return experiments.CoverBench(w, *workers) }, "cover-bench")
+		return
+	}
+	if *corpBench != "" {
+		benchTo(*corpBench, experiments.CorpusBench, "corpus-bench")
 		return
 	}
 

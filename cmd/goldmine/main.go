@@ -25,6 +25,7 @@ import (
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/core"
+	"goldmine/internal/corpus"
 	"goldmine/internal/designs"
 	"goldmine/internal/prof"
 	"goldmine/internal/rtl"
@@ -52,7 +53,8 @@ func main() {
 		full     = flag.Bool("full-ctx", false, "add every counterexample window to the dataset")
 		tree     = flag.Bool("tree", false, "print the final decision tree")
 		canon    = flag.Bool("canonical", false, "print the canonical artifact rendering instead of the report (the determinism contract's byte-identical form, also served by goldmined)")
-		reduce   = flag.Bool("reduce", false, "apply A-Val subsumption reduction and ranking to the printed assertions")
+		reduce   = flag.Bool("reduce", false, "corpus reduction: ingest the mined assertions into the corpus (see -corpus), cluster by cone signature, rank with the fault/coverage oracle, and print the minimal high-value suite (deterministic for any -j)")
+		corpusF  = flag.String("corpus", "", "with -reduce: persist the assertion corpus to this JSONL file (loaded before ingest, saved after; cross-run duplicates deduplicate on canonical keys)")
 		minimize = flag.Bool("minimize", false, "minimize counterexample patterns before printing")
 		list     = flag.Bool("list", false, "list benchmark designs and exit")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget for the whole run (0 = none)")
@@ -100,7 +102,7 @@ func main() {
 		seed: *seed, format: *format,
 		maxIter: *maxIter, checkTO: *checkTO, workers: *workers,
 		batched: *batched, fullCtx: *full, printTree: *tree, canonical: *canon,
-		reduce: *reduce, minimize: *minimize, schedOut: *schedOut,
+		reduce: *reduce, corpus: *corpusF, minimize: *minimize, schedOut: *schedOut,
 		incremental: *incr, coi: *coi, compiled: *compiled, portfolio: *portf,
 		closeCoverage: *closeCov, coverCycles: *coverCyc, coverSeed: *coverSd,
 		telemetry: *telOut, metricsSummary: *metrics,
@@ -128,6 +130,7 @@ type runOpts struct {
 	workers              int
 	batched, fullCtx     bool
 	printTree, reduce    bool
+	corpus               string
 	canonical            bool
 	minimize, schedOut   bool
 	incremental, coi     bool
@@ -184,6 +187,12 @@ func (o runOpts) validate() error {
 	}
 	if o.telemetry != "" && o.telemetry == o.file {
 		return fmt.Errorf("-telemetry would overwrite the -file design source %q", o.telemetry)
+	}
+	if o.corpus != "" && !o.reduce {
+		return fmt.Errorf("-corpus needs -reduce: the corpus file is only read and written by the reduction flow")
+	}
+	if o.corpus != "" && o.corpus == o.file {
+		return fmt.Errorf("-corpus would overwrite the -file design source %q", o.corpus)
 	}
 	return nil
 }
@@ -343,13 +352,10 @@ func run(ctx context.Context, o runOpts) error {
 		fmt.Printf("--- %s.%s: converged=%v iterations=%d proved=%d ctx=%d coverage=%.2f%%%s\n",
 			d.Name, name, res.Converged, len(res.Iterations), len(res.Proved), len(res.Ctx),
 			100*res.InputSpaceCoverage(), extra)
-		if o.reduce {
-			kept := assertion.ReduceSuite(res.Assertions())
-			fmt.Printf("  A-Val reduction: %d -> %d assertions\n", len(res.Proved), len(kept))
-			for _, a := range kept {
-				fmt.Printf("  %s\n", renderA(a, o.format, d.Clock))
-			}
-		} else {
+		if !o.reduce {
+			// With -reduce the per-output listing is replaced by the corpus
+			// section below: the suite is selected across outputs, not per
+			// output.
 			for _, rec := range res.Proved {
 				fmt.Printf("  [it%d %s] %s\n", rec.Iteration, rec.Method, render(rec.Assertion.String(), rec, o.format, d.Clock))
 			}
@@ -372,6 +378,11 @@ func run(ctx context.Context, o runOpts) error {
 		totalCtx += len(res.Ctx)
 		totalUnknown += len(res.Unknown)
 		totalFaults += len(res.Errors)
+	}
+	if o.reduce {
+		if err := corpusReport(d, all, o, tel); err != nil {
+			return err
+		}
 	}
 	extra := ""
 	if totalUnknown > 0 || totalFaults > 0 {
@@ -420,6 +431,51 @@ func runClosure(ctx context.Context, d *rtl.Design, o runOpts, tel *telemetry.Tr
 	fmt.Printf("cycles=%d converged=%v\n", res.CyclesUsed, res.Converged)
 	if ctx.Err() != nil {
 		return errInterrupted
+	}
+	return nil
+}
+
+// corpusReport runs the -reduce pipeline: load the persisted corpus (when
+// -corpus names one), ingest this run's proved assertions with canonical-key
+// dedup, persist, then cluster/measure/select and print the reduced suite.
+// Everything printed is deterministic: same design, seed and corpus file
+// content produce byte-identical output for any -j value.
+func corpusReport(d *rtl.Design, all *core.Result, o runOpts, tel *telemetry.Tracer) error {
+	crp := corpus.New()
+	loaded := 0
+	if o.corpus != "" {
+		var err error
+		crp, err = corpus.Load(o.corpus)
+		if err != nil {
+			return err
+		}
+		loaded = crp.Len()
+	}
+	st := crp.IngestResult("cli", all)
+	if o.corpus != "" {
+		if err := corpus.Save(o.corpus, crp); err != nil {
+			return err
+		}
+	}
+	red, err := corpus.Reduce(d, crp, corpus.Options{Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- corpus: %s ---\n", d.Name)
+	fmt.Printf("ingested: %d proved records, %d new, %d duplicates (corpus %d entries, %d loaded)\n",
+		st.Records, st.New, st.Dups, crp.Len(), loaded)
+	fmt.Printf("clusters: %d cone signatures, %d subsumed collapsed, %d candidates\n",
+		red.Clusters, red.Collapsed, red.Candidates)
+	fmt.Printf("oracle: %d cycles, %d faults; full suite kills %d faults, covers %d windows, %d vacuous monitors\n",
+		red.Cycles, red.Faults, red.KillsFull, red.WindowsFull, red.Vacuous)
+	fmt.Printf("selected: %d of %d monitors (props %d -> %d)\n",
+		len(red.Selected), red.Total, red.PropsFull, red.PropsSelected)
+	fmt.Printf("retained: kills %d/%d (%.1f%%), windows %d/%d (%.1f%%)\n",
+		red.KillsSelected, red.KillsFull, red.KillRetention(),
+		red.WindowsSelected, red.WindowsFull, red.CoverRetention())
+	for i, sel := range red.Selected {
+		fmt.Printf("  %d. [+%d kills +%d windows] %s\n",
+			i+1, sel.GainKills, sel.GainWindows, renderA(sel.Entry.A, o.format, d.Clock))
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8333", "listen address (host:port; port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that use -addr :0)")
 		walPath  = flag.String("wal", "", "durable job journal path (empty = no durability)")
+		corpusF  = flag.String("corpus", "", "cross-run assertion corpus journal path (empty = in-memory corpus only)")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "job-executing workers")
 		jobWkrs  = flag.Int("job-workers", runtime.GOMAXPROCS(0), "cap on one job's intra-mining parallelism")
 		queue    = flag.Int("queue", 64, "admission bound: max admitted-but-unfinished jobs (beyond it, 429 + Retry-After)")
@@ -53,7 +54,7 @@ func main() {
 		tenantQueue: *tQueue, tenantBudget: *tBudget, jobTimeout: *jobTO,
 		attempts: *attempts, retryBase: *rBase, retryMax: *rMax,
 		drain: *drain, cacheCap: *cacheCap, cacheShards: *cacheSh, pool: *pool,
-		portfolio: *portf,
+		portfolio: *portf, corpusPath: *corpusF,
 	}, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "goldmined:", err)
 		os.Exit(1)
@@ -67,6 +68,7 @@ type serveConfig struct {
 	retryBase, retryMax, drain              time.Duration
 	cacheCap, cacheShards, pool             int
 	portfolio                               int
+	corpusPath                              string
 }
 
 func run(addr, addrFile, walPath, telOut string, sc serveConfig, metrics bool) error {
@@ -99,6 +101,7 @@ func run(addr, addrFile, walPath, telOut string, sc serveConfig, metrics bool) e
 		PoolPerKey:      sc.pool,
 		Portfolio:       sc.portfolio,
 		WALPath:         walPath,
+		CorpusPath:      sc.corpusPath,
 		Tracer:          tel,
 	})
 	if err != nil {

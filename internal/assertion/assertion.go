@@ -228,6 +228,22 @@ func (a *Assertion) propsByOffset() []offsetGroup {
 	return out
 }
 
+// Signals returns the sorted, deduplicated names of the design signals the
+// assertion references (antecedent and consequent). The corpus layer seeds
+// cone-of-influence cluster signatures from this set.
+func (a *Assertion) Signals() []string {
+	seen := map[string]bool{a.Consequent.Signal: true}
+	out := []string{a.Consequent.Signal}
+	for _, p := range a.Antecedent {
+		if !seen[p.Signal] {
+			seen[p.Signal] = true
+			out = append(out, p.Signal)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Depth returns the number of antecedent propositions (the decision-tree
 // depth of the leaf that produced this assertion). The paper's input-space
 // coverage of a true assertion is 1/2^Depth.

@@ -1,0 +1,126 @@
+package assertion
+
+import "testing"
+
+// Edge cases of the canonical identity and subsumption APIs — the contracts
+// the corpus layer's cross-run dedup and cluster collapse are built on.
+
+func TestCanonicalKeyCommutedAntecedents(t *testing.T) {
+	a := &Assertion{
+		Output:     "gnt0",
+		Antecedent: []Prop{P("req0", 0, 1, 1), P("req1", 1, 0, 1)},
+		Consequent: P("gnt0", 2, 0, 1),
+	}
+	b := &Assertion{
+		Output:     "gnt0",
+		Antecedent: []Prop{P("req1", 1, 0, 1), P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 2, 0, 1),
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("commuted antecedents diverge:\n%q\n%q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	// Key (order-dependent) must still see them as different orderings.
+	if a.Key() == b.Key() {
+		t.Errorf("order-dependent Key collapsed commuted antecedents: %q", a.Key())
+	}
+	// CanonicalKey must not have normalized the assertion as a side effect.
+	if b.Antecedent[0].Signal != "req1" {
+		t.Errorf("CanonicalKey mutated the antecedent order")
+	}
+}
+
+func TestCanonicalKeyBitVsWholeSignalNoCollision(t *testing.T) {
+	// A whole multi-bit signal equal to 1 and bit 0 of the same signal equal
+	// to 1 are different constraints (the former pins the upper bits to 0) —
+	// their keys must not collide.
+	whole := &Assertion{
+		Antecedent: []Prop{P("state", 0, 1, 2)},
+		Consequent: P("out", 1, 1, 1),
+	}
+	bit := &Assertion{
+		Antecedent: []Prop{PBit("state", 0, 0, 1)},
+		Consequent: P("out", 1, 1, 1),
+	}
+	if whole.CanonicalKey() == bit.CanonicalKey() {
+		t.Errorf("sig@0=1 and sig[0]@0=1 collide: %q", whole.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeyDuplicatePropsDeduped(t *testing.T) {
+	once := &Assertion{
+		Antecedent: []Prop{P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 1, 1, 1),
+	}
+	twice := &Assertion{
+		Antecedent: []Prop{P("req0", 0, 1, 1), P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 1, 1, 1),
+	}
+	if once.CanonicalKey() != twice.CanonicalKey() {
+		t.Errorf("duplicated proposition changes the key:\n%q\n%q",
+			once.CanonicalKey(), twice.CanonicalKey())
+	}
+}
+
+func TestSubsumesSelf(t *testing.T) {
+	a := paperA5()
+	if !Subsumes(a, a) {
+		t.Errorf("assertion does not subsume itself")
+	}
+}
+
+func TestSubsumesBitVsWholeSignal(t *testing.T) {
+	// Antecedent {state==1} (whole 2-bit signal) is NOT a subset of
+	// {state[0]} even though both mention "state" with value 1: propositions
+	// compare by rendered name, which distinguishes the bit-select.
+	whole := &Assertion{
+		Antecedent: []Prop{P("state", 0, 1, 2)},
+		Consequent: P("out", 1, 1, 1),
+	}
+	bit := &Assertion{
+		Antecedent: []Prop{PBit("state", 0, 0, 1)},
+		Consequent: P("out", 1, 1, 1),
+	}
+	if Subsumes(whole, bit) || Subsumes(bit, whole) {
+		t.Errorf("whole-signal and bit-select propositions treated as equal")
+	}
+}
+
+func TestSubsumesCommutedSuperset(t *testing.T) {
+	// A one-prop assertion subsumes a two-prop one regardless of the
+	// superset's antecedent order, and never the other way around.
+	gen := &Assertion{
+		Antecedent: []Prop{P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 2, 0, 1),
+	}
+	for _, spec := range []*Assertion{
+		{
+			Antecedent: []Prop{P("req0", 0, 1, 1), P("req1", 1, 1, 1)},
+			Consequent: P("gnt0", 2, 0, 1),
+		},
+		{
+			Antecedent: []Prop{P("req1", 1, 1, 1), P("req0", 0, 1, 1)},
+			Consequent: P("gnt0", 2, 0, 1),
+		},
+	} {
+		if !Subsumes(gen, spec) {
+			t.Errorf("general %s does not subsume specific %s", gen, spec)
+		}
+		if Subsumes(spec, gen) {
+			t.Errorf("specific %s subsumes general %s", spec, gen)
+		}
+	}
+}
+
+func TestSubsumesDifferentConsequentValue(t *testing.T) {
+	a := &Assertion{
+		Antecedent: []Prop{P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 1, 1, 1),
+	}
+	b := &Assertion{
+		Antecedent: []Prop{P("req0", 0, 1, 1)},
+		Consequent: P("gnt0", 1, 0, 1),
+	}
+	if Subsumes(a, b) || Subsumes(b, a) {
+		t.Errorf("assertions with opposite consequent values subsume each other")
+	}
+}

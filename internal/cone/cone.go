@@ -6,6 +6,7 @@ package cone
 
 import (
 	"sort"
+	"strings"
 
 	"goldmine/internal/rtl"
 )
@@ -61,6 +62,34 @@ func StateVars(d *rtl.Design, cone map[*rtl.Signal]bool) []*rtl.Signal {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Signature renders the canonical cone signature of a set of named signals:
+// the union of their cones of influence, as sorted names joined with ",".
+// Two assertions whose referenced signals resolve to the same signature
+// observe the same slice of the design — the corpus layer clusters on this.
+// Names that do not resolve to a design signal are included verbatim, so a
+// stale corpus entry degrades to its own cluster instead of an error.
+func Signature(d *rtl.Design, names []string) string {
+	union := map[*rtl.Signal]bool{}
+	var missing []string
+	for _, n := range names {
+		sig := d.Signal(n)
+		if sig == nil {
+			missing = append(missing, n)
+			continue
+		}
+		for s := range Of(d, sig) {
+			union[s] = true
+		}
+	}
+	parts := make([]string, 0, len(union)+len(missing))
+	for _, s := range Sorted(union) {
+		parts = append(parts, s.Name)
+	}
+	parts = append(parts, missing...)
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
 }
 
 // Sorted returns the whole cone sorted by name (for deterministic output).

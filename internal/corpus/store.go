@@ -1,0 +1,287 @@
+// JSONL persistence for the corpus, on the telemetry journal's wire format:
+// every line is a telemetry.JSONEvent, encoded by the same reflection-free
+// telemetry.EncodeEvent the serve WAL uses, decoded by a plain
+// json.Unmarshal. A file is a header line, one corpus.entry event per entry
+// (the assertion serialized in Data), and a trailer carrying the entry
+// count. The loader tolerates a torn final line and a missing trailer — the
+// shapes a killed daemon leaves behind — so restarts keep the corpus.
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"goldmine/internal/assertion"
+	"goldmine/internal/telemetry"
+)
+
+// Event names used in the corpus journal.
+const (
+	eventHeader  = "corpus.header"
+	eventEntry   = "corpus.entry"
+	eventTrailer = "corpus.trailer"
+)
+
+// storeVersion guards the wire shape; bump on incompatible change.
+const storeVersion = 1
+
+// propJSON is the wire form of one assertion proposition.
+type propJSON struct {
+	Signal string `json:"s"`
+	Bit    int    `json:"b"`
+	Offset int    `json:"o"`
+	Value  uint64 `json:"v"`
+	Width  int    `json:"w"`
+}
+
+// entryJSON is the wire form of one Entry (the Data payload of a
+// corpus.entry event). The canonical key is recomputed on load rather than
+// trusted from the file.
+type entryJSON struct {
+	NS         string     `json:"ns"`
+	Design     string     `json:"design"`
+	Output     string     `json:"output"`
+	Status     string     `json:"status"`
+	Method     string     `json:"method,omitempty"`
+	Seen       int        `json:"seen"`
+	FirstRun   string     `json:"first_run,omitempty"`
+	LastRun    string     `json:"last_run,omitempty"`
+	Window     int        `json:"window"`
+	Confidence float64    `json:"confidence"`
+	Support    int        `json:"support"`
+	Ant        []propJSON `json:"ant,omitempty"`
+	Cons       propJSON   `json:"cons"`
+}
+
+func propWire(p assertion.Prop) propJSON {
+	return propJSON{Signal: p.Signal, Bit: p.Bit, Offset: p.Offset, Value: p.Value, Width: p.Width}
+}
+
+func propFromWire(p propJSON) assertion.Prop {
+	return assertion.Prop{Signal: p.Signal, Bit: p.Bit, Offset: p.Offset, Value: p.Value, Width: p.Width}
+}
+
+func entryWire(e *Entry) entryJSON {
+	je := entryJSON{
+		NS: e.NS, Design: e.Design, Output: e.A.Output,
+		Status: e.Status, Method: e.Method,
+		Seen: e.Seen, FirstRun: e.FirstRun, LastRun: e.LastRun,
+		Window:     e.A.Window,
+		Confidence: e.A.Confidence,
+		Support:    e.A.Support,
+		Cons:       propWire(e.A.Consequent),
+	}
+	for _, p := range e.A.Antecedent {
+		je.Ant = append(je.Ant, propWire(p))
+	}
+	return je
+}
+
+func entryFromWire(je *entryJSON) *Entry {
+	a := &assertion.Assertion{
+		Output:     je.Output,
+		Consequent: propFromWire(je.Cons),
+		Window:     je.Window,
+		Confidence: je.Confidence,
+		Support:    je.Support,
+	}
+	for _, p := range je.Ant {
+		a.Antecedent = append(a.Antecedent, propFromWire(p))
+	}
+	a.Normalize()
+	seen := je.Seen
+	if seen < 1 {
+		seen = 1
+	}
+	return &Entry{
+		NS: je.NS, Design: je.Design, Key: a.CanonicalKey(), A: a,
+		Status: je.Status, Method: je.Method,
+		Seen: seen, FirstRun: je.FirstRun, LastRun: je.LastRun,
+	}
+}
+
+// encodeEntryEvent renders one entry as a corpus.entry journal line.
+func encodeEntryEvent(buf []byte, e *Entry) ([]byte, error) {
+	je := entryWire(e)
+	return telemetry.EncodeEvent(buf, &telemetry.Event{
+		TS:   time.Now(),
+		Kind: telemetry.KindEvent,
+		Name: eventEntry,
+		Data: &je,
+	})
+}
+
+// Save writes the whole corpus to path atomically (temp file + rename), in
+// the deterministic Entries order, with header and trailer lines. Re-saving
+// an unchanged corpus rewrites identical entry payloads.
+func Save(path string, c *Corpus) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	entries := c.Entries()
+	buf := make([]byte, 0, 512)
+	buf, err = telemetry.EncodeEvent(buf, &telemetry.Event{
+		TS: time.Now(), Kind: telemetry.KindEvent, Name: eventHeader,
+		Attrs: []telemetry.Attr{telemetry.Int("version", storeVersion)},
+	})
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	for _, e := range entries {
+		if err != nil {
+			break
+		}
+		buf, err = encodeEntryEvent(buf[:0], e)
+		if err == nil {
+			_, err = w.Write(buf)
+		}
+	}
+	if err == nil {
+		buf, err = telemetry.EncodeEvent(buf[:0], &telemetry.Event{
+			TS: time.Now(), Kind: telemetry.KindEvent, Name: eventTrailer,
+			Attrs: []telemetry.Attr{telemetry.Int("entries", int64(len(entries)))},
+		})
+		if err == nil {
+			_, err = w.Write(buf)
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("corpus: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a corpus journal. A missing file is an empty corpus (first run
+// of a fresh daemon or CLI). A torn final line — a crash mid-append — is
+// tolerated by discarding it; a malformed line with intact lines after it is
+// corruption and errors out.
+func Load(path string) (*Corpus, error) {
+	c := New()
+	if err := loadInto(path, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func loadInto(path string, c *Corpus) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: load: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: real corruption.
+			return pendingErr
+		}
+		var je telemetry.JSONEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
+			continue
+		}
+		if je.Name != eventEntry || je.Data == nil {
+			continue // header, trailer, or foreign event kinds
+		}
+		var ej entryJSON
+		if err := json.Unmarshal(*je.Data, &ej); err != nil {
+			pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
+			continue
+		}
+		c.add(entryFromWire(&ej))
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("corpus: load: %w", err)
+	}
+	return nil
+}
+
+// Store is the daemon's append-mode persistence: OpenStore loads the
+// existing journal, then every entry newly ingested into the returned corpus
+// is appended (and synced) as it lands, so a SIGKILL loses at most the entry
+// being written — which the next Load discards as a torn tail.
+type Store struct {
+	f   *os.File
+	buf []byte
+}
+
+// OpenStore loads path (missing = empty) into a fresh corpus and wires the
+// corpus's sink so new entries persist immediately. Close the store when the
+// owning server shuts down.
+func OpenStore(path string) (*Corpus, *Store, error) {
+	c := New()
+	if err := loadInto(path, c); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: open: %w", err)
+	}
+	st := &Store{f: f, buf: make([]byte, 0, 512)}
+	if c.Len() == 0 {
+		// Fresh journal: start with the header line.
+		st.buf, err = telemetry.EncodeEvent(st.buf[:0], &telemetry.Event{
+			TS: time.Now(), Kind: telemetry.KindEvent, Name: eventHeader,
+			Attrs: []telemetry.Attr{telemetry.Int("version", storeVersion)},
+		})
+		if err == nil {
+			_, err = f.Write(st.buf)
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("corpus: open: %w", err)
+		}
+	}
+	c.SetSink(st.append)
+	return c, st, nil
+}
+
+// append persists one new entry; called under the corpus lock. Errors are
+// swallowed (persistence is best-effort; the in-memory corpus stays
+// authoritative for the process lifetime).
+func (s *Store) append(e *Entry) {
+	var err error
+	s.buf, err = encodeEntryEvent(s.buf[:0], e)
+	if err != nil {
+		return
+	}
+	if _, err := s.f.Write(s.buf); err != nil {
+		return
+	}
+	_ = s.f.Sync()
+}
+
+// Close closes the journal file.
+func (s *Store) Close() error {
+	if s == nil || s.f == nil {
+		return nil
+	}
+	return s.f.Close()
+}

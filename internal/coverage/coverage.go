@@ -284,18 +284,6 @@ func (c *Collector) PointCovered(i int) bool {
 	return c.seenTrue[i]
 }
 
-// UncoveredPoints lists descriptions of points not yet covered, for
-// diagnostics and the coverage CLI.
-func (c *Collector) UncoveredPoints() []string {
-	var out []string
-	for i, p := range c.d.Cover.Points {
-		if !c.PointCovered(i) {
-			out = append(out, p.String())
-		}
-	}
-	return out
-}
-
 // String renders the report as a one-line summary.
 func (r Report) String() string {
 	parts := []string{

@@ -331,8 +331,20 @@ func TestFullRandomCoverageApproaches100(t *testing.T) {
 		t.Errorf("branch %.1f", r.Branch.Pct())
 	}
 	if r.Cond.Pct() != 100 {
-		t.Errorf("cond %.1f: uncovered %v", r.Cond.Pct(), c.UncoveredPoints())
+		t.Errorf("cond %.1f: uncovered %v", r.Cond.Pct(), uncoveredOf(d, c))
 	}
+}
+
+// uncoveredOf lists uncovered point descriptions via the structured
+// PointCovered API (the retired string helper, reconstructed for tests).
+func uncoveredOf(d *rtl.Design, c *Collector) []string {
+	var out []string
+	for i, p := range d.Cover.Points {
+		if !c.PointCovered(i) {
+			out = append(out, p.String())
+		}
+	}
+	return out
 }
 
 func TestMetricString(t *testing.T) {
@@ -360,11 +372,11 @@ func TestReportString(t *testing.T) {
 func TestUncoveredPointsShrink(t *testing.T) {
 	d := mustDesign(t, arbiterSrc)
 	c := New(d)
-	before := len(c.UncoveredPoints())
+	before := len(uncoveredOf(d, c))
 	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"req0": 1}, {}}}); err != nil {
 		t.Fatal(err)
 	}
-	after := len(c.UncoveredPoints())
+	after := len(uncoveredOf(d, c))
 	if after >= before {
 		t.Errorf("uncovered points did not shrink: %d -> %d", before, after)
 	}
@@ -394,7 +406,7 @@ func TestRunSuiteCompiledMatchesInterpreter(t *testing.T) {
 			if ri != rc {
 				t.Errorf("coverage diverges:\ninterpreter: %s\ncompiled:    %s", ri, rc)
 			}
-			ui, uc := ci.UncoveredPoints(), cc.UncoveredPoints()
+			ui, uc := uncoveredOf(d, ci), uncoveredOf(d, cc)
 			if len(ui) != len(uc) {
 				t.Fatalf("uncovered point counts differ: %d vs %d", len(ui), len(uc))
 			}

@@ -1,0 +1,184 @@
+// Corpus reduction benchmark: the machine-readable evidence behind the
+// assertion-corpus claims. For every bundled design it runs two mining
+// configurations (directed seed at the full refinement bound, random seed at
+// half), ingests both into one corpus plus a replay of the first run — the
+// cross-run dedup the canonical keys must deliver — then reduces the corpus
+// with the fault/coverage oracle and reports suite size, retained
+// mutant-kill percentage, retained coverage percentage, and monitor cost
+// before and after. scripts/bench.sh writes its output to BENCH_corpus.json.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"goldmine/internal/corpus"
+	"goldmine/internal/designs"
+	"goldmine/internal/stimgen"
+)
+
+// corpusBenchMaxIter bounds the assertion-mining refinement per design; the
+// same bound the coverage benchmark uses for its CEX suite. The second
+// mining run uses half the bound and a random seed so the two runs overlap
+// without coinciding.
+const corpusBenchMaxIter = 16
+
+// Second-run random seed stimulus shape (cycles, PRNG seed, reset cycles).
+const (
+	corpusBenchRandCycles = 48
+	corpusBenchRandSeed   = 7
+)
+
+// CorpusBenchDesign is one design's row of the corpus benchmark.
+type CorpusBenchDesign struct {
+	Design string `json:"design"`
+	// Mined is the proved-record count across both mining runs; Unique the
+	// corpus entries after all ingests; DupHits the duplicates the
+	// canonical-key dedup absorbed — overlap between the two configurations
+	// plus the full replay of run 1.
+	Mined   int `json:"mined"`
+	Unique  int `json:"unique"`
+	DupHits int `json:"dup_hits"`
+	// Clustering: cone-signature cluster count and entries collapsed by
+	// intra-cluster subsumption.
+	Clusters  int `json:"clusters"`
+	Collapsed int `json:"collapsed"`
+	// Oracle shape.
+	Cycles int `json:"oracle_cycles"`
+	Faults int `json:"fault_universe"`
+	// Suite size and monitor cost, full corpus vs reduced suite.
+	FullMonitors    int `json:"full_monitors"`
+	ReducedMonitors int `json:"reduced_monitors"`
+	FullProps       int `json:"full_props"`
+	ReducedProps    int `json:"reduced_props"`
+	Vacuous         int `json:"vacuous_monitors"`
+	// Measured contribution and its retention.
+	KillsFull        int     `json:"kills_full"`
+	KillsReduced     int     `json:"kills_reduced"`
+	WindowsFull      int     `json:"windows_full"`
+	WindowsReduced   int     `json:"windows_reduced"`
+	KillRetainedPct  float64 `json:"kill_retained_pct"`
+	CoverRetainedPct float64 `json:"coverage_retained_pct"`
+	// Acceptance flags: retention thresholds and a strictly smaller suite.
+	KillRetentionOK  bool `json:"kill_retention_ok"`
+	CoverRetentionOK bool `json:"coverage_retention_ok"`
+	Smaller          bool `json:"suite_smaller"`
+}
+
+// CorpusBenchReport is the full benchmark output.
+type CorpusBenchReport struct {
+	MaxIter int                 `json:"max_iter"`
+	Designs []CorpusBenchDesign `json:"designs"`
+	// Aggregate monitor counts across all designs.
+	TotalFullMonitors    int `json:"total_full_monitors"`
+	TotalReducedMonitors int `json:"total_reduced_monitors"`
+	TotalFullProps       int `json:"total_full_props"`
+	TotalReducedProps    int `json:"total_reduced_props"`
+	// KillRetentionOK: every design retains >= 95% of the full corpus's
+	// mutant kills. CoverRetentionOK: every design retains 100% of the
+	// coverage contribution. SmallerCount: designs whose reduced suite is
+	// strictly smaller; SuiteSmallerAll requires all mining-productive
+	// designs to shrink.
+	KillRetentionOK  bool `json:"kill_retention_ok"`
+	CoverRetentionOK bool `json:"coverage_retention_ok"`
+	SmallerCount     int  `json:"designs_with_smaller_suite"`
+	SuiteSmallerAll  bool `json:"suite_smaller_all"`
+}
+
+// corpusBenchDesign runs the mine×2 → ingest×3 → reduce pipeline on one
+// design: two mining configurations build a corpus with genuine cross-run
+// overlap, and a full replay of run 1 exercises the idempotent-re-ingest
+// path a restarted daemon depends on. Run 1 mines the key outputs with the
+// directed seed; run 2 mines every output with a random seed at half the
+// refinement bound.
+func corpusBenchDesign(b *designs.Benchmark) (*CorpusBenchDesign, error) {
+	mr1, err := mineModule(b, seedOf(b), corpusBenchMaxIter)
+	if err != nil {
+		return nil, err
+	}
+	var allOuts []string
+	for _, sig := range mr1.Design.Outputs() {
+		allOuts = append(allOuts, sig.Name)
+	}
+	mr2, err := mineModuleCfg(b,
+		stimgen.Random(mr1.Design, corpusBenchRandCycles, corpusBenchRandSeed, 2),
+		corpusBenchMaxIter/2, allOuts, nil)
+	if err != nil {
+		return nil, err
+	}
+	crp := corpus.New()
+	st1 := crp.IngestOutputs("run1", mr1.Design, mr1.Results)
+	st2 := crp.IngestOutputs("run2", mr2.Design, mr2.Results)
+	rep := crp.IngestOutputs("run1-replay", mr1.Design, mr1.Results)
+
+	red, err := corpus.Reduce(mr1.Design, crp, corpus.Options{Telemetry: Telemetry})
+	if err != nil {
+		return nil, err
+	}
+	row := &CorpusBenchDesign{
+		Design:  b.Name,
+		Mined:   st1.Records + st2.Records,
+		Unique:  crp.Len(),
+		DupHits: st1.Dups + st2.Dups + rep.Dups,
+
+		Clusters:  red.Clusters,
+		Collapsed: red.Collapsed,
+		Cycles:    red.Cycles,
+		Faults:    red.Faults,
+
+		FullMonitors:    red.Total,
+		ReducedMonitors: len(red.Selected),
+		FullProps:       red.PropsFull,
+		ReducedProps:    red.PropsSelected,
+		Vacuous:         red.Vacuous,
+
+		KillsFull:        red.KillsFull,
+		KillsReduced:     red.KillsSelected,
+		WindowsFull:      red.WindowsFull,
+		WindowsReduced:   red.WindowsSelected,
+		KillRetainedPct:  red.KillRetention(),
+		CoverRetainedPct: red.CoverRetention(),
+	}
+	row.KillRetentionOK = row.KillRetainedPct >= 95
+	row.CoverRetentionOK = row.CoverRetainedPct >= 100
+	row.Smaller = row.ReducedMonitors < row.FullMonitors ||
+		(row.FullMonitors == 0 && row.ReducedMonitors == 0)
+	return row, nil
+}
+
+// CorpusBench runs the corpus reduction benchmark over every bundled design
+// and writes the JSON report to w.
+func CorpusBench(w io.Writer) error {
+	rep := CorpusBenchReport{
+		MaxIter:          corpusBenchMaxIter,
+		KillRetentionOK:  true,
+		CoverRetentionOK: true,
+		SuiteSmallerAll:  true,
+	}
+	for _, b := range designs.All() {
+		row, err := corpusBenchDesign(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rep.Designs = append(rep.Designs, *row)
+		rep.TotalFullMonitors += row.FullMonitors
+		rep.TotalReducedMonitors += row.ReducedMonitors
+		rep.TotalFullProps += row.FullProps
+		rep.TotalReducedProps += row.ReducedProps
+		if !row.KillRetentionOK {
+			rep.KillRetentionOK = false
+		}
+		if !row.CoverRetentionOK {
+			rep.CoverRetentionOK = false
+		}
+		if row.Smaller {
+			rep.SmallerCount++
+		} else {
+			rep.SuiteSmallerAll = false
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

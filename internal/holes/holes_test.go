@@ -99,17 +99,19 @@ func TestFreshCollectorHolesEverythingOpen(t *testing.T) {
 }
 
 func TestPointHolesMatchUncoveredPoints(t *testing.T) {
-	// The structured point holes must denote exactly the points the legacy
-	// string API reports, before and after a partial run — the string API
-	// is a thin compatible view over the same observations.
+	// The structured point holes must denote exactly the points the
+	// collector's PointCovered view reports as uncovered after a partial
+	// run — holes are a richer view over the same observations.
 	d := mustDesign(t, arbiterSrc)
 	c := coverage.New(d)
 	if err := c.RunSuite([]sim.Stimulus{{{"rst": 1}, {"req0": 1}, {}}}); err != nil {
 		t.Fatal(err)
 	}
 	uncov := map[string]bool{}
-	for _, s := range c.UncoveredPoints() {
-		uncov[s] = true
+	for i, p := range d.Cover.Points {
+		if !c.PointCovered(i) {
+			uncov[p.String()] = true
+		}
 	}
 	fromHoles := map[string]bool{}
 	for _, h := range FromCollector(c) {

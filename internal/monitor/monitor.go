@@ -51,6 +51,11 @@ type Monitor struct {
 	violations []Violation
 	// MaxViolations bounds the recorded violation list (0 = 1000).
 	MaxViolations int
+	// OnActivation, when non-nil, receives every antecedent match as
+	// (assertion index, window-start cycle). The corpus scoring oracle uses
+	// it to record each assertion's temporal coverage contribution; leave
+	// nil to keep the per-window cost at two counter bumps.
+	OnActivation func(index, cycle int)
 }
 
 type resolvedProp struct {
@@ -151,6 +156,9 @@ func (m *Monitor) advance() {
 			continue
 		}
 		m.stats[ai].Activations++
+		if m.OnActivation != nil {
+			m.OnActivation(ai, start)
+		}
 		if m.windowValue(start, m.cons[ai]) != m.cons[ai].value {
 			m.stats[ai].Violations++
 			maxV := m.MaxViolations

@@ -6,6 +6,7 @@ package mutate
 
 import (
 	"fmt"
+	"sort"
 
 	"goldmine/internal/assertion"
 	"goldmine/internal/mc"
@@ -129,6 +130,26 @@ func replaceRef(e rtl.Expr, sig *rtl.Signal, c rtl.Expr) rtl.Expr {
 	default:
 		return e
 	}
+}
+
+// AllFaults enumerates the full stuck-at fault universe of a design: every
+// signal except the clock, stuck-at-0 then stuck-at-1, in name order. The
+// deterministic order matters downstream — the corpus ranking oracle indexes
+// kill sets by position in this list.
+func AllFaults(d *rtl.Design) []Fault {
+	names := make([]string, 0, len(d.Signals))
+	for _, s := range d.Signals {
+		if s.Name == d.Clock {
+			continue
+		}
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	out := make([]Fault, 0, 2*len(names))
+	for _, n := range names {
+		out = append(out, Fault{Signal: n, StuckAt1: false}, Fault{Signal: n, StuckAt1: true})
+	}
+	return out
 }
 
 // Detection reports how many assertions detect a fault.

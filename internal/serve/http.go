@@ -76,6 +76,17 @@ func view(j *Job, withArtifact bool) jobView {
 	return v
 }
 
+// corpusEntryView is the wire form of one corpus entry on /v1/corpus.
+type corpusEntryView struct {
+	Design    string `json:"design"`
+	Key       string `json:"key"`
+	Output    string `json:"output"`
+	Status    string `json:"status"`
+	Method    string `json:"method,omitempty"`
+	Seen      int    `json:"seen"`
+	Assertion string `json:"assertion"`
+}
+
 // Handler returns the daemon's HTTP API on a fresh mux:
 //
 //	POST   /v1/jobs               submit a JobSpec       -> 202 jobView
@@ -84,6 +95,8 @@ func view(j *Job, withArtifact bool) jobView {
 //	GET    /v1/jobs/{id}?wait=1   block until terminal   -> 200 jobView
 //	GET    /v1/jobs/{id}/artifact canonical artifact     -> 200 text/plain
 //	DELETE /v1/jobs/{id}          cancel                 -> 200 jobView
+//	GET    /v1/corpus             corpus.Stats           -> 200 JSON
+//	GET    /v1/corpus?design=d    entries mined on d     -> 200 JSON
 //	GET    /healthz               process liveness       -> 200/503
 //	GET    /readyz                traffic readiness      -> 200/503
 //	GET    /statsz                Stats                  -> 200 JSON
@@ -169,6 +182,25 @@ func (s *Server) Handler() http.Handler {
 		}
 		j, _ := s.Job(id)
 		writeJSON(w, http.StatusOK, view(&j, false))
+	})
+
+	mux.HandleFunc("GET /v1/corpus", func(w http.ResponseWriter, r *http.Request) {
+		if design := r.URL.Query().Get("design"); design != "" {
+			out := []corpusEntryView{}
+			for _, e := range s.corpus.Entries() {
+				if e.Design != design {
+					continue
+				}
+				out = append(out, corpusEntryView{
+					Design: e.Design, Key: e.Key, Output: e.A.Output,
+					Status: e.Status, Method: e.Method, Seen: e.Seen,
+					Assertion: e.A.String(),
+				})
+			}
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.corpus.Stats())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

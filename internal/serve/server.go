@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldmine/internal/corpus"
 	"goldmine/internal/mc"
 	"goldmine/internal/sched"
 	"goldmine/internal/telemetry"
@@ -110,6 +111,12 @@ type Config struct {
 	// WALPath is the durable job journal; empty runs without durability
 	// (tests, ephemeral services).
 	WALPath string
+	// CorpusPath persists the cross-run assertion corpus as a JSONL journal
+	// (see internal/corpus): every proven assertion mined by any job is
+	// deduplicated on its canonical key and appended, and a restarted
+	// daemon reloads the corpus before serving. Empty keeps the corpus
+	// in-memory only.
+	CorpusPath string
 	// Tracer receives serve.* spans/events and engine telemetry (optional).
 	Tracer *telemetry.Tracer
 	// Runner overrides the job executor (nil = the real mining runner).
@@ -218,6 +225,11 @@ type Server struct {
 	wal     *wal
 	q       *jobQueue
 	run     Runner
+	// corpus accumulates every proven assertion mined by this daemon's
+	// jobs (deduplicated across runs); corpusStore is its append-mode
+	// persistence when CorpusPath is configured, nil otherwise.
+	corpus      *corpus.Corpus
+	corpusStore *corpus.Store
 
 	// baseCtx parents every job context; baseCancel fires on drain timeout
 	// or Kill and checkpoints everything still running.
@@ -266,6 +278,17 @@ func New(cfg Config) (*Server, error) {
 	s.run = cfg.Runner
 	if s.run == nil {
 		s.run = s.runCore
+	}
+
+	if cfg.CorpusPath != "" {
+		crp, store, err := corpus.OpenStore(cfg.CorpusPath)
+		if err != nil {
+			return nil, err
+		}
+		s.corpus = crp
+		s.corpusStore = store
+	} else {
+		s.corpus = corpus.New()
 	}
 
 	if cfg.WALPath != "" {
@@ -736,6 +759,7 @@ type Stats struct {
 	RecoveredDone  int64            `json:"recovered_done"`
 	ResumedPending int64            `json:"resumed_pending"`
 	WALAppends     int64            `json:"wal_appends"`
+	Corpus         corpus.Stats     `json:"corpus"`
 	Cache          sched.CacheStats `json:"cache"`
 	CacheHitRate   float64          `json:"cache_hit_rate"`
 	CacheLen       int              `json:"cache_len"`
@@ -765,6 +789,7 @@ func (s *Server) Stats() Stats {
 		Quarantined:    s.quarantined.Load(),
 		RecoveredDone:  s.recoveredDone.Load(),
 		ResumedPending: s.resumedPending.Load(),
+		Corpus:         s.corpus.Stats(),
 		Cache:          s.cache.Stats(),
 		CacheLen:       s.cache.Len(),
 		Pool:           s.pool.stats(),
@@ -798,6 +823,11 @@ func (s *Server) Stats() Stats {
 
 // Cache exposes the process-wide verdict cache (bench/statsz introspection).
 func (s *Server) Cache() *sched.VerdictCache { return s.cache }
+
+// Corpus exposes the daemon's cross-run assertion corpus: every proven
+// assertion mined by a completed job, deduplicated on canonical keys, and —
+// when CorpusPath is configured — persisted across restarts.
+func (s *Server) Corpus() *corpus.Corpus { return s.corpus }
 
 // Ready reports whether the server should receive traffic, with a reason
 // when not.
@@ -858,6 +888,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.baseCancel()
 	s.walErr(s.wal.append(walDrain, nil))
 	err := s.wal.close()
+	if cerr := s.corpusStore.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}

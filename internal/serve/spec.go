@@ -292,5 +292,9 @@ func (s *Server) runCore(ctx context.Context, spec *JobSpec) (*Artifact, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Ingest into the cross-run corpus while the live result still has the
+	// assertion objects — makeArtifact condenses them to the canonical
+	// string. The tenant labels the run's provenance.
+	s.corpus.IngestResult(spec.Tenant, res)
 	return makeArtifact(res), nil
 }

@@ -40,6 +40,12 @@
 # CEX-only suite, and the SAT-directed closure loop at the same total-cycle
 # budget, plus per-hole SAT/fuzz/unreachable accounting. See DESIGN.md
 # section 4.7.
+#
+# Also writes BENCH_corpus.json (override with $7): the assertion-corpus
+# benchmark — per design, two mining configurations ingested into one corpus
+# (cross-run canonical-key dedup), cone-signature clustering with subsumption
+# collapse, and oracle-ranked greedy suite reduction, with the retained
+# mutant-kill and coverage percentages. See DESIGN.md section 4.9.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -50,6 +56,7 @@ out3="${3:-BENCH_telemetry.json}"
 out4="${4:-BENCH_sim.json}"
 out5="${5:-BENCH_serve.json}"
 out6="${6:-BENCH_cover.json}"
+out7="${7:-BENCH_corpus.json}"
 jobs="${JOBS:-4}"
 
 go run ./cmd/experiments -sched-bench "$out" -j "$jobs"
@@ -69,3 +76,6 @@ echo "bench: wrote $out5 (workers=$jobs)"
 
 go run ./cmd/experiments -cover-bench "$out6" -j "$jobs"
 echo "bench: wrote $out6 (workers=$jobs)"
+
+go run ./cmd/experiments -corpus-bench "$out7" -j "$jobs"
+echo "bench: wrote $out7 (workers=$jobs)"

@@ -176,6 +176,36 @@ echo "== smoke: portfolio telemetry journal records the races =="
 "$tmpbin/telcheck" -require mc.check,sat.portfolio,sat.solve "$tmpbin/pf.jsonl"
 echo "smoke: portfolio journal validates with sat.portfolio spans"
 
+echo "== smoke: corpus reduction is deterministic (race, -j1 ≡ -j4, persisted corpus) =="
+# goldmine -reduce must emit the byte-identical reduced suite regardless of
+# mining parallelism, and repeated runs against the same persisted corpus
+# journal must agree from the second run on (run 1 differs only in its
+# "loaded" count — the corpus file is empty before it).
+for d in arbiter2 b10; do
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -reduce -j 1 >"$tmpbin/red1.txt"
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -reduce -j 4 >"$tmpbin/red4.txt"
+    grep -v '^total:' "$tmpbin/red1.txt" >"$tmpbin/red1.art"
+    grep -v '^total:' "$tmpbin/red4.txt" >"$tmpbin/red4.art"
+    if ! diff "$tmpbin/red1.art" "$tmpbin/red4.art"; then
+        echo "smoke: FAILED ($d: -reduce output differs between -j 1 and -j 4)" >&2
+        exit 1
+    fi
+    rm -f "$tmpbin/corpus.jsonl"
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -reduce \
+        -corpus "$tmpbin/corpus.jsonl" >/dev/null
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -reduce \
+        -corpus "$tmpbin/corpus.jsonl" -j 1 >"$tmpbin/crp2.txt"
+    "$tmpbin/goldmine_race" -design "$d" -max-iter 8 -reduce \
+        -corpus "$tmpbin/corpus.jsonl" -j 4 >"$tmpbin/crp3.txt"
+    grep -v '^total:' "$tmpbin/crp2.txt" >"$tmpbin/crp2.art"
+    grep -v '^total:' "$tmpbin/crp3.txt" >"$tmpbin/crp3.art"
+    if ! diff "$tmpbin/crp2.art" "$tmpbin/crp3.art"; then
+        echo "smoke: FAILED ($d: repeated runs from the persisted corpus differ)" >&2
+        exit 1
+    fi
+    echo "smoke: $d -reduce deterministic (fresh and from the persisted corpus)"
+done
+
 
 
 echo "== smoke: goldmined kill/restart durability =="
