@@ -96,9 +96,11 @@ type Corpus struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
 	dupHits int
-	// sink, when set, receives each newly created entry under the corpus
-	// lock — the append-mode store uses it to persist entries as they land.
-	sink func(*Entry)
+	// sink, when set, receives a snapshot of each ingest's newly created
+	// entries — the append-mode store uses it to persist entries as they
+	// land. It runs after Ingest releases the corpus lock, so a slow sink
+	// (one fsync per batch in the store) never stalls corpus readers.
+	sink func([]*Entry)
 }
 
 // New returns an empty corpus.
@@ -106,9 +108,10 @@ func New() *Corpus {
 	return &Corpus{entries: map[string]*Entry{}}
 }
 
-// SetSink registers a callback invoked (under the corpus lock) for every
-// entry that is new to the corpus. At most one sink; nil unregisters.
-func (c *Corpus) SetSink(fn func(*Entry)) {
+// SetSink registers a callback invoked, outside the corpus lock, with a
+// snapshot of every ingest batch's entries that were new to the corpus.
+// At most one sink; nil unregisters.
+func (c *Corpus) SetSink(fn func([]*Entry)) {
 	c.mu.Lock()
 	c.sink = fn
 	c.mu.Unlock()
@@ -124,7 +127,7 @@ func (c *Corpus) Ingest(runID string, d *rtl.Design, recs []Mined) IngestStats {
 	ns := Namespace(d)
 	st := IngestStats{Records: len(recs)}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var fresh []*Entry
 	for _, m := range recs {
 		e := &Entry{
 			NS:       ns,
@@ -147,8 +150,16 @@ func (c *Corpus) Ingest(runID string, d *rtl.Design, recs []Mined) IngestStats {
 		c.entries[e.id()] = e
 		st.New++
 		if c.sink != nil {
-			c.sink(e)
+			// Snapshot under the lock: a concurrent duplicate ingest may
+			// bump the live entry's Seen/LastRun while the sink encodes.
+			cp := *e
+			fresh = append(fresh, &cp)
 		}
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil && len(fresh) > 0 {
+		sink(fresh)
 	}
 	return st
 }

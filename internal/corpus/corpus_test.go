@@ -278,6 +278,125 @@ func TestOpenStorePersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// The review repro: SIGKILL mid-append leaves a torn final line; the next
+// OpenStore must truncate it before appending, or the following entry is
+// welded onto the partial line and the restart after next refuses to load.
+func TestOpenStoreTruncatesTornTailBeforeAppending(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+
+	c1, st1, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Ingest("daemon1", d, []Mined{{A: rstImpliesNoGnt0(), Status: "proved"}})
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"name":"corpus.entry","data":{"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated on open: %v", err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("torn-tail open: %d entries, want 1", c2.Len())
+	}
+	c2.Ingest("daemon2", d, []Mined{{A: noReq0ImpliesNoGnt0(), Status: "proved"}})
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, st3, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by appending past a torn tail: %v", err)
+	}
+	defer st3.Close()
+	if c3.Len() != 2 {
+		t.Errorf("second restart has %d entries, want 2", c3.Len())
+	}
+}
+
+// A crash can also land exactly between an entry's JSON and its newline. The
+// unterminated line parses, but without its commit marker it is a torn tail:
+// dropped and truncated, never a base for appends.
+func TestOpenStoreDropsUnterminatedFinalLine(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+
+	c1, st1, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Ingest("daemon1", d, []Mined{
+		{A: rstImpliesNoGnt0(), Status: "proved"},
+		{A: noReq0ImpliesNoGnt0(), Status: "proved"},
+	})
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, st2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("unterminated final line not tolerated: %v", err)
+	}
+	if c2.Len() != 1 {
+		t.Errorf("unterminated entry not dropped: %d entries, want 1", c2.Len())
+	}
+	c2.Ingest("daemon2", d, []Mined{{A: rstReq0ImpliesNoGnt0(), Status: "proved"}})
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c3, st3, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by appending past an unterminated line: %v", err)
+	}
+	defer st3.Close()
+	if c3.Len() != 2 {
+		t.Errorf("restart has %d entries, want 2", c3.Len())
+	}
+}
+
+func TestStoreRecordsPersistenceErrors(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	c, st, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Err() != nil || st.Dropped() != 0 {
+		t.Fatalf("fresh store already failed: %v / %d", st.Err(), st.Dropped())
+	}
+	st.Close() // make the next append fail, like a dead disk would
+	c.Ingest("run1", d, []Mined{{A: rstImpliesNoGnt0(), Status: "proved"}})
+	if st.Err() == nil || st.Dropped() != 1 {
+		t.Errorf("append failure not recorded: err=%v dropped=%d", st.Err(), st.Dropped())
+	}
+	// The in-memory corpus stays authoritative despite the lost append.
+	if c.Len() != 1 {
+		t.Errorf("corpus lost the entry too: len=%d", c.Len())
+	}
+	var nilStore *Store
+	if nilStore.Err() != nil || nilStore.Dropped() != 0 {
+		t.Error("nil store must report no failures")
+	}
+}
+
 func TestClustersCollapseSubsumed(t *testing.T) {
 	d := mustDesign(t, arbiterSrc)
 	c := New()

@@ -11,7 +11,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"goldmine/internal/assertion"
@@ -154,6 +157,12 @@ func Save(path string, c *Corpus) error {
 	if err == nil {
 		err = w.Flush()
 	}
+	if err == nil {
+		// The rename below only atomically replaces what has reached the
+		// disk: without the fsync a crash shortly after Save can leave the
+		// renamed file empty or truncated.
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -164,6 +173,17 @@ func Save(path string, c *Corpus) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("corpus: save: %w", err)
 	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Make the rename itself durable. Best-effort open (some platforms
+		// refuse directory handles), but a failing sync is reported.
+		err = dir.Sync()
+		if cerr := dir.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("corpus: save: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -173,63 +193,86 @@ func Save(path string, c *Corpus) error {
 // corruption and errors out.
 func Load(path string) (*Corpus, error) {
 	c := New()
-	if err := loadInto(path, c); err != nil {
+	if _, err := loadInto(path, c); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func loadInto(path string, c *Corpus) error {
+// loadInto reads the journal at path into c and returns the byte offset just
+// past the last fully-parsed, newline-terminated line — everything beyond it
+// is the torn tail a killed writer left behind. An unterminated final line is
+// part of that tail even when its bytes happen to parse (the newline is the
+// commit marker: without it the append may not have finished), so it is
+// discarded rather than ingested. A missing file loads as (0, nil).
+func loadInto(path string, c *Corpus) (int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("corpus: load: %w", err)
+		return 0, fmt.Errorf("corpus: load: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	r := bufio.NewReaderSize(f, 64*1024)
+	var good, off int64
 	var pendingErr error
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			off += int64(len(raw))
+			terminated := raw[len(raw)-1] == '\n'
+			if terminated {
+				raw = raw[:len(raw)-1]
+			}
+			switch {
+			case len(raw) == 0: // blank line
+			case pendingErr != nil:
+				// The malformed line was not the last one: real corruption.
+				return 0, pendingErr
+			default:
+				var je telemetry.JSONEvent
+				if err := json.Unmarshal(raw, &je); err != nil {
+					pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
+				} else if je.Name == eventEntry && je.Data != nil {
+					var ej entryJSON
+					if err := json.Unmarshal(*je.Data, &ej); err != nil {
+						pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
+					} else if terminated {
+						c.add(entryFromWire(&ej))
+					}
+				} // else: header, trailer, or foreign event kinds
+			}
+			if pendingErr == nil && terminated {
+				good = off
+			}
 		}
-		if pendingErr != nil {
-			// The malformed line was not the last one: real corruption.
-			return pendingErr
+		if rerr == io.EOF {
+			break
 		}
-		var je telemetry.JSONEvent
-		if err := json.Unmarshal(raw, &je); err != nil {
-			pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
-			continue
+		if rerr != nil {
+			return 0, fmt.Errorf("corpus: load: %w", rerr)
 		}
-		if je.Name != eventEntry || je.Data == nil {
-			continue // header, trailer, or foreign event kinds
-		}
-		var ej entryJSON
-		if err := json.Unmarshal(*je.Data, &ej); err != nil {
-			pendingErr = fmt.Errorf("corpus: load: line %d: %w", line, err)
-			continue
-		}
-		c.add(entryFromWire(&ej))
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("corpus: load: %w", err)
-	}
-	return nil
+	return good, nil
 }
 
 // Store is the daemon's append-mode persistence: OpenStore loads the
-// existing journal, then every entry newly ingested into the returned corpus
-// is appended (and synced) as it lands, so a SIGKILL loses at most the entry
-// being written — which the next Load discards as a torn tail.
+// existing journal, drops any torn tail, then every batch of entries newly
+// ingested into the returned corpus is appended and synced as it lands, so a
+// SIGKILL loses at most the batch being written — which the next open
+// discards (and truncates) as a torn tail. Persistence is best-effort — the
+// in-memory corpus stays authoritative for the process lifetime — but
+// failures are not silent: the first error and the count of unpersisted
+// entries are kept for Err/Dropped, which goldmined surfaces on /statsz.
 type Store struct {
-	f   *os.File
-	buf []byte
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte
+	err     error // first persistence failure: durability was lost
+	dropped int64 // entries that failed to persist
 }
 
 // OpenStore loads path (missing = empty) into a fresh corpus and wires the
@@ -237,16 +280,25 @@ type Store struct {
 // owning server shuts down.
 func OpenStore(path string) (*Corpus, *Store, error) {
 	c := New()
-	if err := loadInto(path, c); err != nil {
+	good, err := loadInto(path, c)
+	if err != nil {
 		return nil, nil, err
+	}
+	// Truncate the torn tail before appending: O_APPEND after a partial
+	// final line would weld the next entry onto it, turning a tolerated
+	// torn tail into fatal mid-file corruption at the restart after next.
+	if fi, err := os.Stat(path); err == nil && fi.Size() > good {
+		if err := os.Truncate(path, good); err != nil {
+			return nil, nil, fmt.Errorf("corpus: open: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("corpus: open: %w", err)
 	}
 	st := &Store{f: f, buf: make([]byte, 0, 512)}
-	if c.Len() == 0 {
-		// Fresh journal: start with the header line.
+	if good == 0 {
+		// Fresh (or fully torn) journal: start with the header line.
 		st.buf, err = telemetry.EncodeEvent(st.buf[:0], &telemetry.Event{
 			TS: time.Now(), Kind: telemetry.KindEvent, Name: eventHeader,
 			Attrs: []telemetry.Attr{telemetry.Int("version", storeVersion)},
@@ -263,19 +315,57 @@ func OpenStore(path string) (*Corpus, *Store, error) {
 	return c, st, nil
 }
 
-// append persists one new entry; called under the corpus lock. Errors are
-// swallowed (persistence is best-effort; the in-memory corpus stays
-// authoritative for the process lifetime).
-func (s *Store) append(e *Entry) {
+// append persists one ingest's batch of new entries as a single Write+Sync.
+// The corpus invokes sinks outside its own lock, so the fsync here stalls
+// only other appends (serialized on the store's lock), never corpus readers.
+func (s *Store) append(entries []*Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := s.buf[:0]
 	var err error
-	s.buf, err = encodeEntryEvent(s.buf[:0], e)
-	if err != nil {
+	for _, e := range entries {
+		if buf, err = encodeEntryEvent(buf, e); err != nil {
+			s.fail(len(entries), err)
+			return
+		}
+	}
+	s.buf = buf
+	if _, err := s.f.Write(buf); err != nil {
+		s.fail(len(entries), err)
 		return
 	}
-	if _, err := s.f.Write(s.buf); err != nil {
-		return
+	if err := s.f.Sync(); err != nil {
+		s.fail(len(entries), err)
 	}
-	_ = s.f.Sync()
+}
+
+// fail records n entries lost to err; called with s.mu held.
+func (s *Store) fail(n int, err error) {
+	s.dropped += int64(n)
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first persistence error, or nil while every ingested entry
+// has reached the journal. Nil-receiver safe (daemon without -corpus).
+func (s *Store) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dropped returns how many ingested entries failed to persist.
+func (s *Store) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Close closes the journal file.

@@ -760,6 +760,12 @@ type Stats struct {
 	ResumedPending int64            `json:"resumed_pending"`
 	WALAppends     int64            `json:"wal_appends"`
 	Corpus         corpus.Stats     `json:"corpus"`
+	// CorpusDropped/CorpusPersistErr surface append-store durability loss:
+	// entries that never reached the -corpus journal (e.g. disk full) and
+	// the first error. The in-memory corpus keeps serving; a nonzero count
+	// means a restart will forget those entries.
+	CorpusDropped    int64  `json:"corpus_dropped,omitempty"`
+	CorpusPersistErr string `json:"corpus_persist_err,omitempty"`
 	Cache          sched.CacheStats `json:"cache"`
 	CacheHitRate   float64          `json:"cache_hit_rate"`
 	CacheLen       int              `json:"cache_len"`
@@ -797,6 +803,10 @@ func (s *Server) Stats() Stats {
 	}
 	if s.wal != nil {
 		st.WALAppends = s.wal.appends.Load()
+	}
+	st.CorpusDropped = s.corpusStore.Dropped()
+	if err := s.corpusStore.Err(); err != nil {
+		st.CorpusPersistErr = err.Error()
 	}
 	st.CacheHitRate = st.Cache.HitRate()
 	if s.cfg.Tracer != nil {
