@@ -7,6 +7,7 @@
 //	coverage -design fetch -cycles 1000 -seed 3
 //	coverage -design arbiter2 -goldmine
 //	coverage -design fetch -directed -cycles 1000 -j 4
+//	coverage -design fetch -directed -dead-corpus dead.jsonl
 //	coverage -design fsm -holes-json
 package main
 
@@ -34,6 +35,8 @@ type cliOpts struct {
 	goldmine  bool
 	uncovered bool
 	directed  bool
+	legacy    bool
+	deadFile  string
 	holesJSON bool
 	workers   int
 }
@@ -46,6 +49,8 @@ func main() {
 	flag.BoolVar(&o.goldmine, "goldmine", false, "augment with GoldMine counterexample stimulus")
 	flag.BoolVar(&o.uncovered, "uncovered", false, "list uncovered points")
 	flag.BoolVar(&o.directed, "directed", false, "close coverage: aim SAT-directed stimulus at the holes (equal -cycles budget)")
+	flag.BoolVar(&o.legacy, "legacy", false, "use the fixed-depth closure loop without witness sharing or dead pruning (baseline)")
+	flag.StringVar(&o.deadFile, "dead-corpus", "", "JSONL journal of proven-dead holes, loaded before and appended after closure")
 	flag.BoolVar(&o.holesJSON, "holes-json", false, "dump the remaining coverage holes as JSON to stdout")
 	flag.IntVar(&o.workers, "j", runtime.GOMAXPROCS(0), "parallel directed workers (results are identical for any value)")
 	flag.Parse()
@@ -71,23 +76,35 @@ func run(o cliOpts, w io.Writer) error {
 	var suite []sim.Stimulus
 	if o.directed {
 		res, err := stimgen.CloseCoverage(context.Background(), d, stimgen.ClosureOptions{
-			DirectedOptions: stimgen.DirectedOptions{Seed: o.seed, Workers: o.workers},
+			DirectedOptions: stimgen.DirectedOptions{Seed: o.seed, Workers: o.workers, Legacy: o.legacy},
 			TotalCycles:     o.cycles,
 			FillRandom:      true,
 			Compiled:        true,
+			DeadFile:        o.deadFile,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%s: initial %s\n", o.design, res.Initial)
 		for i, st := range res.Iterations {
-			fmt.Fprintf(w, "  iter %d: holes=%d directed=%d closed=%d\n", i+1, st.Holes, st.Directed, st.Closed)
+			fmt.Fprintf(w, "  iter %d: holes=%d directed=%d closed=%d shared=%d dead=%d deferred=%d\n",
+				i+1, st.Holes, st.Directed, st.Closed, st.Shared, st.Dead, st.Deferred)
 		}
 		fmt.Fprintf(w, "%s: final   %s\n", o.design, res.Final)
-		fmt.Fprintf(w, "  methods: sat=%d fuzz=%d unreachable=%d open=%d error=%d cycles=%d converged=%v\n",
+		fmt.Fprintf(w, "  methods: sat=%d fuzz=%d shared=%d dead=%d deferred=%d unreachable=%d open=%d error=%d cycles=%d converged=%v\n",
 			res.Methods[stimgen.MethodSAT], res.Methods[stimgen.MethodFuzz],
+			res.Methods[stimgen.MethodShared], res.Methods[stimgen.MethodDead],
+			res.Methods[stimgen.MethodDeferred],
 			res.Methods[stimgen.MethodUnreachable], res.Methods[stimgen.MethodOpen],
 			res.Methods[stimgen.MethodError], res.CyclesUsed, res.Converged)
+		fmt.Fprintf(w, "  reach: calls=%d solves=%d\n", res.ReachCalls, res.ReachSolves)
+		if res.Evicted > 0 || res.Readmitted > 0 {
+			fmt.Fprintf(w, "  compact: evicted=%d readmitted=%d\n", res.Evicted, res.Readmitted)
+		}
+		fmt.Fprintf(w, "  dead: total=%d new=%d\n", res.DeadLoaded+len(res.Dead), len(res.Dead))
+		for _, dh := range res.Dead {
+			fmt.Fprintf(w, "  proven dead: %s (depth=%d k=%d)\n", dh.Key, dh.Depth, dh.K)
+		}
 		suite = res.Suite
 	} else {
 		suite = []sim.Stimulus{stimgen.Random(d, o.cycles, o.seed, 2)}
@@ -129,6 +146,19 @@ func run(o cliOpts, w io.Writer) error {
 	}
 	if o.holesJSON {
 		hs := holes.FromCollector(col)
+		if o.deadFile != "" {
+			dead, err := stimgen.LoadDeadHoles(o.deadFile, d)
+			if err != nil {
+				return err
+			}
+			kept := hs[:0]
+			for _, h := range hs {
+				if _, ok := dead[h.Key()]; !ok {
+					kept = append(kept, h)
+				}
+			}
+			hs = kept
+		}
 		views := make([]holes.JSON, len(hs))
 		for i, h := range hs {
 			views[i] = h.JSON()

@@ -68,6 +68,8 @@ func main() {
 		closeCov = flag.Bool("close-coverage", false, "run the coverage-closure loop (SAT-directed stimulus aimed at the uncovered points) instead of mining")
 		coverCyc = flag.Int("cover-cycles", 2000, "total stimulus cycle budget for -close-coverage")
 		coverSd  = flag.Int64("cover-seed", 1, "random seed for -close-coverage")
+		coverLeg = flag.Bool("cover-legacy", false, "fixed-depth closure loop without witness sharing or dead pruning (the baseline engine)")
+		coverDd  = flag.String("cover-dead", "", "JSONL journal of proven-dead coverage holes, loaded before and appended after -close-coverage")
 		telOut   = flag.String("telemetry", "", "write a JSONL telemetry journal (spans, events, final metrics snapshot) to this file")
 		metrics  = flag.Bool("metrics-summary", false, "print the metrics snapshot (counters, gauges, histograms) to stderr on exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -105,6 +107,7 @@ func main() {
 		reduce: *reduce, corpus: *corpusF, minimize: *minimize, schedOut: *schedOut,
 		incremental: *incr, coi: *coi, compiled: *compiled, portfolio: *portf,
 		closeCoverage: *closeCov, coverCycles: *coverCyc, coverSeed: *coverSd,
+		coverLegacy: *coverLeg, coverDead: *coverDd,
 		telemetry: *telOut, metricsSummary: *metrics,
 		timeout: *timeout,
 	}
@@ -139,6 +142,8 @@ type runOpts struct {
 	closeCoverage        bool
 	coverCycles          int
 	coverSeed            int64
+	coverLegacy          bool
+	coverDead            string
 	telemetry            string
 	metricsSummary       bool
 }
@@ -410,10 +415,12 @@ func runClosure(ctx context.Context, d *rtl.Design, o runOpts, tel *telemetry.Tr
 			Seed:      o.coverSeed,
 			Workers:   o.workers,
 			Telemetry: tel,
+			Legacy:    o.coverLegacy,
 		},
 		TotalCycles: o.coverCycles,
 		FillRandom:  true,
 		Compiled:    o.compiled,
+		DeadFile:    o.coverDead,
 	})
 	if err != nil {
 		return err
@@ -421,13 +428,24 @@ func runClosure(ctx context.Context, d *rtl.Design, o runOpts, tel *telemetry.Tr
 	fmt.Printf("--- %s: coverage closure (budget %d cycles)\n", d.Name, o.coverCycles)
 	fmt.Printf("initial: %s\n", res.Initial)
 	for i, st := range res.Iterations {
-		fmt.Printf("iter %d:  holes=%d directed=%d closed=%d\n", i+1, st.Holes, st.Directed, st.Closed)
+		fmt.Printf("iter %d:  holes=%d directed=%d closed=%d shared=%d dead=%d deferred=%d\n",
+			i+1, st.Holes, st.Directed, st.Closed, st.Shared, st.Dead, st.Deferred)
 	}
 	fmt.Printf("final:   %s\n", res.Final)
-	fmt.Printf("methods: sat=%d fuzz=%d unreachable=%d open=%d error=%d\n",
+	fmt.Printf("methods: sat=%d fuzz=%d shared=%d dead=%d deferred=%d unreachable=%d open=%d error=%d\n",
 		res.Methods[stimgen.MethodSAT], res.Methods[stimgen.MethodFuzz],
+		res.Methods[stimgen.MethodShared], res.Methods[stimgen.MethodDead],
+		res.Methods[stimgen.MethodDeferred],
 		res.Methods[stimgen.MethodUnreachable], res.Methods[stimgen.MethodOpen],
 		res.Methods[stimgen.MethodError])
+	fmt.Printf("reach:   calls=%d solves=%d\n", res.ReachCalls, res.ReachSolves)
+	if res.Evicted > 0 || res.Readmitted > 0 {
+		fmt.Printf("compact: evicted=%d readmitted=%d\n", res.Evicted, res.Readmitted)
+	}
+	fmt.Printf("dead:    total=%d new=%d\n", res.DeadLoaded+len(res.Dead), len(res.Dead))
+	for _, dh := range res.Dead {
+		fmt.Printf("proven dead: %s (depth=%d k=%d)\n", dh.Key, dh.Depth, dh.K)
+	}
 	fmt.Printf("cycles=%d converged=%v\n", res.CyclesUsed, res.Converged)
 	if ctx.Err() != nil {
 		return errInterrupted

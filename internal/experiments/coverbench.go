@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"goldmine/internal/coverage"
 	"goldmine/internal/designs"
@@ -75,6 +76,32 @@ type CoverBenchDesign struct {
 	Attempts         []CoverAttempt `json:"attempts"`
 	Converged        bool           `json:"converged"`
 	DirectedNotWorse bool           `json:"directed_not_worse"`
+
+	// Closure-performance columns: time-to-closure (wall ms of building each
+	// suite, the closure loop included for the directed strategies) and the
+	// reach-query cost of the adaptive engine vs the legacy (PR 7) engine at
+	// the same budget. Wall times vary run to run; query counts are
+	// deterministic.
+	RandomWallMS   float64 `json:"random_wall_ms"`
+	CexWallMS      float64 `json:"cex_wall_ms"`
+	DirectedWallMS float64 `json:"directed_wall_ms"`
+	LegacyWallMS   float64 `json:"legacy_wall_ms"`
+
+	DirectedReachCalls  int `json:"directed_reach_calls"`
+	DirectedReachSolves int `json:"directed_reach_solves"`
+	LegacyReachCalls    int `json:"legacy_reach_calls"`
+	LegacyReachSolves   int `json:"legacy_reach_solves"`
+	// LegacyOpen is the holes the legacy engine leaves open at the budget;
+	// DirectedNotWorseThanLegacy asserts the adaptive engine's coverage did
+	// not pay for its query savings.
+	LegacyOpen                 int  `json:"legacy_open"`
+	DirectedNotWorseThanLegacy bool `json:"directed_not_worse_than_legacy"`
+	// ReachQueriesReduced: the adaptive engine issued strictly fewer SAT
+	// solves than legacy (or neither issued any).
+	ReachQueriesReduced bool `json:"reach_queries_reduced"`
+	// DeadHoles lists holes k-induction proved unreachable at every depth
+	// (removed from the universe, never fuzzed again).
+	DeadHoles []string `json:"dead_holes,omitempty"`
 }
 
 // CoverBenchReport is the full benchmark output.
@@ -87,6 +114,13 @@ type CoverBenchReport struct {
 	// StrictWins counts designs where directed closes at least one hole the
 	// random baseline leaves open.
 	StrictWins int `json:"designs_with_strict_win"`
+	// ReachQueriesReducedAll: on every design the adaptive engine solved
+	// strictly fewer SAT queries than the legacy engine (or neither solved
+	// any); NeverWorseThanLegacy is the coverage side of the same claim.
+	ReachQueriesReducedAll bool `json:"reach_queries_reduced_all"`
+	NeverWorseThanLegacy   bool `json:"directed_never_worse_than_legacy"`
+	// TotalDeadHoles sums the proven-dead promotions across designs.
+	TotalDeadHoles int `json:"total_dead_holes"`
 }
 
 // curveOf replays the suite one stimulus at a time and samples the open-hole
@@ -156,28 +190,38 @@ func coverBenchDesign(b *designs.Benchmark, workers int) (*CoverBenchDesign, err
 
 	// Pure random at the full budget: the same seed lanes the directed run
 	// starts from, then the same fill generator for the rest of the budget.
+	t0 := time.Now()
 	randomSuite := stimgen.RandomLanes(d, 4, 64, coverBenchSeed, 2)
 	randomSuite = append(randomSuite, stimgen.Random(d, coverBenchBudget-4*64, coverBenchSeed+0x5eed, 2))
+	row.RandomWallMS = float64(time.Since(t0).Microseconds()) / 1000
 	var randomOpen map[string]bool
 	row.Random, randomOpen, err = curveOf(d, randomSuite)
 	if err != nil {
 		return nil, err
 	}
 
-	// Directed closure at the same budget.
-	res, err := stimgen.CloseCoverage(context.Background(), d, stimgen.ClosureOptions{
-		DirectedOptions: stimgen.DirectedOptions{
-			Seed:      coverBenchSeed,
-			Workers:   workers,
-			Telemetry: Telemetry,
-		},
-		TotalCycles: coverBenchBudget,
-		FillRandom:  true,
-		Compiled:    true,
-	})
+	closureOpts := func(legacy bool) stimgen.ClosureOptions {
+		return stimgen.ClosureOptions{
+			DirectedOptions: stimgen.DirectedOptions{
+				Seed:      coverBenchSeed,
+				Workers:   workers,
+				Telemetry: Telemetry,
+				Legacy:    legacy,
+			},
+			TotalCycles: coverBenchBudget,
+			FillRandom:  true,
+			Compiled:    true,
+		}
+	}
+
+	// Adaptive directed closure at the same budget — the reported curve.
+	t0 = time.Now()
+	res, err := stimgen.CloseCoverage(context.Background(), d, closureOpts(false))
 	if err != nil {
 		return nil, err
 	}
+	row.DirectedWallMS = float64(time.Since(t0).Microseconds()) / 1000
+	row.DirectedReachCalls, row.DirectedReachSolves = res.ReachCalls, res.ReachSolves
 	row.Converged = res.Converged
 	for _, at := range res.Attempts {
 		row.Methods[at.Method]++
@@ -188,17 +232,40 @@ func coverBenchDesign(b *designs.Benchmark, workers int) (*CoverBenchDesign, err
 			SATUnreachable: at.SATUnreachable,
 		})
 	}
+	for _, dh := range res.Dead {
+		row.DeadHoles = append(row.DeadHoles, dh.Key)
+	}
+	sort.Strings(row.DeadHoles)
 	var directedOpen map[string]bool
 	row.Directed, directedOpen, err = curveOf(d, res.Suite)
 	if err != nil {
 		return nil, err
 	}
 
+	// Legacy (PR 7) closure at the same budget: the baseline for the
+	// time-to-closure and reach-query columns.
+	t0 = time.Now()
+	lres, err := stimgen.CloseCoverage(context.Background(), d, closureOpts(true))
+	if err != nil {
+		return nil, err
+	}
+	row.LegacyWallMS = float64(time.Since(t0).Microseconds()) / 1000
+	row.LegacyReachCalls, row.LegacyReachSolves = lres.ReachCalls, lres.ReachSolves
+	_, legacyOpen, err := curveOf(d, lres.Suite)
+	if err != nil {
+		return nil, err
+	}
+	row.LegacyOpen = len(legacyOpen)
+	row.ReachQueriesReduced = row.DirectedReachSolves < row.LegacyReachSolves ||
+		(row.DirectedReachSolves == 0 && row.LegacyReachSolves == 0)
+
 	// Paper-style CEX-only suite.
+	t0 = time.Now()
 	cs, err := cexSuite(b, d, coverBenchBudget)
 	if err != nil {
 		return nil, err
 	}
+	row.CexWallMS = float64(time.Since(t0).Microseconds()) / 1000
 	var cexOpen map[string]bool
 	row.Cex, cexOpen, err = curveOf(d, cs)
 	if err != nil {
@@ -215,13 +282,19 @@ func coverBenchDesign(b *designs.Benchmark, workers int) (*CoverBenchDesign, err
 	}
 	sort.Strings(row.DirectedWins)
 	row.DirectedNotWorse = row.DirectedOpen <= row.RandomOpen
+	row.DirectedNotWorseThanLegacy = row.DirectedOpen <= row.LegacyOpen
 	return row, nil
 }
 
 // CoverBench runs the coverage-closure benchmark over every bundled design
 // and writes the JSON report to w.
 func CoverBench(w io.Writer, workers int) error {
-	rep := CoverBenchReport{BudgetCycles: coverBenchBudget, DirectedNeverWorse: true}
+	rep := CoverBenchReport{
+		BudgetCycles:           coverBenchBudget,
+		DirectedNeverWorse:     true,
+		ReachQueriesReducedAll: true,
+		NeverWorseThanLegacy:   true,
+	}
 	for _, b := range designs.All() {
 		row, err := coverBenchDesign(b, workers)
 		if err != nil {
@@ -231,6 +304,13 @@ func CoverBench(w io.Writer, workers int) error {
 		if !row.DirectedNotWorse {
 			rep.DirectedNeverWorse = false
 		}
+		if !row.ReachQueriesReduced {
+			rep.ReachQueriesReducedAll = false
+		}
+		if !row.DirectedNotWorseThanLegacy {
+			rep.NeverWorseThanLegacy = false
+		}
+		rep.TotalDeadHoles += len(row.DeadHoles)
 		if len(row.DirectedWins) > 0 {
 			rep.StrictWins++
 		}

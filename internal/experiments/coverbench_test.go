@@ -41,4 +41,22 @@ func TestCoverBenchDesign(t *testing.T) {
 	if len(row.Attempts) == 0 || len(row.Methods) == 0 {
 		t.Error("no per-hole accounting")
 	}
+	if !row.DirectedNotWorseThanLegacy {
+		t.Errorf("adaptive worse than legacy on decode: %d vs %d open", row.DirectedOpen, row.LegacyOpen)
+	}
+	if row.LegacyReachSolves == 0 {
+		t.Error("legacy baseline issued no reach solves — reduction check is vacuous")
+	}
+	if !row.ReachQueriesReduced {
+		t.Errorf("reach queries not reduced: adaptive %d vs legacy %d solves",
+			row.DirectedReachSolves, row.LegacyReachSolves)
+	}
+	for name, ms := range map[string]float64{
+		"random": row.RandomWallMS, "directed": row.DirectedWallMS,
+		"legacy": row.LegacyWallMS, "cex": row.CexWallMS,
+	} {
+		if ms <= 0 {
+			t.Errorf("%s wall-clock not recorded: %v ms", name, ms)
+		}
+	}
 }

@@ -81,6 +81,12 @@ type Hole struct {
 	// evidence this hole is reachable.
 	SiblingCovered bool
 
+	// SourceUnreached marks an FSMArc whose From state has itself never
+	// been observed. Such arcs used to be skipped; they are now emitted as
+	// sequence obligations ("reach From, then step to To" in one query) and
+	// ranked after arcs whose source is already in hand.
+	SourceUnreached bool
+
 	// Rank orders holes ascending: lower is attempted first.
 	Rank float64
 }
@@ -127,32 +133,34 @@ func (h *Hole) String() string {
 
 // JSON is the flat serialization of a hole for -holes-json.
 type JSON struct {
-	Key            string  `json:"key"`
-	Kind           string  `json:"kind"`
-	Expr           string  `json:"expr,omitempty"`
-	Line           int     `json:"line,omitempty"`
-	Desc           string  `json:"desc,omitempty"`
-	Signal         string  `json:"signal,omitempty"`
-	Bit            int     `json:"bit,omitempty"`
-	From           uint64  `json:"from,omitempty"`
-	To             uint64  `json:"to,omitempty"`
-	ConeSignals    int     `json:"cone_signals"`
-	ConeInputBits  int     `json:"cone_input_bits"`
-	ConeStateBits  int     `json:"cone_state_bits"`
-	SiblingCovered bool    `json:"sibling_covered"`
-	Rank           float64 `json:"rank"`
+	Key             string  `json:"key"`
+	Kind            string  `json:"kind"`
+	Expr            string  `json:"expr,omitempty"`
+	Line            int     `json:"line,omitempty"`
+	Desc            string  `json:"desc,omitempty"`
+	Signal          string  `json:"signal,omitempty"`
+	Bit             int     `json:"bit,omitempty"`
+	From            uint64  `json:"from,omitempty"`
+	To              uint64  `json:"to,omitempty"`
+	ConeSignals     int     `json:"cone_signals"`
+	ConeInputBits   int     `json:"cone_input_bits"`
+	ConeStateBits   int     `json:"cone_state_bits"`
+	SiblingCovered  bool    `json:"sibling_covered"`
+	SourceUnreached bool    `json:"source_unreached,omitempty"`
+	Rank            float64 `json:"rank"`
 }
 
 // JSON returns the serializable view of the hole.
 func (h *Hole) JSON() JSON {
 	j := JSON{
-		Key:            h.Key(),
-		Kind:           h.Kind.String(),
-		ConeSignals:    h.ConeSignals,
-		ConeInputBits:  h.ConeInputBits,
-		ConeStateBits:  h.ConeStateBits,
-		SiblingCovered: h.SiblingCovered,
-		Rank:           h.Rank,
+		Key:             h.Key(),
+		Kind:            h.Kind.String(),
+		ConeSignals:     h.ConeSignals,
+		ConeInputBits:   h.ConeInputBits,
+		ConeStateBits:   h.ConeStateBits,
+		SiblingCovered:  h.SiblingCovered,
+		SourceUnreached: h.SourceUnreached,
+		Rank:            h.Rank,
 	}
 	switch h.Kind {
 	case BranchArm, CondTrue, CondFalse:
@@ -233,10 +241,12 @@ func FromState(st coverage.State) []*Hole {
 		}
 	}
 
-	// FSM states and arcs. Arc holes enumerate named-state pairs whose
-	// source state was reached (arcs out of an unreached state are
-	// subsumed by the state hole itself and would mostly be unreachable
-	// noise). Sibling evidence: any other state / any arc out of From.
+	// FSM states and arcs. Arc holes enumerate every named-state pair; an
+	// arc out of a state never observed is not skipped but marked
+	// SourceUnreached — directed generation turns it into one sequence
+	// obligation ("reach From, then step to To") instead of needing the
+	// state hole closed first. Sibling evidence: any other state / any arc
+	// out of From.
 	for i, f := range d.Cover.FSMs {
 		for _, stv := range f.States {
 			if !st.FSMSeen[i][stv] {
@@ -247,9 +257,6 @@ func FromState(st coverage.State) []*Hole {
 			}
 		}
 		for _, from := range f.States {
-			if !st.FSMSeen[i][from] {
-				continue
-			}
 			outSeen := false
 			for _, to := range f.States {
 				if st.FSMTrans[i][[2]uint64{from, to}] {
@@ -263,7 +270,8 @@ func FromState(st coverage.State) []*Hole {
 				}
 				hs = append(hs, &Hole{
 					Kind: FSMArc, Reg: f.Reg, From: from, To: to,
-					SiblingCovered: outSeen,
+					SiblingCovered:  outSeen,
+					SourceUnreached: !st.FSMSeen[i][from],
 				})
 			}
 		}
@@ -335,6 +343,12 @@ func rank(hs []*Hole) {
 			r += 8 // usually the deep targets
 		case FSMArc:
 			r += 12 // two-frame and deep
+			if h.SourceUnreached {
+				// The sequence obligation must first reach From: strictly
+				// harder than an arc whose source is already in hand, and
+				// often closed for free once the state hole is.
+				r += 10
+			}
 		}
 		if h.SiblingCovered {
 			r *= 0.75

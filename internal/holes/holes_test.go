@@ -155,24 +155,44 @@ func TestFSMHoles(t *testing.T) {
 		t.Fatal(err)
 	}
 	hs := FromCollector(c)
-	var states, arcs []string
+	var states []string
+	arcs := map[string]*Hole{}
 	for _, h := range hs {
 		switch h.Kind {
 		case FSMState:
 			states = append(states, h.Key())
 		case FSMArc:
-			arcs = append(arcs, h.Key())
+			arcs[h.Key()] = h
 		}
 	}
 	if len(states) != 2 {
 		t.Errorf("fsm state holes %v want 2", states)
 	}
-	// Arcs only out of the reached state 0 (to 1 and to 2): arcs out of
-	// unreached states are subsumed by their state hole.
-	for _, a := range arcs {
-		if !strings.Contains(a, "fsm:state:0->") {
-			t.Errorf("arc hole %q out of an unreached state", a)
+	// Every named-state pair is an arc hole now: 3 states, 6 ordered pairs.
+	// Arcs out of the reached state 0 are plain; arcs out of unreached 1 and
+	// 2 carry SourceUnreached (they become sequence obligations) and must
+	// rank after their reached-source siblings.
+	if len(arcs) != 6 {
+		t.Errorf("fsm arc holes %d want 6: %v", len(arcs), arcs)
+	}
+	var reachedMax, unreachedMin float64
+	for k, h := range arcs {
+		fromReached := strings.Contains(k, "fsm:state:0->")
+		if h.SourceUnreached == fromReached {
+			t.Errorf("arc %q SourceUnreached=%v want %v", k, h.SourceUnreached, !fromReached)
 		}
+		if !h.JSON().SourceUnreached == h.SourceUnreached {
+			t.Errorf("arc %q JSON view drops SourceUnreached", k)
+		}
+		if fromReached && h.Rank > reachedMax {
+			reachedMax = h.Rank
+		}
+		if !fromReached && (unreachedMin == 0 || h.Rank < unreachedMin) {
+			unreachedMin = h.Rank
+		}
+	}
+	if unreachedMin <= reachedMax {
+		t.Errorf("unreached-source arcs rank %.2f not after reached-source %.2f", unreachedMin, reachedMax)
 	}
 }
 

@@ -32,11 +32,15 @@ import (
 type ReachStatus int
 
 // Reachability outcomes. ReachUnreachable is a bounded claim: no witness
-// exists within the depth the query was allowed to explore.
+// exists within the depth the query was allowed to explore. ReachDead is the
+// unbounded promotion of that claim: k-induction proved no witness exists at
+// any depth, so the target is dead code and can be removed from the hole
+// universe entirely.
 const (
 	ReachFound ReachStatus = iota
 	ReachUnreachable
 	ReachUnknown
+	ReachDead
 )
 
 func (s ReachStatus) String() string {
@@ -45,6 +49,8 @@ func (s ReachStatus) String() string {
 		return "found"
 	case ReachUnreachable:
 		return "unreachable"
+	case ReachDead:
+		return "dead"
 	default:
 		return "unknown"
 	}
@@ -75,6 +81,8 @@ type ReachResult struct {
 	// over the obligation's cone inputs (missing inputs are zero).
 	Stim  sim.Stimulus
 	Depth int
+	// K is the winning induction k on ReachDead.
+	K int
 	// Cause carries the budget-taxonomy error behind a ReachUnknown.
 	Cause error
 }
@@ -104,6 +112,26 @@ func (st *satState) exprLit(e rtl.Expr, t int) (sat.Lit, error) {
 	return vec[0], nil
 }
 
+// validateObligation rejects malformed obligations and returns the largest
+// frame offset among the props.
+func validateObligation(ob Obligation) (maxOff int, err error) {
+	if len(ob.Props) == 0 {
+		return 0, fmt.Errorf("mc: empty reach obligation")
+	}
+	for _, p := range ob.Props {
+		if p.Expr == nil || p.Expr.Width() != 1 {
+			return 0, fmt.Errorf("mc: reach obligation %s: props must be 1-bit expressions", ob.Name)
+		}
+		if p.Offset < 0 {
+			return 0, fmt.Errorf("mc: reach obligation %s: negative offset", ob.Name)
+		}
+		if p.Offset > maxOff {
+			maxOff = p.Offset
+		}
+	}
+	return maxOff, nil
+}
+
 // Reach decides whether the obligation is satisfiable within maxDepth frames
 // from reset, on the Session's persistent BMC state. ins is the input-signal
 // set the witness is canonicalized (and reported) over — pass the obligation's
@@ -111,16 +139,36 @@ func (st *satState) exprLit(e rtl.Expr, t int) (sat.Lit, error) {
 // exhaustion degrades to ReachUnknown with the cause recorded, mirroring the
 // check path's ladder; an engine fault is retried once on rebuilt state.
 func (s *Session) Reach(ctx context.Context, ob Obligation, maxDepth int, ins []*rtl.Signal) (*ReachResult, error) {
-	if len(ob.Props) == 0 {
-		return nil, fmt.Errorf("mc: empty reach obligation")
+	return s.ReachFrom(ctx, ob, 0, maxDepth, ins)
+}
+
+// ReachFrom is Reach with the ladder resumed past an already-proven bound:
+// the caller asserts the obligation has previously been proven unreachable
+// within fromDepth frames (a ReachUnreachable verdict at that depth from this
+// or any other Session on the same design), so the ladder starts directly at
+// fromDepth+1 and every solve below the proven bound is skipped. fromDepth 0
+// is a full ladder. If maxDepth <= fromDepth the bounded claim already covers
+// the request and the query costs zero solves.
+//
+// This is the cross-iteration resume of the closure engine: a hole retried
+// with a deeper adaptive cap pays only for the new rungs, so the total solve
+// count of a hole across all retries is bounded by one full ladder.
+func (s *Session) ReachFrom(ctx context.Context, ob Obligation, fromDepth, maxDepth int, ins []*rtl.Signal) (*ReachResult, error) {
+	maxOff, err := validateObligation(ob)
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range ob.Props {
-		if p.Expr == nil || p.Expr.Width() != 1 {
-			return nil, fmt.Errorf("mc: reach obligation %s: props must be 1-bit expressions", ob.Name)
-		}
-		if p.Offset < 0 {
-			return nil, fmt.Errorf("mc: reach obligation %s: negative offset", ob.Name)
-		}
+	if fromDepth < 0 {
+		fromDepth = 0
+	}
+	minFrames := maxOff + 1
+	if maxDepth < minFrames {
+		maxDepth = minFrames
+	}
+	s.ReachCalls++
+	if fromDepth >= maxDepth {
+		// Everything the caller asks for is already proven unreachable.
+		return &ReachResult{Status: ReachUnreachable, Depth: fromDepth}, nil
 	}
 	if ins == nil {
 		ins = s.c.reachInputs(ob)
@@ -128,21 +176,41 @@ func (s *Session) Reach(ctx context.Context, ob Obligation, maxDepth int, ins []
 	b := s.c.newBudget(ctx)
 	if s.c.tel != nil {
 		var sp *telemetry.Span
-		_, sp = s.c.tel.StartSpan(ctx, "mc.reach", telemetry.String("target", ob.Name))
+		_, sp = s.c.tel.StartSpan(ctx, "mc.reach",
+			telemetry.String("target", ob.Name),
+			telemetry.Int("from", int64(fromDepth)))
 		b.sp = sp
 		defer func() { sp.End() }()
 	}
-	res, err := s.reach(b, ob, maxDepth, ins)
+	res, err := s.reach(b, ob, minFrames, fromDepth, maxDepth, ins)
 	if err != nil && errors.Is(err, ErrEngineInternal) {
 		// The persistent state was discarded by the panic barrier; one
 		// retry rebuilds it from scratch (same policy as dispatch).
-		res, err = s.reach(b, ob, maxDepth, ins)
+		res, err = s.reach(b, ob, minFrames, fromDepth, maxDepth, ins)
 	}
 	return res, err
 }
 
-// reach is the obligation ladder against the persistent BMC state.
-func (s *Session) reach(b *budget, ob Obligation, maxDepth int, ins []*rtl.Signal) (res *ReachResult, err error) {
+// obligationAssumps encodes (or recalls) the obligation's props as assumption
+// literals for the window whose last prop lands on frame depth-1.
+func (st *satState) obligationAssumps(ob Obligation, t0 int) ([]sat.Lit, error) {
+	assumps := make([]sat.Lit, 0, len(ob.Props))
+	for _, p := range ob.Props {
+		l, err := st.exprLit(p.Expr, t0+p.Offset)
+		if err != nil {
+			return nil, err
+		}
+		if !p.Value {
+			l = l.Neg()
+		}
+		assumps = append(assumps, l)
+	}
+	return assumps, nil
+}
+
+// reach is the obligation ladder against the persistent BMC state. Depths
+// 1..fromDepth are trusted as already-proven unreachable and skipped.
+func (s *Session) reach(b *budget, ob Obligation, minFrames, fromDepth, maxDepth int, ins []*rtl.Signal) (res *ReachResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.bmc, s.ind = nil, nil
@@ -150,38 +218,24 @@ func (s *Session) reach(b *budget, ob Obligation, maxDepth int, ins []*rtl.Signa
 		}
 	}()
 
-	maxOff := 0
-	for _, p := range ob.Props {
-		if p.Offset > maxOff {
-			maxOff = p.Offset
-		}
+	start := minFrames
+	if fromDepth+1 > start {
+		start = fromDepth + 1
 	}
-	minFrames := maxOff + 1
-	if maxDepth < minFrames {
-		maxDepth = minFrames
-	}
-
 	st := s.bmcState()
-	for depth := minFrames; depth <= maxDepth; depth++ {
+	for depth := start; depth <= maxDepth; depth++ {
 		fsp := b.span("mc.reach_frame", telemetry.Int("depth", int64(depth)))
 		for st.u.Frames() < depth {
 			st.u.AddFrame()
 		}
-		t0 := depth - minFrames
-		assumps := make([]sat.Lit, 0, len(ob.Props))
-		for _, p := range ob.Props {
-			l, lerr := st.exprLit(p.Expr, t0+p.Offset)
-			if lerr != nil {
-				fsp.End(telemetry.String("result", "error"))
-				return nil, lerr
-			}
-			if !p.Value {
-				l = l.Neg()
-			}
-			assumps = append(assumps, l)
+		assumps, aerr := st.obligationAssumps(ob, depth-minFrames)
+		if aerr != nil {
+			fsp.End(telemetry.String("result", "error"))
+			return nil, aerr
 		}
 		parent := b.sp
 		b.sp = fsp // route this frame's sat.solve span under the frame span
+		s.ReachSolves++
 		verdict, cause := b.solve(st.s, assumps...)
 		b.sp = parent
 		fsp.End(telemetry.String("result", verdict.String()))
@@ -198,6 +252,124 @@ func (s *Session) reach(b *budget, ob Obligation, maxDepth int, ins []*rtl.Signa
 		}
 	}
 	return &ReachResult{Status: ReachUnreachable, Depth: maxDepth}, nil
+}
+
+// ProveUnreachable attempts to promote a bounded-unreachable obligation to an
+// unbounded one: k-induction on the Session's free-initial-state unrolling.
+// The step case at k asks whether a state sequence with the obligation absent
+// from k consecutive windows can produce it in the next; UNSAT means the
+// obligation can never appear for the first time after k quiet windows, and
+// together with the base case — the caller's proof that the obligation is
+// unreachable within baseDepth frames from reset, which must come from a
+// prior ReachUnreachable verdict at that depth — this closes the induction
+// for every k <= baseDepth-maxOffset. A ReachDead verdict is therefore a
+// proof of unreachability at all depths: the target is dead code.
+//
+// maxK bounds the induction ladder; it is additionally capped so the base
+// case always covers the winning k. fromK resumes the ladder past steps a
+// prior call already tried: the step formula at a given k does not depend on
+// baseDepth, so a step found satisfiable once is satisfiable forever and the
+// caller may skip it — the contract is that steps 1..fromK were already
+// observed Sat. Hypothesis clauses are guarded by a fresh activation literal
+// and retired on exit, exactly like the assertion induction path, so repeated
+// promotions on one Session stay cheap. Returns ReachUnreachable (the bounded
+// claim stands) when induction does not converge — with K reporting the
+// highest step tried, for the next call's fromK — and ReachUnknown with the
+// cause on budget exhaustion.
+func (s *Session) ProveUnreachable(ctx context.Context, ob Obligation, baseDepth, fromK, maxK int) (*ReachResult, error) {
+	maxOff, err := validateObligation(ob)
+	if err != nil {
+		return nil, err
+	}
+	if baseDepth <= maxOff {
+		return nil, fmt.Errorf("mc: reach obligation %s: base depth %d does not cover the %d-frame window", ob.Name, baseDepth, maxOff+1)
+	}
+	if maxK <= 0 {
+		maxK = s.c.opts.MaxInduction
+	}
+	if fromK < 0 {
+		fromK = 0
+	}
+	// The base case proves windows based at 0..baseDepth-maxOff-1 empty; the
+	// induction step at k needs the first k windows, so k is capped there.
+	if kcap := baseDepth - maxOff; maxK > kcap {
+		maxK = kcap
+	}
+	if fromK >= maxK {
+		// Every step the base case can cover was already observed Sat.
+		return &ReachResult{Status: ReachUnreachable, Depth: baseDepth, K: fromK}, nil
+	}
+	s.ReachCalls++
+	b := s.c.newBudget(ctx)
+	if s.c.tel != nil {
+		var sp *telemetry.Span
+		_, sp = s.c.tel.StartSpan(ctx, "mc.reach_induction",
+			telemetry.String("target", ob.Name),
+			telemetry.Int("base", int64(baseDepth)))
+		b.sp = sp
+		defer func() { sp.End() }()
+	}
+	res, err := s.proveUnreachable(b, ob, maxOff, baseDepth, fromK, maxK)
+	if err != nil && errors.Is(err, ErrEngineInternal) {
+		res, err = s.proveUnreachable(b, ob, maxOff, baseDepth, fromK, maxK)
+	}
+	return res, err
+}
+
+// proveUnreachable is the induction ladder on the persistent free-init state.
+func (s *Session) proveUnreachable(b *budget, ob Obligation, maxOff, baseDepth, fromK, maxK int) (res *ReachResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.bmc, s.ind = nil, nil
+			res, err = nil, fmt.Errorf("%w: session engine panic: %v", ErrEngineInternal, r)
+		}
+	}()
+
+	is := s.indState()
+	act := sat.Lit(is.s.NewVar())
+	s.Activations++
+	defer func() {
+		// Retire this obligation's hypothesis clauses (see checkSATSolo).
+		is.s.AddClause(act.Neg())
+		is.s.Simplify()
+	}()
+	hyp := 0 // hypothesis windows encoded so far for this act
+	for k := fromK + 1; k <= maxK; k++ {
+		frames := k + maxOff + 1
+		for is.u.Frames() < frames {
+			is.u.AddFrame()
+		}
+		for ; hyp < k; hyp++ {
+			// "The obligation does not hold at window hyp": the clause of
+			// negated prop literals, guarded by the activation literal.
+			assumps, aerr := is.obligationAssumps(ob, hyp)
+			if aerr != nil {
+				return nil, aerr
+			}
+			clause := make([]sat.Lit, 0, len(assumps)+1)
+			for _, l := range assumps {
+				clause = append(clause, l.Neg())
+			}
+			is.s.AddClause(append(clause, act.Neg())...)
+		}
+		assumps, aerr := is.obligationAssumps(ob, k)
+		if aerr != nil {
+			return nil, aerr
+		}
+		ksp := b.span("mc.induction_step", telemetry.Int("k", int64(k)))
+		kb := *b
+		kb.sp = ksp
+		s.ReachSolves++
+		verdict, cause := kb.solve(is.s, append([]sat.Lit{act}, assumps...)...)
+		ksp.End(telemetry.Bool("proved", verdict == sat.Unsat))
+		if cause != nil {
+			return &ReachResult{Status: ReachUnknown, Depth: baseDepth, Cause: cause}, nil
+		}
+		if verdict == sat.Unsat {
+			return &ReachResult{Status: ReachDead, Depth: baseDepth, K: k}, nil
+		}
+	}
+	return &ReachResult{Status: ReachUnreachable, Depth: baseDepth, K: maxK}, nil
 }
 
 // reachInputs derives the canonicalization input set from the obligation's

@@ -170,8 +170,7 @@ func TestReachCanceledContextDegrades(t *testing.T) {
 	}
 }
 
-func TestReachFSMStateAndArc(t *testing.T) {
-	src := `
+const fsmSrc = `
 module fsm(input clk, rst, go, output reg busy);
   reg [1:0] state;
   always @(posedge clk) begin
@@ -185,7 +184,9 @@ module fsm(input clk, rst, go, output reg busy);
   end
   always @(*) busy = (state != 2'd0);
 endmodule`
-	d := mustDesign(t, src)
+
+func TestReachFSMStateAndArc(t *testing.T) {
+	d := mustDesign(t, fsmSrc)
 	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
 
 	// State 2 is reachable (0 -go-> 1 -> 2).
@@ -223,6 +224,209 @@ endmodule`
 	}
 	if r := arc(2, 1); r.Status != ReachUnreachable {
 		t.Errorf("arc 2->1: %s want unreachable", r.Status)
+	}
+}
+
+func TestReachFromSkipsProvenDepths(t *testing.T) {
+	// A resumed ladder must pay only for the new rungs. both-grants is
+	// unreachable at every depth, so solve counts are exactly the rung counts.
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	both := &rtl.Binary{Op: rtl.OpAnd, A: sel(d, "gnt0", 0), B: sel(d, "gnt1", 0), W: 1}
+	ob := Obligation{Name: "both-grants", Props: []ReachProp{{Expr: both, Value: true}}}
+
+	res, err := sess.Reach(context.Background(), ob, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachUnreachable || sess.ReachSolves != 4 {
+		t.Fatalf("full ladder: %s with %d solves, want unreachable with 4", res.Status, sess.ReachSolves)
+	}
+
+	res, err = sess.ReachFrom(context.Background(), ob, 4, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachUnreachable || res.Depth != 6 {
+		t.Fatalf("resumed ladder: %s@%d want unreachable@6", res.Status, res.Depth)
+	}
+	if sess.ReachSolves != 6 {
+		t.Errorf("resume solved %d total rungs, want 6 (only depths 5 and 6 new)", sess.ReachSolves)
+	}
+
+	// A request fully inside the proven bound costs zero solves.
+	res, err = sess.ReachFrom(context.Background(), ob, 6, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachUnreachable || sess.ReachSolves != 6 {
+		t.Errorf("covered request: %s with %d solves, want unreachable with 6", res.Status, sess.ReachSolves)
+	}
+	if sess.ReachCalls != 3 {
+		t.Errorf("ReachCalls %d want 3", sess.ReachCalls)
+	}
+}
+
+func TestReachFromWitnessMatchesFullLadder(t *testing.T) {
+	// Resuming past a proven-unreachable prefix must yield the same canonical
+	// witness as the full ladder: the first SAT depth and the formula there
+	// are identical, and lower rungs were UNSAT anyway.
+	d := mustDesign(t, arbiterSrc)
+	ob := Obligation{Name: "gnt1", Props: []ReachProp{{Expr: sel(d, "gnt1", 0), Value: true}}}
+
+	full := NewWithOptions(d, satOnlyOptions()).NewSession()
+	want, err := full.Reach(context.Background(), ob, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Status != ReachFound {
+		t.Fatalf("full ladder: %s want found", want.Status)
+	}
+
+	resumed := NewWithOptions(d, satOnlyOptions()).NewSession()
+	if pre, err := resumed.Reach(context.Background(), ob, want.Depth-1, nil); err != nil {
+		t.Fatal(err)
+	} else if pre.Status != ReachUnreachable {
+		t.Fatalf("prefix: %s want unreachable below the witness depth", pre.Status)
+	}
+	got, err := resumed.ReachFrom(context.Background(), ob, want.Depth-1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ReachFound || got.Depth != want.Depth {
+		t.Fatalf("resumed: %s@%d want found@%d", got.Status, got.Depth, want.Depth)
+	}
+	if !reflect.DeepEqual(got.Stim, want.Stim) {
+		t.Errorf("witness differs:\nfull:    %v\nresumed: %v", want.Stim, got.Stim)
+	}
+}
+
+func TestProveUnreachablePromotesDeadTargets(t *testing.T) {
+	// The fsm arc 2->1 does not exist in the transition relation: bounded
+	// unreachability promotes to dead at k=1. Same for the arbiter's one-hot
+	// both-grants invariant.
+	d := mustDesign(t, fsmSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	arc := Obligation{Name: "arc-2-1", Props: []ReachProp{
+		{Expr: eq(d, "state", 2), Value: true, Offset: 0},
+		{Expr: eq(d, "state", 1), Value: true, Offset: 1},
+	}}
+	base, err := sess.Reach(context.Background(), arc, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Status != ReachUnreachable {
+		t.Fatalf("base case: %s want unreachable", base.Status)
+	}
+	res, err := sess.ProveUnreachable(context.Background(), arc, base.Depth, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ReachDead {
+		t.Fatalf("promotion: %s want dead", res.Status)
+	}
+	if res.K < 1 || res.Depth != base.Depth {
+		t.Errorf("dead verdict k=%d depth=%d want k>=1 depth=%d", res.K, res.Depth, base.Depth)
+	}
+
+	// Promotion must be repeatable on one session (activation literals are
+	// retired between queries) and leave bounded reach answers intact.
+	again, err := sess.ProveUnreachable(context.Background(), arc, base.Depth, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != ReachDead || again.K != res.K {
+		t.Errorf("repeat promotion: %s k=%d want dead k=%d", again.Status, again.K, res.K)
+	}
+
+	// fromK resumes past steps already tried: starting beyond the winning k
+	// still proves (hypotheses only strengthen with k), one step later.
+	resumed, err := sess.ProveUnreachable(context.Background(), arc, base.Depth, res.K, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Status != ReachDead || resumed.K != res.K+1 {
+		t.Errorf("resumed promotion: %s k=%d want dead k=%d", resumed.Status, resumed.K, res.K+1)
+	}
+	// A fully-tried ladder is a no-op: no query, no solves.
+	calls, solves := sess.ReachCalls, sess.ReachSolves
+	noop, err := sess.ProveUnreachable(context.Background(), arc, base.Depth, base.Depth, base.Depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.Status != ReachUnreachable || noop.K != base.Depth {
+		t.Errorf("exhausted resume: %s k=%d want unreachable k=%d", noop.Status, noop.K, base.Depth)
+	}
+	if sess.ReachCalls != calls || sess.ReachSolves != solves {
+		t.Errorf("exhausted resume issued work: calls %d->%d solves %d->%d",
+			calls, sess.ReachCalls, solves, sess.ReachSolves)
+	}
+	if r, err := sess.Reach(context.Background(), Obligation{
+		Name:  "state=2",
+		Props: []ReachProp{{Expr: eq(d, "state", 2), Value: true}},
+	}, 8, nil); err != nil || r.Status != ReachFound {
+		t.Errorf("reachable target after promotions: %v %v want found", r, err)
+	}
+}
+
+func TestProveUnreachableValidatesBaseDepth(t *testing.T) {
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	ob := Obligation{Name: "rise", Props: []ReachProp{
+		{Expr: sel(d, "gnt0", 0), Value: false, Offset: 0},
+		{Expr: sel(d, "gnt0", 0), Value: true, Offset: 1},
+	}}
+	// A base depth that does not even cover the obligation window is an
+	// unsound induction premise, not a degraded verdict.
+	if _, err := sess.ProveUnreachable(context.Background(), ob, 1, 0, 0); err == nil {
+		t.Error("base depth inside the obligation window accepted")
+	}
+	if _, err := sess.ProveUnreachable(context.Background(), Obligation{Name: "empty"}, 4, 0, 0); err == nil {
+		t.Error("empty obligation accepted")
+	}
+}
+
+func TestReachGadgetMemoizationAcrossObligationsAndFrames(t *testing.T) {
+	// Repeat (expr, frame) pairs must not re-encode: after the first ladder
+	// touches an expression at every frame, identical and overlapping
+	// obligations on the same session add zero solver variables.
+	d := mustDesign(t, arbiterSrc)
+	sess := NewWithOptions(d, satOnlyOptions()).NewSession()
+	both := &rtl.Binary{Op: rtl.OpAnd, A: sel(d, "gnt0", 0), B: sel(d, "gnt1", 0), W: 1}
+	ob := Obligation{Name: "both-grants", Props: []ReachProp{{Expr: both, Value: true}}}
+	if _, err := sess.Reach(context.Background(), ob, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	vars := sess.bmc.s.NumVars()
+
+	// Identical obligation, same bound: every gadget is cache-hit.
+	if _, err := sess.Reach(context.Background(), ob, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.bmc.s.NumVars(); n != vars {
+		t.Errorf("repeat obligation re-encoded: %d -> %d vars", vars, n)
+	}
+
+	// A different obligation sharing the expression *node* at already-visited
+	// frames: the two-frame window re-uses the memoized single-frame gadgets.
+	rise := Obligation{Name: "both-rise", Props: []ReachProp{
+		{Expr: both, Value: false, Offset: 0},
+		{Expr: both, Value: true, Offset: 1},
+	}}
+	if _, err := sess.Reach(context.Background(), rise, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.bmc.s.NumVars(); n != vars {
+		t.Errorf("shared-node obligation re-encoded: %d -> %d vars", vars, n)
+	}
+
+	// A genuinely new frame must still encode (the cache is per (expr, frame),
+	// not per expr) — growth here proves the counter above measures encoding.
+	if _, err := sess.Reach(context.Background(), ob, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.bmc.s.NumVars(); n <= vars {
+		t.Errorf("new frame did not encode: still %d vars", n)
 	}
 }
 

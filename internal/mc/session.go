@@ -86,6 +86,15 @@ type Session struct {
 	Activations int
 	Reuses      int
 	Races       int
+
+	// ReachCalls counts Reach/ReachFrom/ProveUnreachable queries answered by
+	// this Session; ReachSolves counts the SAT solves they issued. The split
+	// is the closure engine's work metric: a resumed or already-covered
+	// query increments ReachCalls but not ReachSolves. Advisory,
+	// single-goroutine like the Session; deterministic because solve counts
+	// depend only on the obligation, the depth window, and the design.
+	ReachCalls  int
+	ReachSolves int
 }
 
 // NewSession creates an incremental checking context. The underlying solver

@@ -50,6 +50,11 @@ type DirectedOptions struct {
 	MC mc.Options
 	// Telemetry journals directed.hole / mc.reach / sat.solve spans.
 	Telemetry *telemetry.Tracer
+	// Legacy selects the PR 7 engine: a fixed MaxDepth ladder per hole, no
+	// cross-hole witness sharing, no adaptive depth, no dead-code promotion,
+	// and a permanent fruitless-hole skip set in CloseCoverage. Kept for
+	// benchmarking the adaptive engine against it (-cover-bench runs both).
+	Legacy bool
 }
 
 func (o DirectedOptions) withDefaults() DirectedOptions {
@@ -75,7 +80,10 @@ func (o DirectedOptions) withDefaults() DirectedOptions {
 const (
 	MethodSAT         = "sat"         // witness decoded from a satisfying assignment
 	MethodFuzz        = "fuzz"        // focused batch fuzzing hit the hole
-	MethodUnreachable = "unreachable" // UNSAT to the bound and fuzzing missed
+	MethodShared      = "shared"      // a sibling hole's witness covered this one
+	MethodDead        = "dead"        // k-induction proved the hole unreachable at all depths
+	MethodDeferred    = "deferred"    // unreachable at the adaptive cap; retried deeper next iteration
+	MethodUnreachable = "unreachable" // UNSAT to the full bound and fuzzing missed
 	MethodOpen        = "open"        // budget ran out and fuzzing missed
 	MethodError       = "error"       // engine fault (Err carries the cause)
 )
@@ -86,10 +94,24 @@ type HoleAttempt struct {
 	// Method is one of the Method* constants.
 	Method string
 	// Depth is the witness length in cycles (SAT: ladder depth; fuzz: hit
-	// cycle + 1). Zero when no stimulus was produced.
+	// cycle + 1; shared: hit cycle + 1 in the sibling's witness; dead /
+	// deferred / unreachable: the depth proven unreachable). Zero when the
+	// attempt produced neither.
 	Depth int
-	// Stim exercises the hole when replayed from reset, or nil.
+	// Stim exercises the hole when replayed from reset, or nil. Shared
+	// attempts carry no stimulus — the witness named by Via, already in the
+	// suite, covers this hole.
 	Stim sim.Stimulus
+	// Via is the key of the sibling hole whose witness covered this one
+	// (MethodShared only).
+	Via string
+	// K is the winning induction k of a MethodDead promotion; on a deferred
+	// or unreachable attempt it is the highest induction step tried (all
+	// observed Sat), feeding the cross-iteration induction resume.
+	K int
+	// ProvenDepth is the deepest depth this attempt proved the obligation
+	// unreachable within; it feeds the cross-iteration ladder resume.
+	ProvenDepth int
 	// SATUnreachable records that the obligation was UNSAT to the bound
 	// even when fuzzing later hit it (a diagnostic for bound tuning).
 	SATUnreachable bool
@@ -169,33 +191,47 @@ func FocusedLanes(d *rtl.Design, focus []*rtl.Signal, lanes, cycles int, seed in
 	return out
 }
 
-// DirectedFromHoles synthesizes one stimulus per hole: SAT-directed first,
+// DirectedFromHoles synthesizes stimulus per hole: SAT-directed first,
 // focused fuzzing as the fallback ladder. Holes are attempted in slice order
 // (callers pass the ranked list from holes.FromCollector); the result is
 // positional — out[i] answers hs[i] — and independent of the worker count.
+//
+// The default engine processes holes in fixed-size waves and replays every
+// witness against the holes still waiting at each wave boundary: a hole
+// covered by a sibling's witness comes back as MethodShared (Via names the
+// sibling, Stim is nil — the sibling's stimulus is the one to keep) and never
+// issues its own reach query. Set DirectedOptions.Legacy for the PR 7
+// one-query-per-hole behavior.
 func DirectedFromHoles(ctx context.Context, d *rtl.Design, hs []*holes.Hole, opts DirectedOptions) ([]*HoleAttempt, error) {
 	opts = opts.withDefaults()
-	out := make([]*HoleAttempt, len(hs))
 	if len(hs) == 0 {
-		return out, nil
+		return make([]*HoleAttempt, 0), nil
 	}
-	bp, err := simc.CompileBatch(d, simc.BatchOptions{})
+	cw, err := newClosureWorkers(d, len(hs), opts)
 	if err != nil {
 		return nil, err
 	}
-	workers := sched.Workers(opts.Workers, len(hs))
+	if opts.Legacy {
+		return cw.runLegacy(ctx, hs, opts), nil
+	}
+	caps := make([]int, len(hs))
+	for i := range caps {
+		caps[i] = opts.MaxDepth
+	}
+	return cw.runWaves(ctx, hs, caps, nil, nil, opts), nil
+}
+
+// runLegacy is the PR 7 engine: every hole gets its own full-depth query,
+// witnesses are never shared.
+func (cw *closureWorkers) runLegacy(ctx context.Context, hs []*holes.Hole, opts DirectedOptions) []*HoleAttempt {
+	out := make([]*HoleAttempt, len(hs))
+	workers := len(cw.sessions)
 	tasks := make([]sched.Task, workers)
 	for w := 0; w < workers; w++ {
 		w := w
 		tasks[w] = sched.Task{ID: w, Run: func(tctx context.Context) {
-			// One persistent session and one batch machine per worker:
-			// holes in a group share learned clauses and unrolled frames.
-			checker := mc.NewWithOptions(d, opts.MC)
-			checker.SetTelemetry(opts.Telemetry)
-			sess := checker.NewSession()
-			bm := simc.NewBatchMachine(bp)
 			for i := w; i < len(hs); i += workers {
-				out[i] = attemptHole(tctx, sess, bm, hs[i], i, opts)
+				out[i] = attemptHole(tctx, cw.sessions[w], cw.bms[w], hs[i], i, opts)
 				if tctx.Err() != nil {
 					return
 				}
@@ -209,7 +245,7 @@ func DirectedFromHoles(ctx context.Context, d *rtl.Design, hs []*holes.Hole, opt
 			out[i] = &HoleAttempt{Hole: hs[i], Method: MethodOpen, Err: ctx.Err()}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // attemptHole runs the SAT→fuzz ladder for one hole. rank is the hole's
@@ -295,6 +331,11 @@ type ClosureOptions struct {
 	// ResetCycles is the reset prefix of generated random stimuli
 	// (default 2).
 	ResetCycles int
+	// DeadFile persists proven-dead holes (JSONL, per-design fingerprint
+	// namespaces) across runs: holes recorded dead are excluded from the
+	// universe before any query is issued, and new promotions are appended.
+	// Empty disables persistence; promotions still shrink this run.
+	DeadFile string
 }
 
 func (o ClosureOptions) withDefaults() ClosureOptions {
@@ -319,6 +360,9 @@ type IterationStats struct {
 	Holes    int // holes attempted this iteration
 	Directed int // stimuli appended
 	Closed   int // holes that disappeared after re-collection
+	Shared   int // holes covered by a sibling's witness (no query of their own)
+	Dead     int // holes promoted to proven-dead (removed from the universe)
+	Deferred int // holes pushed to a deeper cap next iteration
 }
 
 // ClosureResult is the outcome of CloseCoverage.
@@ -338,11 +382,37 @@ type ClosureResult struct {
 	Converged bool
 	// CyclesUsed is the summed cycle count of the final suite.
 	CyclesUsed int
+	// Dead lists the holes promoted to proven-dead this run (k-induction on
+	// top of their bounded-unreachable base case); they are removed from the
+	// hole universe and, with DeadFile set, never queried again in any run.
+	Dead []DeadHole
+	// DeadLoaded counts holes excluded up front because a previous run
+	// already proved them dead (DeadFile).
+	DeadLoaded int
+	// ReachCalls / ReachSolves total the reachability queries issued and the
+	// SAT solves they cost, summed over the per-worker sessions. The
+	// adaptive engine's whole point is making these smaller than the legacy
+	// path's at equal coverage.
+	ReachCalls  int
+	ReachSolves int
+	// Evicted / Readmitted count the final compaction pass's moves when the
+	// cycle budget parked witnesses: suite witnesses evicted because every
+	// fact they cover is covered elsewhere, and parked witnesses readmitted
+	// into the freed cycles.
+	Evicted    int
+	Readmitted int
 }
 
 // CloseCoverage runs the coverage-closure loop: seed the suite randomly,
 // collect, aim directed stimulus at the holes, append what hits, re-collect,
 // and iterate until closure, no-progress, or the iteration/cycle budget.
+//
+// The default engine is adaptive and work-sharing (closer.go): per-hole depth
+// caps grown across iterations with the ladder resumed past proven depths,
+// witnesses replayed against every open hole at wave boundaries, and
+// persistent bounded-unreachable holes promoted to proven-dead by k-induction
+// and removed from the universe. ClosureOptions.Legacy selects the PR 7 loop
+// (fixed depth, no sharing, permanent skip set) for comparison.
 func CloseCoverage(ctx context.Context, d *rtl.Design, opts ClosureOptions) (*ClosureResult, error) {
 	opts = opts.withDefaults()
 	var runSp *telemetry.Span
@@ -388,6 +458,42 @@ func CloseCoverage(ctx context.Context, d *rtl.Design, opts ClosureOptions) (*Cl
 	}
 	res.Initial = col.Report()
 
+	var err error
+	if opts.Legacy {
+		err = closeLegacy(ctx, d, col, collect, res, opts)
+	} else {
+		err = closeAdaptive(ctx, d, col, collect, res, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged && len(holes.FromCollector(col)) == 0 {
+		res.Converged = true
+	}
+
+	if opts.FillRandom && opts.TotalCycles > res.CyclesUsed {
+		fill := Random(d, opts.TotalCycles-res.CyclesUsed, opts.Seed+0x5eed, opts.ResetCycles)
+		res.Suite = append(res.Suite, fill)
+		res.CyclesUsed += len(fill)
+		if err := collect([]sim.Stimulus{fill}); err != nil {
+			return nil, err
+		}
+	}
+	res.Final = col.Report()
+	if runSp != nil {
+		runSp.Annotate(
+			telemetry.Int("cycles", int64(res.CyclesUsed)),
+			telemetry.Int("attempts", int64(len(res.Attempts))),
+			telemetry.Int("reach_solves", int64(res.ReachSolves)),
+		)
+	}
+	return res, nil
+}
+
+// closeLegacy is the PR 7 closure loop, preserved verbatim for benchmarking:
+// fixed-depth queries via the legacy one-hole-one-query engine and a skip set
+// that never re-evaluates a fruitless hole.
+func closeLegacy(ctx context.Context, d *rtl.Design, col *coverage.Collector, collect func([]sim.Stimulus) error, res *ClosureResult, opts ClosureOptions) error {
 	skip := map[string]bool{} // hole keys proven fruitless; never retried
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		all := holes.FromCollector(col)
@@ -408,11 +514,13 @@ func CloseCoverage(ctx context.Context, d *rtl.Design, opts ClosureOptions) (*Cl
 				telemetry.Int("iter", int64(iter)),
 				telemetry.Int("holes", int64(len(hs))))
 		}
-		attempts, err := DirectedFromHoles(ictx, d, hs, opts.DirectedOptions)
+		cw, err := newClosureWorkers(d, len(hs), opts.DirectedOptions)
 		if err != nil {
 			itSp.End(telemetry.String("error", err.Error()))
-			return nil, err
+			return err
 		}
+		attempts := cw.runLegacy(ictx, hs, opts.DirectedOptions)
+		cw.sumQueries(res)
 		st := IterationStats{Holes: len(hs)}
 		var fresh []sim.Stimulus
 		for _, at := range attempts {
@@ -441,7 +549,7 @@ func CloseCoverage(ctx context.Context, d *rtl.Design, opts ClosureOptions) (*Cl
 		before := len(holes.FromCollector(col))
 		if err := collect(fresh); err != nil {
 			itSp.End(telemetry.String("error", err.Error()))
-			return nil, err
+			return err
 		}
 		st.Closed = before - len(holes.FromCollector(col))
 		res.Iterations = append(res.Iterations, st)
@@ -450,26 +558,7 @@ func CloseCoverage(ctx context.Context, d *rtl.Design, opts ClosureOptions) (*Cl
 			break
 		}
 	}
-	if !res.Converged && len(holes.FromCollector(col)) == 0 {
-		res.Converged = true
-	}
-
-	if opts.FillRandom && opts.TotalCycles > res.CyclesUsed {
-		fill := Random(d, opts.TotalCycles-res.CyclesUsed, opts.Seed+0x5eed, opts.ResetCycles)
-		res.Suite = append(res.Suite, fill)
-		res.CyclesUsed += len(fill)
-		if err := collect([]sim.Stimulus{fill}); err != nil {
-			return nil, err
-		}
-	}
-	res.Final = col.Report()
-	if runSp != nil {
-		runSp.Annotate(
-			telemetry.Int("cycles", int64(res.CyclesUsed)),
-			telemetry.Int("attempts", int64(len(res.Attempts))),
-		)
-	}
-	return res, nil
+	return nil
 }
 
 // String summarizes an attempt for CLI output.

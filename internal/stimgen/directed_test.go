@@ -153,6 +153,37 @@ func TestDirectedFromHolesProducesWitnesses(t *testing.T) {
 			if at.Hole.Hit(tr) < 0 {
 				t.Errorf("%s: %s witness does not exercise the hole", at.Hole.Key(), at.Method)
 			}
+		case MethodShared:
+			// No stimulus of its own: the named sibling's witness covers it.
+			if at.Stim != nil || at.Via == "" {
+				t.Errorf("%s: shared attempt stim=%v via=%q", at.Hole.Key(), at.Stim, at.Via)
+			}
+			var owner *HoleAttempt
+			for _, o := range attempts {
+				if o.Hole.Key() == at.Via {
+					owner = o
+					break
+				}
+			}
+			if owner == nil || owner.Stim == nil {
+				t.Errorf("%s: shared via %q which has no witness", at.Hole.Key(), at.Via)
+				continue
+			}
+			s, err := sim.New(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := s.Run(owner.Stim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if at.Hole.Hit(tr) < 0 {
+				t.Errorf("%s: sibling %q witness does not cover it", at.Hole.Key(), at.Via)
+			}
+		case MethodDead:
+			if at.Stim != nil || at.K < 1 {
+				t.Errorf("%s: dead attempt stim=%v k=%d", at.Hole.Key(), at.Stim, at.K)
+			}
 		case MethodUnreachable, MethodOpen, MethodError:
 		default:
 			t.Errorf("%s: unknown method %q", at.Hole.Key(), at.Method)

@@ -31,7 +31,8 @@ var knownSpanNames = []string{
 	"mine.tree_update", "mine.ctx_feedback", "sim.run", "sched.cache_probe",
 	"mc.check", "mc.explicit", "mc.bmc_frame", "mc.induction_step",
 	"mc.ctx_canon", "sat.solve", "mc.reach", "mc.reach_frame",
-	"directed.run", "directed.iteration", "directed.hole",
+	"mc.reach_induction", "directed.run", "directed.iteration",
+	"directed.hole", "directed.wave",
 }
 
 // New creates a tracer over a registry and an optional journal. Either may be

@@ -38,8 +38,14 @@
 # Also writes BENCH_cover.json (override with $6): the coverage-closure
 # benchmark — per design, the coverage curves of pure random, the paper-style
 # CEX-only suite, and the SAT-directed closure loop at the same total-cycle
-# budget, plus per-hole SAT/fuzz/unreachable accounting. See DESIGN.md
-# section 4.7.
+# budget, plus per-hole SAT/fuzz/shared/dead accounting. The adaptive engine
+# columns — time-to-closure wall times (random_wall_ms / cex_wall_ms /
+# directed_wall_ms / legacy_wall_ms), reach-query counts for the adaptive vs
+# fixed-depth legacy loop (directed_reach_{calls,solves} /
+# legacy_reach_{calls,solves}, reach_queries_reduced), open-hole parity
+# (legacy_open, directed_not_worse_than_legacy), and the k-induction
+# proven-dead holes (dead_holes) — quantify PR 10's closure rework. See
+# DESIGN.md sections 4.7 and 4.10.
 #
 # Also writes BENCH_corpus.json (override with $7): the assertion-corpus
 # benchmark — per design, two mining configurations ingested into one corpus

@@ -131,9 +131,52 @@ fi
 "$tmpbin/goldmine" -design decode -close-coverage -cover-cycles 512 \
     -telemetry "$tmpbin/cc.jsonl" >/dev/null
 "$tmpbin/telcheck" \
-    -require directed.run,directed.iteration,directed.hole,mc.reach,mc.reach_frame,sat.solve \
+    -require directed.run,directed.iteration,directed.wave,directed.hole,mc.reach,mc.reach_frame,mc.reach_induction,sat.solve \
     "$tmpbin/cc.jsonl"
 echo "smoke: closure -j1 ≡ -j4 and the directed telemetry journal validates"
+
+echo "== smoke: adaptive closure beats the legacy engine and prunes dead code =="
+# The adaptive engine (witness sharing + adaptive depth + k-induction pruning)
+# must issue strictly fewer SAT solves than the fixed-depth legacy loop at the
+# same budget while leaving no more holes open, and must prove at least one
+# hole dead on b12. With a dead-hole corpus, a rerun re-proves nothing and the
+# pruned holes never reappear in the hole listing.
+"$tmpbin/coverage_race" -design b12 -cycles 512 -directed -legacy -j 4 >"$tmpbin/leg.txt"
+"$tmpbin/coverage_race" -design b12 -cycles 512 -directed -j 4 >"$tmpbin/ada.txt"
+leg_solves=$(sed -n 's/.*reach: calls=[0-9]* solves=\([0-9]*\).*/\1/p' "$tmpbin/leg.txt")
+ada_solves=$(sed -n 's/.*reach: calls=[0-9]* solves=\([0-9]*\).*/\1/p' "$tmpbin/ada.txt")
+if [ "$ada_solves" -ge "$leg_solves" ]; then
+    echo "smoke: FAILED (b12: adaptive issued $ada_solves solves vs $leg_solves legacy)" >&2
+    exit 1
+fi
+if ! grep -q 'dead: total=[1-9]' "$tmpbin/ada.txt"; then
+    echo "smoke: FAILED (b12: adaptive closure proved no hole dead)" >&2
+    exit 1
+fi
+echo "smoke: b12 reach solves: legacy=$leg_solves adaptive=$ada_solves"
+"$tmpbin/coverage_race" -design b12 -cycles 512 -directed -j 4 \
+    -dead-corpus "$tmpbin/dead.jsonl" >"$tmpbin/dc1.txt"
+"$tmpbin/coverage_race" -design b12 -cycles 512 -directed -j 4 \
+    -dead-corpus "$tmpbin/dead.jsonl" >"$tmpbin/dc2.txt"
+if ! grep -q 'new=0$' "$tmpbin/dc2.txt"; then
+    echo "smoke: FAILED (b12: rerun against the dead corpus re-proved holes)" >&2
+    grep 'dead:' "$tmpbin/dc2.txt" >&2
+    exit 1
+fi
+rerun_solves=$(sed -n 's/.*reach: calls=[0-9]* solves=\([0-9]*\).*/\1/p' "$tmpbin/dc2.txt")
+if [ "$rerun_solves" -ge "$ada_solves" ]; then
+    echo "smoke: FAILED (b12: dead corpus did not cut the rerun's solves: $rerun_solves vs $ada_solves)" >&2
+    exit 1
+fi
+"$tmpbin/coverage_race" -design b12 -cycles 512 -directed -j 4 \
+    -dead-corpus "$tmpbin/dead.jsonl" -holes-json >"$tmpbin/dc_holes.json"
+for key in $(sed -n 's/.*"key":"\([^"]*\)".*/\1/p' "$tmpbin/dead.jsonl"); do
+    if grep -qF "\"$key\"" "$tmpbin/dc_holes.json"; then
+        echo "smoke: FAILED (pruned-dead hole $key reappeared in -holes-json)" >&2
+        exit 1
+    fi
+done
+echo "smoke: b12 dead corpus persists (rerun solves=$rerun_solves, pruned holes stay gone)"
 
 echo "== cross-check: incremental + portfolio match the stateless checker (race) =="
 # Every bundled design, race-enabled binary, with (a) the incremental session
